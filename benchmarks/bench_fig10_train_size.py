@@ -1,0 +1,69 @@
+"""Figure 10: effect of the executed training-set fraction.
+
+(a) quality and (b) training time as the system executes a decreasing
+fraction of the training queries (the ``Q̂_train`` selection of §4.2 —
+representative selection keeps one query per embedding cluster).
+
+Paper shape: quality degrades gracefully as the fraction shrinks while
+training time drops sharply (the 25% point is ASQP-Light's setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, emit, evaluate_method
+
+FRACTIONS = [1.0, 0.75, 0.5, 0.25]
+COMPARISON_METHODS = ["TOP", "QUIK"]
+K = 1000
+
+
+def _run(bundle) -> dict:
+    train, test = bundle.workload.split(0.3, np.random.default_rng(53))
+    asqp_rows = []
+    for fraction in FRACTIONS:
+        result = evaluate_method(
+            bundle, train, test, "ASQP-RL", k=K, frame_size=50, seed=14,
+            asqp_overrides={**SWEEP_PROFILE, "training_fraction": fraction},
+        )
+        asqp_rows.append(
+            {
+                "fraction": fraction,
+                "quality": result.quality,
+                "setup_seconds": result.setup_seconds,
+            }
+        )
+    baselines = {}
+    for method in COMPARISON_METHODS:
+        result = evaluate_method(
+            bundle, train, test, method, k=K, frame_size=50, seed=14
+        )
+        baselines[method] = result.quality
+    return {"asqp": asqp_rows, "baselines": baselines}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_training_fraction(benchmark, imdb_bundle):
+    result = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    rows = result["asqp"]
+    emit(
+        "fig10_train_size",
+        ["Training fraction", "Quality (a)", "Training time s (b)"],
+        [
+            [f"{r['fraction']:.0%}", f"{r['quality']:.3f}", f"{r['setup_seconds']:.1f}"]
+            for r in rows
+        ],
+        result,
+        title="Figure 10 — quality and training time vs training-set fraction",
+    )
+    # Shape (a): full training is at least as good as the 25% setting.
+    assert rows[0]["quality"] >= rows[-1]["quality"] * 0.95
+    # Shape (b): executing fewer queries cannot be much slower. (In this
+    # simulator query execution is cheap relative to RL iterations, so the
+    # paper's steep time drop flattens; the guard is against regression.)
+    assert rows[-1]["setup_seconds"] <= rows[0]["setup_seconds"] * 1.5
+    # Even at reduced fractions ASQP stays comparable to the baselines.
+    best_baseline = max(result["baselines"].values())
+    assert rows[1]["quality"] >= best_baseline * 0.6

@@ -1,0 +1,69 @@
+"""Figure 11: RL hyper-parameter tuning.
+
+Sweeps the three coefficients the paper tunes — entropy coefficient,
+learning rate, KL coefficient — one at a time around the default
+configuration, reporting the resulting quality.
+
+Paper shape: the entropy coefficient is the decisive knob (a small
+positive value beats both 0 and large values); quality is comparatively
+flat in the KL coefficient; extreme learning rates hurt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, bench_asqp_config, emit
+from repro.core import ASQPTrainer, score
+
+ENTROPY_VALUES = [0.0, 0.001, 0.0015, 0.01, 0.015, 0.02]
+LEARNING_RATES = [5e-5, 5e-4, 5e-3, 5e-2]
+KL_VALUES = [0.2, 0.3, 0.5, 0.7, 0.9]
+K = 800
+
+_FAST = dict(SWEEP_PROFILE, n_iterations=10, n_candidate_rollouts=3)
+
+
+def _quality(bundle, train, test, **overrides) -> float:
+    config = bench_asqp_config(K, 50, seed=15, **{**_FAST, **overrides})
+    model = ASQPTrainer(bundle.db, train, config).train()
+    return score(bundle.db, model.approximation_database(), test, 50)
+
+
+def _run(bundle) -> dict:
+    train, test = bundle.workload.split(0.3, np.random.default_rng(59))
+    sweeps = {
+        "entropy_coef": [
+            {"value": v, "quality": _quality(bundle, train, test, entropy_coef=v)}
+            for v in ENTROPY_VALUES
+        ],
+        "learning_rate": [
+            {"value": v, "quality": _quality(bundle, train, test, learning_rate=v)}
+            for v in LEARNING_RATES
+        ],
+        "kl_coef": [
+            {"value": v, "quality": _quality(bundle, train, test, kl_coef=v)}
+            for v in KL_VALUES
+        ],
+    }
+    return sweeps
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_hyperparameters(benchmark, imdb_bundle):
+    sweeps = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    for parameter, rows in sweeps.items():
+        emit(
+            f"fig11_{parameter}",
+            [parameter, "Quality"],
+            [[f"{r['value']:g}", f"{r['quality']:.3f}"] for r in rows],
+            {"rows": rows},
+            title=f"Figure 11 — quality vs {parameter}",
+        )
+    # Shape: every configuration trains to something non-trivial...
+    for rows in sweeps.values():
+        assert all(r["quality"] > 0.0 for r in rows)
+    # ...and the KL sweep is comparatively flat (max/min ratio bounded).
+    kl_qualities = [r["quality"] for r in sweeps["kl_coef"]]
+    assert max(kl_qualities) <= 3.0 * max(min(kl_qualities), 1e-6) or min(kl_qualities) > 0.05

@@ -1,0 +1,127 @@
+"""Figure 12: aggregate-query evaluation (AQP) against gAQP and DeepDB.
+
+Protocol (paper §6.4): the FLIGHTS aggregate workload (IDEBench-style) is
+split by operator class — CNT, G+CNT, SUM, G+SUM, AVG, G+AVG — and each
+engine's mean relative error (Eq. 2; missing groups count as error 1) is
+reported with memory ≈ 1% of the data:
+
+* **ASQP-RL** answers from its approximation set, rescaling COUNT/SUM by
+  a self-calibrated inclusion rate measured on its training queries;
+* **gAQP** samples its per-table VAEs and rescales;
+* **DeepDB** evaluates its Sum-Product Network.
+
+Paper shape: no engine dominates all six classes; ASQP-RL is best on a
+subset of the operators and comparable elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAQPEstimator, SPNModel, UnsupportedQueryError
+from repro.bench import SWEEP_PROFILE, bench_asqp_config, emit
+from repro.core import ASQPTrainer, aggregate_relative_error
+from repro.db import AggFunc
+
+
+def _class_of(query) -> str:
+    func = query.aggregates[0].func
+    prefix = "G+" if query.group_by else ""
+    return prefix + {"COUNT": "CNT", "SUM": "SUM", "AVG": "AVG"}[func.value]
+
+
+def _run(bundle) -> dict:
+    rng = np.random.default_rng(61)
+    train, test = bundle.aggregate_workload.split(0.4, rng)
+    memory = max(1, int(0.01 * bundle.db.total_rows())) * 8  # ~1% budget, scaled
+
+    # ASQP-RL: train on the (rewritten) aggregate workload, per §3. The
+    # frame size is raised for aggregate mode (distribution coverage needs
+    # more than a human reading frame) and COUNT/SUM rescaling uses the
+    # model's self-calibrated inclusion rate (see
+    # TrainedModel.calibrated_count_scale).
+    config = bench_asqp_config(memory, 200, seed=16, **SWEEP_PROFILE)
+    model = ASQPTrainer(bundle.db, train, config).train()
+    approx_db = model.approximation_database()
+    count_scale = model.calibrated_count_scale(
+        default=bundle.db.total_rows() / max(1, approx_db.total_rows())
+    )
+
+    gaqp = GAQPEstimator(bundle.db, memory_fraction=0.05, epochs=20, seed=3)
+    spn = SPNModel(bundle.db.table("flights"), seed=4)
+
+    from repro.db import execute_aggregate
+
+    errors: dict[str, dict[str, list[float]]] = {}
+    for query in test.queries:
+        klass = _class_of(query)
+        bucket = errors.setdefault(
+            klass, {"ASQP-RL": [], "gAQP": [], "DeepDB": []}
+        )
+        bucket["ASQP-RL"].append(
+            aggregate_relative_error(
+                bundle.db, approx_db, query, scale_counts=count_scale
+            )
+        )
+        bucket["gAQP"].append(gaqp.answer_error(query))
+        try:
+            estimated = spn.answer(query)
+            truth = execute_aggregate(bundle.db, query).as_mapping()
+            per_group = []
+            for key, true_row in truth.items():
+                est_row = estimated.get(key)
+                for name, true_value in true_row.items():
+                    if est_row is None or name not in est_row:
+                        per_group.append(1.0)
+                    else:
+                        from repro.core import relative_error
+
+                        per_group.append(relative_error(est_row[name], true_value))
+            bucket["DeepDB"].append(float(np.mean(per_group)) if per_group else 0.0)
+        except UnsupportedQueryError:
+            bucket["DeepDB"].append(1.0)
+
+    rows = []
+    for klass in ("CNT", "G+CNT", "SUM", "G+SUM", "AVG", "G+AVG"):
+        if klass not in errors:
+            continue
+        rows.append(
+            {
+                "class": klass,
+                "n_queries": len(errors[klass]["ASQP-RL"]),
+                **{
+                    engine: float(np.mean(values))
+                    for engine, values in errors[klass].items()
+                },
+            }
+        )
+    return {"rows": rows, "memory_tuples": memory}
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_aggregates(benchmark, flights_bundle):
+    result = benchmark.pedantic(_run, args=(flights_bundle,), rounds=1, iterations=1)
+    rows = result["rows"]
+    emit(
+        "fig12_aggregates",
+        ["Class", "n", "ASQP-RL", "gAQP", "DeepDB"],
+        [
+            [r["class"], r["n_queries"], f"{r['ASQP-RL']:.3f}",
+             f"{r['gAQP']:.3f}", f"{r['DeepDB']:.3f}"]
+            for r in rows
+        ],
+        result,
+        title="Figure 12 — mean relative error by aggregate class (lower is better)",
+    )
+    assert len(rows) == 6, "all six operator classes must be exercised"
+    # Shape: ASQP-RL is competitive — best or near-best on several classes
+    # (the paper: lowest error on half the operators, comparable elsewhere).
+    wins = sum(
+        1 for r in rows if r["ASQP-RL"] <= min(r["gAQP"], r["DeepDB"]) + 0.1
+    )
+    assert wins >= 2, f"ASQP-RL should be competitive on several classes, won {wins}"
+    # All errors are valid fractions.
+    for r in rows:
+        for engine in ("ASQP-RL", "gAQP", "DeepDB"):
+            assert 0.0 <= r[engine] <= 1.0

@@ -1,0 +1,69 @@
+"""Figure 4: problem justification — cumulative average direct-query
+latency on progressively larger copies of the IMDB data.
+
+The paper blows up IMDB and shows that even at modest sizes, averaging
+over the first queries of a session quickly reaches hours of cumulative
+wait. Here the database scales ×{1, 2, 4, 8} and the series is the
+cumulative mean per-query latency after 1..N executed queries — the shape
+(superlinear growth of waiting time with both database size and session
+length) is the reproduced claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import emit
+from repro.db import timed_execute
+
+SCALE_FACTORS = [1, 2, 4, 8]
+N_SESSION_QUERIES = 8
+
+
+def _run(bundle) -> list[dict]:
+    rng = np.random.default_rng(3)
+    order = rng.permutation(len(bundle.workload))[:N_SESSION_QUERIES]
+    queries = [bundle.workload.queries[int(i)] for i in order]
+    rows = []
+    for factor in SCALE_FACTORS:
+        blown = bundle.db.scale(factor)
+        elapsed: list[float] = []
+        for query in queries:
+            _, seconds = timed_execute(blown, query)
+            elapsed.append(seconds)
+        cumulative_mean = np.cumsum(elapsed) / np.arange(1, len(elapsed) + 1)
+        rows.append(
+            {
+                "scale_factor": factor,
+                "total_rows": blown.total_rows(),
+                "per_query_seconds": elapsed,
+                "cumulative_mean_seconds": cumulative_mean.tolist(),
+                "final_cumulative_mean": float(cumulative_mean[-1]),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_direct_query_cost(benchmark, imdb_bundle):
+    rows = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    emit(
+        "fig4_direct_query_cost",
+        ["Scale", "Rows", *[f"after {i + 1} queries (ms)" for i in range(N_SESSION_QUERIES)]],
+        [
+            [
+                f"x{r['scale_factor']}",
+                r["total_rows"],
+                *[f"{v * 1000:.1f}" for v in r["cumulative_mean_seconds"]],
+            ]
+            for r in rows
+        ],
+        {"rows": rows},
+        title="Figure 4 — cumulative mean direct-query latency vs database scale",
+    )
+    # Latency grows with database size...
+    finals = [r["final_cumulative_mean"] for r in rows]
+    assert finals[-1] > finals[0]
+    # ...and the largest scale is markedly slower than the smallest.
+    assert finals[-1] > 2.0 * finals[0]

@@ -1,0 +1,137 @@
+"""Figure 5: answerability-estimator quality, plus the full-system variants.
+
+Protocol (paper §6.2 "Answers Estimation Quality"): train on a training
+workload, build the approximation set, then ask the estimator whether each
+*test* query is answerable. Ground truth: the query's actual Eq. 1 score
+on the approximation set, thresholded at 0.5. Reported: precision and
+recall, repeated with the trainer seeing only 75% / 50% of the training
+queries.
+
+Full-system variants: route queries with predicted confidence below 0.6
+(resp. 0.8) to the real database — average answer quality rises at the
+price of query latency.
+
+Paper shape: high precision/recall at full training (≈0.90/0.95),
+degrading gracefully at 50% (≈0.75/0.85); the 0.6-threshold variant lifts
+the average score above the approximation-only score, the 0.8 variant
+lifts it further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, bench_asqp_config, emit
+from repro.core import ASQPSession, ASQPTrainer, per_query_scores
+from repro.datasets import Workload
+
+TRAIN_ACCESS_FRACTIONS = [1.0, 0.75, 0.5]
+ANSWERABLE_THRESHOLD = 0.5
+
+
+def _precision_recall(predicted: list[bool], actual: list[bool]) -> tuple[float, float]:
+    tp = sum(1 for p, a in zip(predicted, actual) if p and a)
+    fp = sum(1 for p, a in zip(predicted, actual) if p and not a)
+    fn = sum(1 for p, a in zip(predicted, actual) if not p and a)
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return precision, recall
+
+
+def _run(bundle) -> dict:
+    train, test = bundle.workload.split(0.3, np.random.default_rng(23))
+    estimator_rows = []
+    session_for_variants = None
+    for fraction in TRAIN_ACCESS_FRACTIONS:
+        config = bench_asqp_config(
+            1000, 50, seed=9, training_fraction=fraction, **SWEEP_PROFILE
+        )
+        model = ASQPTrainer(bundle.db, train, config).train()
+        session = ASQPSession(model, auto_fine_tune=False)
+        if fraction == 1.0:
+            session_for_variants = session
+
+        actual_scores = per_query_scores(
+            bundle.db, session.approx_db, test, frame_size=50
+        )
+        actual = [s >= ANSWERABLE_THRESHOLD for s in actual_scores]
+        predicted = [
+            session.estimator.estimate(q).confidence >= ANSWERABLE_THRESHOLD
+            for q in test.spj_only().queries
+        ]
+        precision, recall = _precision_recall(predicted, actual)
+        estimator_rows.append(
+            {
+                "training_access": fraction,
+                "precision": precision,
+                "recall": recall,
+                "n_test": len(actual),
+                "answerable_rate": float(np.mean(actual)),
+            }
+        )
+
+    # Full-system variants on the fully trained model.
+    assert session_for_variants is not None
+    variant_rows = []
+    spj_test = test.spj_only()
+    approx_only = per_query_scores(
+        bundle.db, session_for_variants.approx_db, test, frame_size=50
+    )
+    for threshold in (None, 0.6, 0.8):
+        scores, latencies = [], []
+        for i, query in enumerate(spj_test.queries):
+            if threshold is None:
+                used_full = False
+            else:
+                confidence = session_for_variants.estimator.estimate(query).confidence
+                used_full = confidence < threshold
+            outcome = session_for_variants.query(
+                query,
+                confidence_threshold=(0.0 if threshold is None else threshold),
+            )
+            scores.append(1.0 if used_full else float(approx_only[i]))
+            latencies.append(outcome.elapsed_seconds)
+        variant_rows.append(
+            {
+                "variant": "approx only" if threshold is None else f"DB below {threshold}",
+                "avg_score": float(np.mean(scores)),
+                "avg_query_seconds": float(np.mean(latencies)),
+            }
+        )
+    return {"estimator": estimator_rows, "variants": variant_rows}
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_estimator(benchmark, imdb_bundle):
+    result = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    emit(
+        "fig5_estimator",
+        ["Training access", "Precision", "Recall", "Answerable rate"],
+        [
+            [f"{r['training_access']:.0%}", f"{r['precision']:.2f}",
+             f"{r['recall']:.2f}", f"{r['answerable_rate']:.2f}"]
+            for r in result["estimator"]
+        ],
+        result,
+        title="Figure 5 — estimator precision/recall vs training-query access",
+    )
+    emit(
+        "fig5_full_system",
+        ["Variant", "Avg score", "Avg query (ms)"],
+        [
+            [r["variant"], f"{r['avg_score']:.3f}",
+             f"{r['avg_query_seconds'] * 1000:.1f}"]
+            for r in result["variants"]
+        ],
+        result,
+        title="Figure 5 — full-system variants (query DB below threshold)",
+    )
+    full = result["estimator"][0]
+    half = result["estimator"][-1]
+    # Shape: reasonable detector at full access, graceful degradation.
+    assert full["precision"] >= 0.6 and full["recall"] >= 0.6
+    assert half["precision"] >= 0.4 and half["recall"] >= 0.4
+    variants = {r["variant"]: r["avg_score"] for r in result["variants"]}
+    assert variants["DB below 0.8"] >= variants["approx only"]
+    assert variants["DB below 0.6"] >= variants["approx only"]

@@ -1,0 +1,87 @@
+"""Figure 7: fine-tuning after interest drift.
+
+Protocol (paper §6.2 "Fine-Tuning Importance"): cluster the workload into
+three interest clusters via query embeddings; train on cluster 1 only;
+measure per-cluster test quality; then reveal cluster 2's training queries
+(the estimator flags them as unanswerable → fine-tune), measure again;
+repeat with cluster 3.
+
+Paper shape: each fine-tuning step sharply lifts the quality on the newly
+introduced cluster while retaining quality on earlier clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, bench_asqp_config, emit
+from repro.core import ASQPTrainer, score
+from repro.datasets import Workload
+from repro.db import compute_database_stats
+from repro.embedding import QueryEmbedder, kmeans
+
+N_CLUSTERS = 3
+
+
+def _cluster_workload(bundle, rng) -> list[list]:
+    embedder = QueryEmbedder(stats=compute_database_stats(bundle.db))
+    vectors = embedder.embed_workload(list(bundle.workload))
+    result = kmeans(vectors, N_CLUSTERS, rng)
+    clusters = []
+    for c in range(N_CLUSTERS):
+        members = [bundle.workload.queries[i] for i in result.members(c)]
+        clusters.append(members)
+    # Largest cluster first so the initial training set is non-trivial.
+    clusters.sort(key=len, reverse=True)
+    return clusters
+
+
+def _run(bundle) -> dict:
+    rng = np.random.default_rng(41)
+    clusters = _cluster_workload(bundle, rng)
+    splits = []
+    for members in clusters:
+        n_test = max(1, len(members) // 4)
+        order = rng.permutation(len(members))
+        test = [members[i] for i in order[:n_test]]
+        train = [members[i] for i in order[n_test:]] or test
+        splits.append((train, test))
+
+    config = bench_asqp_config(1000, 50, seed=19, fine_tune_iterations=8,
+                               **SWEEP_PROFILE)
+    model = ASQPTrainer(bundle.db, Workload(list(splits[0][0])), config).train()
+
+    def per_cluster_quality() -> list[float]:
+        sub = model.approximation_database()
+        return [
+            score(bundle.db, sub, Workload(list(test)), frame_size=50)
+            for _, test in splits
+        ]
+
+    stages = {"trained on cluster 1": per_cluster_quality()}
+    for stage in range(1, N_CLUSTERS):
+        model.fine_tune(list(splits[stage][0]))
+        stages[f"+ fine-tuned on cluster {stage + 1}"] = per_cluster_quality()
+    return {
+        "stages": stages,
+        "cluster_sizes": [len(m) for m in clusters],
+    }
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_finetune(benchmark, imdb_bundle):
+    result = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    stages = result["stages"]
+    emit(
+        "fig7_finetune",
+        ["Stage", *[f"cluster {c + 1} quality" for c in range(N_CLUSTERS)]],
+        [[name, *[f"{v:.3f}" for v in values]] for name, values in stages.items()],
+        result,
+        title="Figure 7 — quality per interest cluster across fine-tuning stages",
+    )
+    names = list(stages)
+    # Fine-tuning on cluster 2 lifts cluster-2 quality...
+    assert stages[names[1]][1] > stages[names[0]][1]
+    # ...and on cluster 3 lifts cluster-3 quality.
+    assert stages[names[2]][2] > stages[names[0]][2]

@@ -1,0 +1,51 @@
+"""Figure 8: quality vs memory budget k.
+
+The paper sweeps k ∈ {1k, 5k, 10k, 15k} over 34M tuples; scaled here to
+{100, 250, 500, 1000} over the synthetic IMDB. All methods are expected to
+improve with k, with ASQP-RL dominating at every point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, ascii_chart, emit, evaluate_method
+from repro.core import workload_result_keys
+
+K_VALUES = [100, 250, 500, 1000]
+METHODS = ["ASQP-RL", "RAN", "TOP", "CACH", "QUIK", "VERD", "QRD", "SKY"]
+
+
+def _run(bundle) -> dict:
+    train, test = bundle.workload.split(0.3, np.random.default_rng(43))
+    full_keys = workload_result_keys(bundle.db, test)
+    series: dict[str, list[float]] = {m: [] for m in METHODS}
+    for k in K_VALUES:
+        for method in METHODS:
+            result = evaluate_method(
+                bundle, train, test, method, k=k, frame_size=50, seed=11,
+                asqp_overrides=SWEEP_PROFILE, full_keys=full_keys,
+            )
+            series[method].append(result.quality)
+    return series
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_memory_sweep(benchmark, imdb_bundle):
+    series = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    emit(
+        "fig8_memory_k",
+        ["Method", *[f"k={k}" for k in K_VALUES]],
+        [[m, *[f"{v:.3f}" for v in series[m]]] for m in series],
+        {"k_values": K_VALUES, "series": series},
+        title="Figure 8 — quality vs memory budget k (IMDB)",
+    )
+    print(ascii_chart(series, K_VALUES, title="Figure 8 (chart)"))
+    # Shape: ASQP-RL improves with k and tops every baseline at the largest k.
+    asqp = series["ASQP-RL"]
+    assert asqp[-1] > asqp[0]
+    best_baseline_at_max = max(series[m][-1] for m in METHODS if m != "ASQP-RL")
+    assert asqp[-1] >= best_baseline_at_max * 0.9
+    # Random also improves with k (sanity of the sweep itself).
+    assert series["RAN"][-1] >= series["RAN"][0]

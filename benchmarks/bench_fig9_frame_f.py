@@ -1,0 +1,50 @@
+"""Figure 9: quality vs frame size F.
+
+Increasing F at fixed k makes the problem harder — every query needs more
+covered rows before its Eq. 1 term saturates — so all curves decrease;
+ASQP-RL stays on top throughout (paper: SKY falls from ~0.4 to ~0.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SWEEP_PROFILE, ascii_chart, emit, evaluate_method
+
+F_VALUES = [25, 50, 75, 100]
+METHODS = ["ASQP-RL", "RAN", "TOP", "CACH", "QUIK", "SKY"]
+K = 1000
+
+
+def _run(bundle) -> dict:
+    train, test = bundle.workload.split(0.3, np.random.default_rng(47))
+    series: dict[str, list[float]] = {m: [] for m in METHODS}
+    for frame_size in F_VALUES:
+        for method in METHODS:
+            result = evaluate_method(
+                bundle, train, test, method, k=K, frame_size=frame_size,
+                seed=12, asqp_overrides=SWEEP_PROFILE,
+            )
+            series[method].append(result.quality)
+    return series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_frame_sweep(benchmark, imdb_bundle):
+    series = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
+    emit(
+        "fig9_frame_f",
+        ["Method", *[f"F={f}" for f in F_VALUES]],
+        [[m, *[f"{v:.3f}" for v in series[m]]] for m in series],
+        {"f_values": F_VALUES, "series": series},
+        title="Figure 9 — quality vs frame size F (IMDB, k=1000)",
+    )
+    print(ascii_chart(series, F_VALUES, title="Figure 9 (chart)"))
+    # Shape: growing F makes the problem harder for everyone.
+    asqp = series["ASQP-RL"]
+    assert asqp[0] >= asqp[-1]
+    # ASQP-RL stays competitive with the best baseline at every F.
+    for i in range(len(F_VALUES)):
+        best_baseline = max(series[m][i] for m in METHODS if m != "ASQP-RL")
+        assert asqp[i] >= best_baseline * 0.75

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper's §6.
+Conventions:
+
+* dataset sizes scale with ``REPRO_BENCH_SCALE`` (default 0.4, ~1000x
+  below the paper's data; the *shape* of results is what reproduces);
+* each benchmark prints its table (visible with ``pytest -s``) and always
+  writes both a JSON record and the formatted text table under
+  ``bench_results/`` (override with ``REPRO_RESULTS_DIR``);
+* ``REPRO_BENCH_SPLITS`` controls train/test repetitions where the paper
+  averages over partitions (default 2 for Fig. 2, 1 for sweeps).
+
+Two ASQP-RL profiles are used: the *full* profile (Fig. 2, the headline
+table) and a cheaper *sweep* profile for the many-training-run figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import bench_scale
+from repro.datasets import load_flights, load_imdb, load_mas
+
+
+@pytest.fixture(scope="session")
+def imdb_bundle():
+    return load_imdb(scale=bench_scale(0.35), n_queries=50)
+
+
+@pytest.fixture(scope="session")
+def mas_bundle():
+    return load_mas(scale=bench_scale(0.35), n_queries=44)
+
+
+@pytest.fixture(scope="session")
+def flights_bundle():
+    return load_flights(scale=bench_scale(0.35), n_queries=40)
+
+
+@pytest.fixture(scope="session")
+def split_rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,59 @@
+"""Compare ASQP-RL against the paper's baselines on one split.
+
+Run with::
+
+    python examples/baseline_comparison.py
+
+A compact version of the Figure 2 experiment: one train/test split of the
+IMDB workload, every method builds its k-tuple stand-in, and each is
+scored with the ANAQP metric (Eq. 1) on the held-out queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import load_imdb
+from repro.baselines import baseline_names, make_baseline
+from repro.bench import bench_asqp_config
+from repro.core import ASQPTrainer, score
+
+K = 800
+FRAME_SIZE = 50
+
+
+def main() -> None:
+    bundle = load_imdb(scale=0.4, n_queries=50)
+    train, test = bundle.workload.split(0.3, np.random.default_rng(0))
+    print(f"database: {bundle.db}")
+    print(f"workload: {len(train)} training / {len(test)} test queries; "
+          f"k={K}, F={FRAME_SIZE}\n")
+
+    rows: list[tuple[str, float, float]] = []
+
+    config = bench_asqp_config(K, FRAME_SIZE, seed=1, n_iterations=30)
+    model = ASQPTrainer(bundle.db, train, config).train()
+    quality = score(bundle.db, model.approximation_database(), test, FRAME_SIZE)
+    rows.append(("ASQP-RL", quality, model.setup_seconds))
+
+    for name in baseline_names():
+        selector = make_baseline(name)
+        budget = 15.0 if name in ("BRT", "GRE") else None
+        result = selector.select(
+            bundle.db, train, K, FRAME_SIZE, np.random.default_rng(2),
+            time_budget=budget,
+        )
+        quality = score(bundle.db, result.database, test, FRAME_SIZE)
+        label = name if result.completed else f"{name} (timeout)"
+        rows.append((label, quality, result.setup_seconds))
+
+    rows.sort(key=lambda r: -r[1])
+    width = max(len(r[0]) for r in rows)
+    print(f"{'method'.ljust(width)} | score  | setup")
+    print("-" * (width + 18))
+    for name, quality, setup in rows:
+        print(f"{name.ljust(width)} | {quality:.3f}  | {setup:6.1f}s")
+
+
+if __name__ == "__main__":
+    main()

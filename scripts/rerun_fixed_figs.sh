@@ -1,0 +1,14 @@
+#!/bin/sh
+# Re-run Figure 2 and Figure 3 after the CACH single-pass, BRT tuple-level,
+# GRE budget, full-profile-ASQP and environment-faithful-DRP fixes, appending
+# to the recorded bench output.
+set -e
+cd /root/repo
+{
+  echo ""
+  echo "=================================================================="
+  echo "RE-RUN (fixed): bench_fig2_quality_time.py + bench_fig3_rl_ablation.py"
+  echo "=================================================================="
+} >> bench_output.txt
+python -m pytest benchmarks/bench_fig2_quality_time.py benchmarks/bench_fig3_rl_ablation.py benchmarks/bench_fig4_direct_query_cost.py \
+  --benchmark-only -s 2>&1 | tee -a bench_output.txt | tail -3

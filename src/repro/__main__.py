@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``   — train on a bundled dataset and run a short query session.
+``train``  — train ASQP-RL and save the model directory.
+``query``  — load a saved model and answer one SQL query.
+``bench``  — print the location and contents of recorded benchmark tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .core import ASQPConfig, ASQPSession, ASQPTrainer, load_model, save_model, score
+from .datasets import load_flights, load_imdb, load_mas
+from .db import sql
+
+_LOADERS = {"imdb": load_imdb, "mas": load_mas, "flights": load_flights}
+
+
+def _load_bundle(name: str, scale: float):
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown dataset {name!r}; choose from {sorted(_LOADERS)}"
+        )
+    return loader(scale=scale)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="imdb", help="imdb | mas | flights")
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset size scale")
+    parser.add_argument("--k", type=int, default=600, help="memory budget (tuples)")
+    parser.add_argument("--frame-size", type=int, default=50, help="frame size F")
+    parser.add_argument("--iterations", type=int, default=25, help="PPO iterations")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--light", action="store_true", help="use ASQP-Light settings")
+
+
+def _make_config(args) -> ASQPConfig:
+    overrides = dict(
+        memory_budget=args.k,
+        frame_size=args.frame_size,
+        n_iterations=args.iterations,
+        learning_rate=1e-3,
+        seed=args.seed,
+    )
+    return ASQPConfig.light(**overrides) if args.light else ASQPConfig(**overrides)
+
+
+def cmd_demo(args) -> int:
+    bundle = _load_bundle(args.dataset, args.scale)
+    print(f"dataset: {bundle.db}")
+    config = _make_config(args)
+    print(f"training {'ASQP-Light' if args.light else 'ASQP-RL'} "
+          f"(k={config.memory_budget}, F={config.frame_size})...")
+    start = time.perf_counter()
+    model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+    print(f"trained in {time.perf_counter() - start:.1f}s")
+    session = ASQPSession(model, auto_fine_tune=False)
+    train_quality = score(bundle.db, session.approx_db, bundle.workload,
+                          config.frame_size)
+    print(f"workload quality (Eq. 1): {train_quality:.3f}")
+    for query in list(bundle.workload)[:3]:
+        outcome = session.query(query)
+        source = "approx" if outcome.used_approximation else "full DB"
+        print(f"  {query.to_sql()[:70]}...")
+        print(f"    -> {len(outcome)} rows via {source} "
+              f"({outcome.elapsed_seconds * 1000:.1f}ms)")
+    return 0
+
+
+def cmd_train(args) -> int:
+    bundle = _load_bundle(args.dataset, args.scale)
+    config = _make_config(args)
+    print(f"training on {bundle.db} ...")
+    model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+    save_model(model, args.out)
+    print(f"model saved to {args.out} "
+          f"(setup {model.setup_seconds:.1f}s, "
+          f"{len(model.action_space)} actions)")
+    return 0
+
+
+def cmd_query(args) -> int:
+    bundle = _load_bundle(args.dataset, args.scale)
+    model = load_model(args.model, bundle.db)
+    session = ASQPSession(model, auto_fine_tune=False)
+    query = sql(args.sql)
+    outcome = session.query(query)
+    source = "approximation set" if outcome.used_approximation else "full database"
+    print(f"{len(outcome)} rows from the {source} "
+          f"(confidence {outcome.estimate.confidence:.2f}, "
+          f"{outcome.elapsed_seconds * 1000:.1f}ms)")
+    if hasattr(outcome.result, "rows"):
+        for row in outcome.result.rows[:10]:
+            print(f"  {row}")
+    else:
+        for row in outcome.result.to_rows()[:10]:
+            print(f"  {row}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import glob
+    import os
+
+    from .bench.reporting import results_dir
+
+    directory = results_dir()
+    tables = sorted(glob.glob(os.path.join(directory, "*.txt")))
+    if not tables:
+        print(f"no recorded tables under {directory}/ — run:")
+        print("  pytest benchmarks/ --benchmark-only -s")
+        return 1
+    for path in tables:
+        with open(path) as handle:
+            print(handle.read())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ASQP-RL reproduction CLI"
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="train + short query session")
+    _add_common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    train = commands.add_parser("train", help="train and save a model")
+    _add_common(train)
+    train.add_argument("--out", required=True, help="output model directory")
+    train.set_defaults(func=cmd_train)
+
+    query = commands.add_parser("query", help="query a saved model")
+    query.add_argument("--model", required=True, help="saved model directory")
+    query.add_argument("--dataset", default="imdb")
+    query.add_argument("--scale", type=float, default=0.3)
+    query.add_argument("--sql", required=True, help="SQL text to answer")
+    query.set_defaults(func=cmd_query)
+
+    bench = commands.add_parser("bench", help="show recorded benchmark tables")
+    bench.set_defaults(func=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

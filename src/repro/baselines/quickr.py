@@ -1,0 +1,90 @@
+"""QUIK: QuickR-style lazy plan-keyed sampling (paper §6.1 baseline 9).
+
+QuickR [Kandula et al. 2016] keeps "a catalog of plans and samples and an
+algorithm for choosing the right samples at the right time": samples are
+built lazily as queries arrive, keyed by the query's plan signature
+(tables + predicate columns), and reused for queries with a matching
+signature. Here the training workload drives catalog construction: each
+distinct signature gets an equal slice of the budget, filled with a
+uniform sample of its queries' provenance rows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.approximation import ApproximationSet
+from ..core.reward import QueryCoverage
+from ..db.database import Database
+from ..db.expressions import conjuncts
+from ..db.query import SPJQuery
+from ..datasets.workloads import Workload
+from .base import SelectionResult, SubsetSelector
+
+
+def plan_signature(query: SPJQuery) -> tuple:
+    """The catalog key: tables joined + columns filtered."""
+    predicate_columns = tuple(
+        sorted({ref for part in conjuncts(query.predicate) for ref in part.columns()})
+    )
+    return (tuple(sorted(query.tables)), predicate_columns)
+
+
+class QuickRBaseline(SubsetSelector):
+    """Signature-keyed sample catalog built from the training workload."""
+
+    name = "QUIK"
+
+    def select(
+        self,
+        db: Database,
+        workload: Workload,
+        k: int,
+        frame_size: int,
+        rng: np.random.Generator,
+        time_budget: Optional[float] = None,
+    ) -> SelectionResult:
+        started = time.perf_counter()
+        spj = workload.spj_only()
+        coverages = self.workload_coverages(db, workload, frame_size, rng)
+
+        # Group queries by plan signature (the catalog).
+        catalog: dict[tuple, list[QueryCoverage]] = {}
+        for query, coverage in zip(spj.queries, coverages):
+            catalog.setdefault(plan_signature(query), []).append(coverage)
+
+        approx = ApproximationSet()
+        n_signatures = max(1, len(catalog))
+        slice_budget = max(1, k // n_signatures)
+        for signature in sorted(catalog, key=str):
+            rows: list[tuple] = []
+            seen = set()
+            for coverage in catalog[signature]:
+                for requirement in coverage.requirements:
+                    if requirement not in seen:
+                        seen.add(requirement)
+                        rows.append(requirement)
+            if not rows:
+                continue
+            order = rng.permutation(len(rows))
+            slice_used = 0
+            for row_index in order:
+                requirement = rows[row_index]
+                new_keys = [key for key in requirement if key not in approx]
+                if not new_keys:
+                    continue
+                if approx.total_size() + len(new_keys) > k:
+                    break
+                approx.add_keys(new_keys)
+                slice_used += len(new_keys)
+                if slice_used >= slice_budget:
+                    break
+            if approx.total_size() >= k:
+                break
+
+        return self.finish(
+            self.name, db, approx, started, n_signatures=len(catalog)
+        )

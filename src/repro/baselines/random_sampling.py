@@ -1,0 +1,39 @@
+"""RAN: uniform random tuple sampling (paper §6.1 naive baseline 1)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.approximation import ApproximationSet
+from ..db.database import Database
+from ..datasets.workloads import Workload
+from .base import SelectionResult, SubsetSelector
+
+
+class RandomSampling(SubsetSelector):
+    """Pick ``k`` tuples uniformly at random across all tables.
+
+    The allocation across tables is proportional to table size, which is
+    what sampling from the concatenated tuple stream gives.
+    """
+
+    name = "RAN"
+
+    def select(
+        self,
+        db: Database,
+        workload: Workload,
+        k: int,
+        frame_size: int,
+        rng: np.random.Generator,
+        time_budget: Optional[float] = None,
+    ) -> SelectionResult:
+        started = time.perf_counter()
+        keys = self.all_tuple_keys(db)
+        size = min(k, len(keys))
+        picks = rng.choice(len(keys), size=size, replace=False)
+        approx = ApproximationSet.from_keys(keys[p] for p in picks)
+        return self.finish(self.name, db, approx, started)

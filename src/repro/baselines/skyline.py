@@ -1,0 +1,119 @@
+"""SKY: progressive skyline summarization (paper §6.1 baseline 7).
+
+Based on [Papadias et al., "Progressive Skyline Computation"], extended
+per the paper: "While a skyline is typically used with numerical values,
+we extended it to handle categorical columns by comparing two values based
+on their frequency." Each table contributes its skyline layers (onion
+peeling) until its proportional share of the budget fills: layer 1 is the
+classic maximal set under Pareto dominance, layer 2 the skyline of the
+rest, and so on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.approximation import ApproximationSet
+from ..db.database import Database
+from ..db.statistics import compute_table_stats
+from ..db.table import Table
+from ..datasets.workloads import Workload
+from .base import SelectionResult, SubsetSelector
+
+#: Cap on rows considered per table (skyline is O(n^2) per layer).
+MAX_POOL_PER_TABLE = 1200
+
+
+def _dominance_matrix_features(table: Table, rng: np.random.Generator) -> np.ndarray:
+    """Rows-as-feature-vectors where *larger is better* on every axis.
+
+    Numeric columns are used as-is; categorical columns map each value to
+    its frequency (popular values dominate rare ones), per the paper's
+    extension.
+    """
+    stats = compute_table_stats(table)
+    features: list[np.ndarray] = []
+    for column in table.schema.columns:
+        array = table.column(column.name)
+        if column.ctype.is_numeric:
+            features.append(np.asarray(array, dtype=np.float64))
+        else:
+            cat = stats.categorical[column.name]
+            features.append(
+                np.asarray(
+                    [cat.frequencies.get(str(v), 0) for v in array],
+                    dtype=np.float64,
+                )
+            )
+    return np.column_stack(features)
+
+
+def skyline_layers(features: np.ndarray, max_rows: int) -> list[int]:
+    """Onion-peeling skyline: indices of successive skyline layers.
+
+    Returns at most ``max_rows`` indices, whole layers first.
+    """
+    n = len(features)
+    remaining = list(range(n))
+    selected: list[int] = []
+    while remaining and len(selected) < max_rows:
+        layer: list[int] = []
+        for i in remaining:
+            dominated = False
+            for j in remaining:
+                if i == j:
+                    continue
+                if np.all(features[j] >= features[i]) and np.any(
+                    features[j] > features[i]
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                layer.append(i)
+        if not layer:  # all ties; take what's left
+            layer = list(remaining)
+        selected.extend(layer)
+        remaining = [i for i in remaining if i not in set(layer)]
+    return selected[:max_rows]
+
+
+class SkylineBaseline(SubsetSelector):
+    """Per-table progressive skylines under the frequency extension."""
+
+    name = "SKY"
+
+    def select(
+        self,
+        db: Database,
+        workload: Workload,
+        k: int,
+        frame_size: int,
+        rng: np.random.Generator,
+        time_budget: Optional[float] = None,
+    ) -> SelectionResult:
+        started = time.perf_counter()
+        total_rows = max(1, db.total_rows())
+        approx = ApproximationSet()
+        for table in db:
+            if len(table) == 0:
+                continue
+            share = max(1, int(round(k * len(table) / total_rows)))
+            share = min(share, len(table), k - approx.total_size())
+            if share <= 0:
+                continue
+            if len(table) > MAX_POOL_PER_TABLE:
+                pool = np.sort(
+                    rng.choice(len(table), size=MAX_POOL_PER_TABLE, replace=False)
+                )
+                sub = table.take(pool)
+            else:
+                sub = table
+            features = _dominance_matrix_features(sub, rng)
+            chosen = skyline_layers(features, share)
+            approx.add_keys((table.name, int(sub.row_ids[i])) for i in chosen)
+            if approx.total_size() >= k:
+                break
+        return self.finish(self.name, db, approx, started)

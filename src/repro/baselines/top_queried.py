@@ -1,0 +1,57 @@
+"""TOP: most-queried tuples first (paper §6.1 baseline 4).
+
+"Choose a random subset from each query answer. Choose queries that appear
+in the most queries first, until reaching k tuples."
+
+Tuples are ranked by how many workload queries their provenance
+participates in; ties break by a random per-tuple draw (the "random subset
+from each query answer" part), then tuples are taken in rank order until
+the budget fills.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.approximation import ApproximationSet
+from ..db.database import Database
+from ..datasets.workloads import Workload
+from .base import SelectionResult, SubsetSelector
+
+
+class TopQueriedTuples(SubsetSelector):
+    """Frequency-ranked tuple selection."""
+
+    name = "TOP"
+
+    def select(
+        self,
+        db: Database,
+        workload: Workload,
+        k: int,
+        frame_size: int,
+        rng: np.random.Generator,
+        time_budget: Optional[float] = None,
+    ) -> SelectionResult:
+        started = time.perf_counter()
+        coverages = self.workload_coverages(db, workload, frame_size, rng)
+
+        query_count: dict[tuple[str, int], int] = {}
+        for coverage in coverages:
+            touched: set[tuple[str, int]] = set()
+            for requirement in coverage.requirements:
+                touched.update(requirement)
+            for key in touched:
+                query_count[key] = query_count.get(key, 0) + 1
+
+        keys = list(query_count)
+        tie_break = rng.random(len(keys))
+        ranked = sorted(
+            range(len(keys)),
+            key=lambda i: (-query_count[keys[i]], tie_break[i]),
+        )
+        approx = ApproximationSet.from_keys(keys[i] for i in ranked[:k])
+        return self.finish(self.name, db, approx, started)

@@ -1,0 +1,135 @@
+"""The RL action space: groups of joinable tuples.
+
+Paper §4.2/§4.3: an action "encompasses multiple tuples sourced from
+different tables". Selecting tuples independently per table risks
+unjoinable picks, so actions are built from *result rows* of the executed
+(relaxed) query representatives — each action bundles the provenance
+tuples of a few result rows of one query, which are joinable by
+construction. The action space also stores a vector representation per
+action (the ``Emb_tab`` output), feeding the RL state/featurization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .approximation import TupleKey
+
+
+@dataclass(frozen=True)
+class Action:
+    """One selectable action: a set of base tuples plus its origin query."""
+
+    keys: tuple[TupleKey, ...]
+    source_query: int = -1
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class ActionSpace:
+    """An indexed list of actions with embeddings.
+
+    Supports extension at fine-tuning time (paper §4.4: drift fine-tuning
+    introduces tuples relevant to the new queries).
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[Action],
+        embeddings: Optional[np.ndarray] = None,
+        embedding_dim: int = 64,
+    ) -> None:
+        if not actions:
+            raise ValueError("action space must contain at least one action")
+        self._actions = list(actions)
+        if embeddings is None:
+            embeddings = np.zeros((len(self._actions), embedding_dim))
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if len(embeddings) != len(self._actions):
+            raise ValueError(
+                f"{len(embeddings)} embeddings for {len(self._actions)} actions"
+            )
+        self._embeddings = embeddings
+
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __getitem__(self, index: int) -> Action:
+        return self._actions[index]
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        return self._embeddings
+
+    def keys_of(self, index: int) -> tuple[TupleKey, ...]:
+        return self._actions[index].keys
+
+    def mean_action_size(self) -> float:
+        return float(np.mean([len(a) for a in self._actions]))
+
+    def total_distinct_tuples(self) -> int:
+        keys: set[TupleKey] = set()
+        for action in self._actions:
+            keys.update(action.keys)
+        return len(keys)
+
+    # -------------------------------------------------------------- #
+    def extend(self, actions: Sequence[Action], embeddings: np.ndarray) -> "ActionSpace":
+        """A new, larger action space (used by drift fine-tuning)."""
+        if len(actions) != len(embeddings):
+            raise ValueError(
+                f"{len(embeddings)} embeddings for {len(actions)} new actions"
+            )
+        merged = list(self._actions) + list(actions)
+        stacked = np.vstack([self._embeddings, np.asarray(embeddings)])
+        return ActionSpace(merged, stacked)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ActionSpace(n={len(self)}, mean_size={self.mean_action_size():.1f}, "
+            f"distinct_tuples={self.total_distinct_tuples()})"
+        )
+
+
+def group_rows_into_actions(
+    row_requirements: Sequence[tuple[TupleKey, ...]],
+    source_queries: Sequence[int],
+    group_size: int,
+    rng: np.random.Generator,
+) -> list[Action]:
+    """Bundle result rows into actions of ~``group_size`` rows each.
+
+    Rows are grouped within their source query (keeping each action
+    joinable/coherent) after a shuffle, so groups are not biased by result
+    order. Duplicate tuple keys within a group collapse.
+    """
+    if group_size < 1:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    by_query: dict[int, list[int]] = {}
+    for i, q in enumerate(source_queries):
+        by_query.setdefault(q, []).append(i)
+
+    actions: list[Action] = []
+    for q in sorted(by_query):
+        indices = by_query[q]
+        order = rng.permutation(len(indices))
+        for start in range(0, len(indices), group_size):
+            chunk = [indices[j] for j in order[start : start + group_size]]
+            keys: list[TupleKey] = []
+            seen: set[TupleKey] = set()
+            for row_index in chunk:
+                for key in row_requirements[row_index]:
+                    if key not in seen:
+                        seen.add(key)
+                        keys.append(key)
+            if keys:
+                actions.append(Action(keys=tuple(keys), source_query=q))
+    return actions

@@ -1,0 +1,145 @@
+"""Answerability estimation (paper §4.4, evaluated in Fig. 5).
+
+Given a user query, estimate whether the approximation set is likely to
+contain relevant tuples. The estimate combines:
+
+* **familiarity** — the maximum cosine similarity between the query's
+  embedding and the training-representative embeddings ("the query's
+  closeness to the training workload"), and
+* **competence** — the model's observed Eq. 1 scores on the nearest
+  representatives ("the existing model's performance on the training
+  workload"), similarity-weighted.
+
+The product, squashed to [0, 1], is the confidence that the query is
+answerable from the approximation set; ≥ threshold (default 0.5) predicts
+"answerable". ``deviation_confidence`` (1 − familiarity) drives interest-
+drift detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..db.query import AggregateQuery, SPJQuery
+from ..embedding.query_embed import QueryEmbedder
+
+#: Softmax sharpness when weighting nearby representatives.
+_SIMILARITY_TEMPERATURE = 0.1
+
+
+@dataclass
+class AnswerabilityEstimate:
+    """Outcome of one estimation."""
+
+    confidence: float       # in [0, 1]
+    familiarity: float      # normalized closeness to the training workload
+    competence: float       # similarity-weighted training score
+    answerable: bool
+
+
+class AnswerabilityEstimator:
+    """Predicts per-query answerability from the approximation set."""
+
+    def __init__(
+        self,
+        embedder: QueryEmbedder,
+        representative_embeddings: np.ndarray,
+        training_scores: Sequence[float],
+        threshold: float = 0.5,
+        calibration_embeddings: Optional[np.ndarray] = None,
+    ) -> None:
+        embeddings = np.atleast_2d(np.asarray(representative_embeddings))
+        scores = np.asarray(training_scores, dtype=np.float64)
+        if len(embeddings) != len(scores):
+            raise ValueError(
+                f"{len(embeddings)} representative embeddings for "
+                f"{len(scores)} training scores"
+            )
+        if len(scores) == 0:
+            raise ValueError("estimator needs at least one training representative")
+        self.embedder = embedder
+        self.embeddings = embeddings
+        self.scores = scores
+        self.threshold = threshold
+        self.calibration_embeddings = (
+            np.atleast_2d(np.asarray(calibration_embeddings))
+            if calibration_embeddings is not None and len(calibration_embeddings)
+            else None
+        )
+        self._calibrate()
+
+    def _calibrate(self) -> None:
+        """Fit the familiarity normalization to the training workload.
+
+        Raw cosine similarities between hashed query embeddings live well
+        inside (0, 1); we map them to a [0, 1] familiarity scale using how
+        close the *training queries* sit to the representatives: a query as
+        close to the representatives as a typical training query is fully
+        familiar. Without calibration queries we fall back to the
+        representatives' own leave-one-out similarities.
+        """
+        if self.calibration_embeddings is not None and len(self.calibration_embeddings) >= 2:
+            sims = self.calibration_embeddings @ self.embeddings.T
+            nearest = np.max(sims, axis=1)
+            # Training queries that *are* representatives score 1.0; drop
+            # them from the reference so the scale reflects typical queries.
+            informative = nearest[nearest < 0.999]
+            if len(informative) >= 2:
+                nearest = informative
+        elif len(self.embeddings) >= 2:
+            sims = self.embeddings @ self.embeddings.T
+            np.fill_diagonal(sims, -np.inf)
+            nearest = np.max(sims, axis=1)
+        else:
+            self._sim_low, self._sim_high = 0.25, 0.75
+            return
+        low = max(0.0, float(np.percentile(nearest, 10)) * 0.5)
+        high = float(np.percentile(nearest, 50))
+        if high - low < 0.05:
+            low = max(0.0, high - 0.3)
+        self._sim_low, self._sim_high = low, max(high, low + 0.05)
+
+    def _normalized_familiarity(self, max_similarity: float) -> float:
+        span = self._sim_high - self._sim_low
+        return float(np.clip((max_similarity - self._sim_low) / span, 0.0, 1.0))
+
+    # -------------------------------------------------------------- #
+    def update(self, new_embeddings: np.ndarray, new_scores: Sequence[float]) -> None:
+        """Extend with fine-tuned representatives (after drift)."""
+        new_embeddings = np.atleast_2d(np.asarray(new_embeddings))
+        new_scores = np.asarray(new_scores, dtype=np.float64)
+        if len(new_embeddings) != len(new_scores):
+            raise ValueError("embeddings/scores length mismatch")
+        self.embeddings = np.vstack([self.embeddings, new_embeddings])
+        self.scores = np.concatenate([self.scores, new_scores])
+        self._calibrate()
+
+    # -------------------------------------------------------------- #
+    def estimate(self, query: Union[SPJQuery, AggregateQuery]) -> AnswerabilityEstimate:
+        vector = self.embedder.embed(query)
+        similarities = self.embeddings @ vector  # embeddings are unit norm
+        similarities = np.clip(similarities, -1.0, 1.0)
+        familiarity = self._normalized_familiarity(float(np.max(similarities)))
+
+        # Similarity-weighted training score (softmax over similarities).
+        logits = similarities / _SIMILARITY_TEMPERATURE
+        logits -= logits.max()
+        weights = np.exp(logits)
+        weights /= weights.sum()
+        competence = float(np.dot(weights, self.scores))
+
+        confidence = float(np.clip(familiarity * competence, 0.0, 1.0))
+        return AnswerabilityEstimate(
+            confidence=confidence,
+            familiarity=familiarity,
+            competence=competence,
+            answerable=confidence >= self.threshold,
+        )
+
+    def deviation_confidence(self, query: Union[SPJQuery, AggregateQuery]) -> float:
+        """How confidently the query deviates from the training workload."""
+        estimate = self.estimate(query)
+        return float(np.clip(1.0 - estimate.familiarity, 0.0, 1.0))

@@ -1,0 +1,174 @@
+"""Save / load trained ASQP-RL models.
+
+The offline training phase is the expensive part of the system (the paper
+budgets an hour for it), so a trained model must outlive the process. A
+model directory contains:
+
+* ``config.json`` — the :class:`~repro.core.config.ASQPConfig` fields;
+* ``queries.json`` — representatives and training queries as SQL text
+  (round-tripped through :func:`repro.db.sql.sql`) plus weights;
+* ``actions.json`` — the action space's tuple keys and source codes;
+* ``arrays.npz`` — network weights, action/representative/training
+  embeddings;
+* ``history.json`` — training diagnostics and metadata.
+
+Coverage structures are *rebuilt* on load by re-executing the
+representatives against the database (exactly what preprocessing did), so
+the on-disk format stays small and the loaded model is guaranteed
+consistent with the database it is attached to. No pickle anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import numpy as np
+
+from ..db.database import Database
+from ..db.sql import sql
+from ..db.statistics import compute_database_stats
+from ..embedding.query_embed import QueryEmbedder
+from ..embedding.tuple_embed import TupleEmbedder
+from .action_space import Action, ActionSpace
+from .agent import ASQPAgent
+from .config import ASQPConfig
+from .preprocess import PreprocessResult, build_coverage
+from .trainer import IterationRecord, TrainedModel
+
+FORMAT_VERSION = 1
+
+
+def save_model(model: TrainedModel, directory: str) -> None:
+    """Persist a trained model to ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    config_dict = dataclasses.asdict(model.config)
+    config_dict["hidden_sizes"] = list(config_dict["hidden_sizes"])
+    with open(os.path.join(directory, "config.json"), "w") as handle:
+        json.dump({"version": FORMAT_VERSION, "config": config_dict}, handle, indent=2)
+
+    prep = model.preprocessed
+    queries = {
+        "representatives": [q.to_sql() for q in prep.representatives],
+        "representative_weights": [
+            float(c.weight) for c in model.coverages
+        ],
+        "training_queries": [q.to_sql() for q in prep.training_queries],
+    }
+    with open(os.path.join(directory, "queries.json"), "w") as handle:
+        json.dump(queries, handle, indent=2)
+
+    actions = [
+        {"keys": [[t, int(r)] for t, r in action.keys], "source": action.source_query}
+        for action in model.action_space
+    ]
+    with open(os.path.join(directory, "actions.json"), "w") as handle:
+        json.dump(actions, handle)
+
+    arrays: dict[str, np.ndarray] = {
+        "action_embeddings": model.action_space.embeddings,
+        "representative_embeddings": prep.representative_embeddings,
+        "training_embeddings": prep.training_embeddings,
+    }
+    for i, weight in enumerate(model.agent.actor.net.weights):
+        arrays[f"actor_w{i}"] = weight
+    for i, bias in enumerate(model.agent.actor.net.biases):
+        arrays[f"actor_b{i}"] = bias
+    if model.agent.critic is not None:
+        for i, weight in enumerate(model.agent.critic.net.weights):
+            arrays[f"critic_w{i}"] = weight
+        for i, bias in enumerate(model.agent.critic.net.biases):
+            arrays[f"critic_b{i}"] = bias
+    np.savez_compressed(os.path.join(directory, "arrays.npz"), **arrays)
+
+    history = {
+        "records": [dataclasses.asdict(record) for record in model.history],
+        "setup_seconds": model.setup_seconds,
+        "fine_tune_count": model.fine_tune_count,
+    }
+    with open(os.path.join(directory, "history.json"), "w") as handle:
+        json.dump(history, handle, indent=2)
+
+
+def load_model(directory: str, db: Database) -> TrainedModel:
+    """Load a model saved by :func:`save_model`, attached to ``db``.
+
+    ``db`` must be the database the model was trained on (same content);
+    coverage structures are rebuilt by executing the stored representative
+    queries against it.
+    """
+    with open(os.path.join(directory, "config.json")) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {payload.get('version')!r}"
+        )
+    config_dict = payload["config"]
+    config_dict["hidden_sizes"] = tuple(config_dict["hidden_sizes"])
+    config = ASQPConfig(**config_dict)
+
+    with open(os.path.join(directory, "queries.json")) as handle:
+        queries = json.load(handle)
+    representatives = [sql(text) for text in queries["representatives"]]
+    training_queries = [sql(text) for text in queries["training_queries"]]
+    weights = np.asarray(queries["representative_weights"], dtype=np.float64)
+
+    with open(os.path.join(directory, "actions.json")) as handle:
+        raw_actions = json.load(handle)
+    actions = [
+        Action(
+            keys=tuple((t, int(r)) for t, r in entry["keys"]),
+            source_query=int(entry["source"]),
+        )
+        for entry in raw_actions
+    ]
+
+    arrays = np.load(os.path.join(directory, "arrays.npz"))
+    action_space = ActionSpace(actions, arrays["action_embeddings"])
+
+    agent = ASQPAgent(len(action_space), config)
+    for i in range(len(agent.actor.net.weights)):
+        agent.actor.net.weights[i][...] = arrays[f"actor_w{i}"]
+        agent.actor.net.biases[i][...] = arrays[f"actor_b{i}"]
+    if agent.critic is not None and "critic_w0" in arrays:
+        for i in range(len(agent.critic.net.weights)):
+            agent.critic.net.weights[i][...] = arrays[f"critic_w{i}"]
+            agent.critic.net.biases[i][...] = arrays[f"critic_b{i}"]
+
+    # Rebuild the reward structures against the attached database.
+    rng = np.random.default_rng(config.seed)
+    coverages = [
+        build_coverage(db, query, float(weights[i]), config.frame_size, rng)
+        for i, query in enumerate(representatives)
+    ]
+
+    stats = compute_database_stats(db)
+    prep = PreprocessResult(
+        representatives=representatives,
+        relaxed_representatives=[],
+        representative_weights=weights,
+        representative_embeddings=arrays["representative_embeddings"],
+        training_embeddings=arrays["training_embeddings"],
+        coverages=list(coverages),
+        action_space=action_space,
+        training_queries=training_queries,
+        query_embedder=QueryEmbedder(dim=config.embedding_dim, stats=stats),
+        tuple_embedder=TupleEmbedder(dim=config.embedding_dim, stats=stats),
+        stats=stats,
+    )
+
+    with open(os.path.join(directory, "history.json")) as handle:
+        history = json.load(handle)
+
+    model = TrainedModel(
+        db=db,
+        config=config,
+        agent=agent,
+        preprocessed=prep,
+        coverages=list(coverages),
+        action_space=action_space,
+        history=[IterationRecord(**record) for record in history["records"]],
+        setup_seconds=history["setup_seconds"],
+        fine_tune_count=history["fine_tune_count"],
+    )
+    return model

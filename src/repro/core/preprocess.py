@@ -1,0 +1,268 @@
+"""Data and query pre-processing (paper §4.2, Alg. 1 lines 1-4).
+
+Pipeline::
+
+    workload --(training fraction)--> Q_train
+    Q_train --relaxation--> generalized queries --Emb_sql--> vectors
+    vectors --clustering--> query representatives Q̂
+    Q̂ (relaxed) --execute on D--> D̂ (provenance rows)
+    D̂ --variational subsampling--> action-space rows
+    rows --grouping + Emb_tab--> ActionSpace
+    Q̂ (original) --execute on D--> CoverageTracker inputs (reward)
+
+Challenges addressed: C1 (action space is a reduced set of joinable tuple
+groups), C2 (only |Q̂| queries execute, once), C4 (relaxation pulls in
+near-miss tuples beyond the known workload).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.executor import execute
+from ..db.query import SPJQuery
+from ..db.sampling import variational_subsample
+from ..db.statistics import TableStats, compute_database_stats
+from ..db.table import Table
+from ..datasets.workloads import Workload
+from ..embedding.cluster import select_representatives
+from ..embedding.query_embed import QueryEmbedder
+from ..embedding.relaxation import QueryRelaxer, RelaxationConfig
+from ..embedding.tuple_embed import TupleEmbedder
+from .action_space import Action, ActionSpace, group_rows_into_actions
+from .approximation import TupleKey
+from .config import ASQPConfig
+from .reward import QueryCoverage
+
+#: Safety cap on provenance rows kept per query for reward tracking.
+MAX_REQUIREMENT_ROWS = 5000
+
+
+@dataclass
+class PreprocessResult:
+    """Everything the training phase consumes."""
+
+    representatives: list[SPJQuery]
+    relaxed_representatives: list[SPJQuery]
+    representative_weights: np.ndarray
+    representative_embeddings: np.ndarray
+    training_embeddings: np.ndarray
+    coverages: list[QueryCoverage]
+    action_space: ActionSpace
+    training_queries: list[SPJQuery]
+    query_embedder: QueryEmbedder
+    tuple_embedder: TupleEmbedder
+    stats: dict[str, TableStats]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_representatives(self) -> int:
+        return len(self.representatives)
+
+
+def provenance_rows(db: Database, query: SPJQuery) -> list[tuple[TupleKey, ...]]:
+    """Distinct provenance requirements of a query's result on ``db``."""
+    result = execute(db, query)
+    tables = sorted(result.row_ids)
+    seen: set[tuple[TupleKey, ...]] = set()
+    rows: list[tuple[TupleKey, ...]] = []
+    arrays = [result.row_ids[t] for t in tables]
+    for i in range(len(result)):
+        requirement = tuple(
+            (tables[j], int(arrays[j][i])) for j in range(len(tables))
+        )
+        if requirement not in seen:
+            seen.add(requirement)
+            rows.append(requirement)
+    return rows
+
+
+def build_coverage(
+    db: Database,
+    query: SPJQuery,
+    weight: float,
+    frame_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> QueryCoverage:
+    """Execute ``query`` on the full data and record its Eq. 1 inputs."""
+    rows = provenance_rows(db, query)
+    denominator = min(frame_size, len(rows))
+    if len(rows) > MAX_REQUIREMENT_ROWS:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        picks = rng.choice(len(rows), size=MAX_REQUIREMENT_ROWS, replace=False)
+        rows = [rows[p] for p in sorted(picks)]
+    return QueryCoverage(
+        name=query.name or query.to_sql()[:60],
+        weight=weight,
+        denominator=denominator,
+        requirements=rows,
+    )
+
+
+class _RowPositionIndex:
+    """Lazy per-table map from base row id to row position."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._maps: dict[str, dict[int, int]] = {}
+
+    def position(self, table_name: str, row_id: int) -> int:
+        mapping = self._maps.get(table_name)
+        if mapping is None:
+            table = self.db.table(table_name)
+            mapping = {int(rid): pos for pos, rid in enumerate(table.row_ids)}
+            self._maps[table_name] = mapping
+        return mapping[row_id]
+
+    def table(self, table_name: str) -> Table:
+        return self.db.table(table_name)
+
+
+def embed_actions(
+    db: Database,
+    actions: Sequence[Action],
+    embedder: TupleEmbedder,
+) -> np.ndarray:
+    """``Emb_tab`` over the tuples of each action (normalized group mean)."""
+    index = _RowPositionIndex(db)
+    vectors = np.zeros((len(actions), embedder.dim))
+    for i, action in enumerate(actions):
+        rows = [
+            (index.table(table), index.position(table, row_id))
+            for table, row_id in action.keys
+        ]
+        vectors[i] = embedder.embed_group(rows)
+    return vectors
+
+
+def preprocess(
+    db: Database,
+    workload: Workload,
+    config: ASQPConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> PreprocessResult:
+    """Run the full pre-processing pipeline (Alg. 1 lines 1-4)."""
+    rng = rng or np.random.default_rng(config.seed)
+    timings: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    stats = compute_database_stats(db)
+    timings["stats"] = time.perf_counter() - t0
+
+    # --- query pre-processing ------------------------------------- #
+    t0 = time.perf_counter()
+    spj = workload.spj_only()
+    n_train = max(2, int(round(len(spj.queries) * config.training_fraction)))
+    order = rng.permutation(len(spj.queries))
+    train_indices = sorted(order[:n_train].tolist())
+    training_queries = [spj.queries[i] for i in train_indices]
+    training_weights = spj.weights[train_indices]
+
+    relaxer = QueryRelaxer(
+        stats,
+        RelaxationConfig(
+            range_widen_fraction=config.relax_range_fraction,
+            equality_siblings=config.relax_equality_siblings,
+        ),
+    )
+    relaxed_all = [relaxer.relax(q) for q in training_queries]
+    embedder = QueryEmbedder(dim=config.embedding_dim, stats=stats)
+    vectors = embedder.embed_workload(relaxed_all)
+
+    n_representatives = (
+        config.n_query_representatives
+        if config.n_query_representatives is not None
+        else len(training_queries)
+    )
+    rep_positions = select_representatives(vectors, n_representatives, rng)
+    representatives = [training_queries[p] for p in rep_positions]
+    relaxed_reps = [relaxed_all[p] for p in rep_positions]
+    rep_weights = training_weights[rep_positions]
+    total = rep_weights.sum()
+    rep_weights = rep_weights / total if total > 0 else rep_weights
+    # The estimator compares *incoming* (unrelaxed) queries to the
+    # representatives, so its reference embeddings use original semantics;
+    # the relaxed embeddings above are only for clustering.
+    rep_embeddings = embedder.embed_workload(representatives)
+    training_embeddings = embedder.embed_workload(training_queries)
+    timings["query_preprocessing"] = time.perf_counter() - t0
+
+    # --- reward structures (original-semantics representatives) ---- #
+    t0 = time.perf_counter()
+    coverages = [
+        build_coverage(db, query, float(rep_weights[q]), config.frame_size, rng)
+        for q, query in enumerate(representatives)
+    ]
+    timings["coverage"] = time.perf_counter() - t0
+
+    # --- data pre-processing --------------------------------------- #
+    # The candidate pool splits into *exact* rows (the representatives'
+    # own result rows — these are what the reward rewards directly) and
+    # *extension* rows that only the relaxed queries return (the
+    # generalization reserve for future, unseen queries — challenge C4).
+    # Exact rows get the larger share of the subsample budget.
+    t0 = time.perf_counter()
+    exact_rows: list[tuple[TupleKey, ...]] = []
+    exact_sources: list[int] = []
+    extension_rows: list[tuple[TupleKey, ...]] = []
+    extension_sources: list[int] = []
+    for q, relaxed in enumerate(relaxed_reps):
+        exact_set = set(coverages[q].requirements)
+        for row in exact_set:
+            exact_rows.append(row)
+            exact_sources.append(q)
+        for row in provenance_rows(db, relaxed):
+            if row not in exact_set:
+                extension_rows.append(row)
+                extension_sources.append(q)
+    timings["execute_relaxed"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    target_rows = config.action_space_target * config.group_size
+    exact_target = int(round(target_rows * config.exact_row_share))
+    exact_sample = variational_subsample(exact_sources, exact_target, rng)
+    extension_sample = variational_subsample(
+        extension_sources, max(0, target_rows - len(exact_sample)), rng
+    )
+    kept_rows = [exact_rows[p] for p in exact_sample.positions]
+    kept_sources = [2 * exact_sources[p] for p in exact_sample.positions]
+    kept_rows += [extension_rows[p] for p in extension_sample.positions]
+    # Odd source codes keep extension rows grouped separately from exact
+    # rows of the same query, so one action is either "known result rows"
+    # or "generalization rows", never a dilution of both.
+    kept_sources += [
+        2 * extension_sources[p] + 1 for p in extension_sample.positions
+    ]
+    actions = group_rows_into_actions(
+        kept_rows, kept_sources, config.group_size, rng
+    )
+    if not actions:
+        raise ValueError(
+            "pre-processing produced no actions: the relaxed representatives "
+            "returned no rows — check the workload against the database"
+        )
+    tuple_embedder = TupleEmbedder(dim=config.embedding_dim, stats=stats)
+    action_vectors = embed_actions(db, actions, tuple_embedder)
+    action_space = ActionSpace(actions, action_vectors)
+    timings["build_action_space"] = time.perf_counter() - t0
+
+    return PreprocessResult(
+        representatives=representatives,
+        relaxed_representatives=relaxed_reps,
+        representative_weights=rep_weights,
+        representative_embeddings=rep_embeddings,
+        training_embeddings=training_embeddings,
+        coverages=coverages,
+        action_space=action_space,
+        training_queries=training_queries,
+        query_embedder=embedder,
+        tuple_embedder=tuple_embedder,
+        stats=stats,
+        timings=timings,
+    )

@@ -1,0 +1,175 @@
+"""Reward computation: incremental Eq. 1 coverage tracking.
+
+Executing the workload on the candidate subset at every RL step would be
+ruinously slow (the paper calls this out as challenge C2). Instead, the
+pre-processing phase executes each query representative once on the full
+database and records, for every result row, the *provenance requirement* —
+the set of ``(table, base row id)`` tuples that must all be present in the
+approximation set for that row to appear in ``q(S)``.
+
+:class:`CoverageTracker` then maintains, incrementally as tuples enter and
+leave the candidate set, how many result rows of each query are covered,
+and evaluates the Eq. 1 score over any batch of queries in O(1) per query.
+
+Granularity note: the tracker counts *distinct provenance rows* (one per
+combination of contributing base tuples). Executed scoring
+(:func:`repro.core.metric.score`) counts distinct *projected* result
+tuples; projections can collapse several provenance rows into one
+projected tuple, shrinking both the numerator and the ``min(F, |q(T)|)``
+denominator. The two therefore coincide exactly for SELECT-* queries and
+remain a close, monotone training proxy otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .approximation import TupleKey
+
+
+@dataclass
+class QueryCoverage:
+    """Provenance requirements of one query representative.
+
+    Parameters
+    ----------
+    name:
+        Query label (for diagnostics).
+    weight:
+        The workload weight ``w(q)``.
+    denominator:
+        ``min(F, |q(T)|)`` from Eq. 1 (``|q(T)|`` on the *full* database).
+    requirements:
+        One entry per distinct result row: the tuple keys that must all be
+        in the approximation set for the row to survive.
+    """
+
+    name: str
+    weight: float
+    denominator: int
+    requirements: list[tuple[TupleKey, ...]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.denominator <= 0
+
+
+class CoverageTracker:
+    """Incremental covered-row counts for a set of query representatives."""
+
+    def __init__(self, coverages: Sequence[QueryCoverage]) -> None:
+        self.coverages = list(coverages)
+        # missing[q][r]: how many distinct required keys of row r are absent.
+        self._missing: list[np.ndarray] = []
+        self._covered = np.zeros(len(coverages), dtype=np.int64)
+        # key -> list of (query index, row index) it participates in.
+        self._incidence: dict[TupleKey, list[tuple[int, int]]] = {}
+        # Multiset of present keys (DRP removes tuples, so we refcount).
+        self._present: dict[TupleKey, int] = {}
+
+        for q, coverage in enumerate(self.coverages):
+            missing = np.zeros(len(coverage.requirements), dtype=np.int64)
+            for r, requirement in enumerate(coverage.requirements):
+                distinct = set(requirement)
+                missing[r] = len(distinct)
+                for key in distinct:
+                    self._incidence.setdefault(key, []).append((q, r))
+            self._missing.append(missing)
+            # Rows with no requirements (shouldn't happen) start covered.
+            self._covered[q] = int(np.sum(missing == 0))
+
+    # -------------------------------------------------------------- #
+    @property
+    def n_queries(self) -> int:
+        return len(self.coverages)
+
+    def covered_counts(self) -> np.ndarray:
+        return self._covered.copy()
+
+    def reset(self) -> None:
+        """Remove all present tuples (start of an episode)."""
+        for key in list(self._present):
+            count = self._present.pop(key)
+            del count
+        for q, coverage in enumerate(self.coverages):
+            missing = self._missing[q]
+            for r, requirement in enumerate(coverage.requirements):
+                missing[r] = len(set(requirement))
+            self._covered[q] = int(np.sum(missing == 0))
+
+    # -------------------------------------------------------------- #
+    def add_key(self, key: TupleKey) -> None:
+        count = self._present.get(key, 0)
+        self._present[key] = count + 1
+        if count > 0:
+            return  # already present; no coverage change
+        for q, r in self._incidence.get(key, ()):
+            missing = self._missing[q]
+            missing[r] -= 1
+            if missing[r] == 0:
+                self._covered[q] += 1
+
+    def remove_key(self, key: TupleKey) -> None:
+        count = self._present.get(key, 0)
+        if count == 0:
+            return
+        if count > 1:
+            self._present[key] = count - 1
+            return
+        del self._present[key]
+        for q, r in self._incidence.get(key, ()):
+            missing = self._missing[q]
+            if missing[r] == 0:
+                self._covered[q] -= 1
+            missing[r] += 1
+
+    def add_keys(self, keys: Iterable[TupleKey]) -> None:
+        for key in keys:
+            self.add_key(key)
+
+    def remove_keys(self, keys: Iterable[TupleKey]) -> None:
+        for key in keys:
+            self.remove_key(key)
+
+    # -------------------------------------------------------------- #
+    def query_score(self, q: int) -> float:
+        """Eq. 1 term of one query under the current set."""
+        coverage = self.coverages[q]
+        if coverage.is_empty:
+            return 1.0
+        return min(1.0, float(self._covered[q]) / coverage.denominator)
+
+    def batch_score(self, query_indices: Optional[Sequence[int]] = None) -> float:
+        """Weighted Eq. 1 score over a batch (default: all queries).
+
+        Weights are renormalized within the batch so a batch reward is on
+        the same [0, 1] scale as the full score.
+        """
+        if query_indices is None:
+            query_indices = range(self.n_queries)
+        total = 0.0
+        weight_sum = 0.0
+        for q in query_indices:
+            weight = self.coverages[q].weight
+            total += weight * self.query_score(q)
+            weight_sum += weight
+        return total / weight_sum if weight_sum > 0 else 0.0
+
+    def score_with_keys(self, keys: Iterable[TupleKey]) -> float:
+        """Score of an arbitrary key set without disturbing current state.
+
+        Used by the greedy / brute-force baselines, which probe many
+        candidate sets.
+        """
+        snapshot_present = dict(self._present)
+        self.reset()
+        self.add_keys(keys)
+        value = self.batch_score()
+        self.reset()
+        for key, count in snapshot_present.items():
+            for _ in range(count):
+                self.add_key(key)
+        return value

@@ -1,0 +1,258 @@
+"""The user-facing mediator: train once, then query interactively.
+
+:class:`ASQPSystem` is the facade of the whole paper system (Fig. 1):
+``fit`` runs pre-processing + RL training (generating a workload first if
+none is given, §4.5) and returns an :class:`ASQPSession`. The session
+routes each user query through the answerability estimator — answering
+from the approximation set when confident, falling back to the full
+database otherwise — and watches for interest drift, fine-tuning the model
+when the drift trigger fires (§4.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
+from ..db.query import AggregateQuery, SPJQuery
+from ..datasets.workloads import Workload
+from .approximation import ApproximationSet
+from .config import ASQPConfig
+from .drift import DriftDetector, DriftEvent
+from .estimator import AnswerabilityEstimate, AnswerabilityEstimator
+from .trainer import ASQPTrainer, TrainedModel
+from .workload_gen import WorkloadGenerator
+
+QueryLike = Union[SPJQuery, AggregateQuery]
+
+
+@dataclass
+class QueryOutcome:
+    """What the session returns for one user query."""
+
+    result: Union[ResultSet, AggregateResult]
+    used_approximation: bool
+    estimate: AnswerabilityEstimate
+    elapsed_seconds: float
+    drift_event: Optional[DriftEvent] = None
+    fine_tuned: bool = False
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+
+class ASQPSession:
+    """An interactive session over a trained model."""
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        auto_fine_tune: bool = True,
+        workload_generator: Optional[WorkloadGenerator] = None,
+        result_cache_size: int = 0,
+    ) -> None:
+        self.model = model
+        self.config = model.config
+        self.auto_fine_tune = auto_fine_tune
+        self.workload_generator = workload_generator
+        self.approximation_set: ApproximationSet = model.approximation_set()
+        self.approx_db: Database = self.approximation_set.to_database(model.db)
+        self.estimator = self._build_estimator()
+        self.drift_detector = DriftDetector(
+            confidence_threshold=self.config.drift_confidence,
+            trigger_count=self.config.drift_trigger_count,
+        )
+        self.query_log: list[QueryLike] = []
+        # Optional session-level result cache: exploratory sessions repeat
+        # queries verbatim, so cache (sql text, source) -> result. Entries
+        # are invalidated wholesale on refresh()/fine_tune().
+        self._result_cache_size = max(0, result_cache_size)
+        self._result_cache: dict[tuple[str, bool], object] = {}
+        self.cache_hits = 0
+
+    # -------------------------------------------------------------- #
+    def _build_estimator(self) -> AnswerabilityEstimator:
+        prep = self.model.preprocessed
+        return AnswerabilityEstimator(
+            embedder=prep.query_embedder,
+            representative_embeddings=prep.representative_embeddings,
+            training_scores=self.model.training_scores(),
+            threshold=self.config.answerable_threshold,
+            calibration_embeddings=prep.training_embeddings,
+        )
+
+    def refresh(self) -> None:
+        """Regenerate the approximation set and estimator from the model."""
+        self.approximation_set = self.model.approximation_set()
+        self.approx_db = self.approximation_set.to_database(self.model.db)
+        self.estimator = self._build_estimator()
+        self._result_cache.clear()
+
+    # -------------------------------------------------------------- #
+    def query(
+        self,
+        query: QueryLike,
+        allow_full_database: bool = True,
+        confidence_threshold: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Answer a query, deciding between the approximation set and D.
+
+        Parameters
+        ----------
+        allow_full_database:
+            When False, always answer from the approximation set (the user
+            declined the slow path).
+        confidence_threshold:
+            Override the session threshold — e.g. the paper's full-system
+            variants query the database below predicted score 0.6 / 0.8.
+        """
+        self.query_log.append(query)
+        estimate = self.estimator.estimate(query)
+        threshold = (
+            confidence_threshold
+            if confidence_threshold is not None
+            else self.config.answerable_threshold
+        )
+        use_approx = (not allow_full_database) or estimate.confidence >= threshold
+
+        start = time.perf_counter()
+        target = self.approx_db if use_approx else self.model.db
+        cache_key = (query.to_sql(), use_approx)
+        cached = self._result_cache.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            result: Union[ResultSet, AggregateResult] = cached  # type: ignore[assignment]
+        elif query.is_aggregate:
+            result = execute_aggregate(target, query)
+        else:
+            result = execute(target, query)
+        if (
+            cached is None
+            and self._result_cache_size
+            and len(self._result_cache) < self._result_cache_size
+        ):
+            self._result_cache[cache_key] = result
+        elapsed = time.perf_counter() - start
+
+        drift_event = self.drift_detector.observe(
+            query, self.estimator.deviation_confidence(query)
+        )
+        fine_tuned = False
+        if drift_event is not None and self.auto_fine_tune:
+            self.fine_tune(drift_event.queries)
+            fine_tuned = True
+
+        return QueryOutcome(
+            result=result,
+            used_approximation=use_approx,
+            estimate=estimate,
+            elapsed_seconds=elapsed,
+            drift_event=drift_event,
+            fine_tuned=fine_tuned,
+        )
+
+    # -------------------------------------------------------------- #
+    def fine_tune(self, queries: list[QueryLike]) -> None:
+        """Fine-tune the model on drifted queries and refresh the session.
+
+        When a workload generator is attached (no-workload mode), it is
+        first refined with the user's queries and contributes additional
+        generated queries aligned with the new interest (§4.5).
+        """
+        training_queries = list(queries)
+        if self.workload_generator is not None:
+            self.workload_generator.refine_with_user_queries(queries)
+            generated = self.workload_generator.generate(
+                max(2, len(queries)), name_prefix="drift_gen"
+            )
+            training_queries.extend(generated.queries)
+        self.model.fine_tune(training_queries)
+        self.refresh()
+
+
+class ASQPSystem:
+    """Facade: configure once, ``fit`` per database/workload."""
+
+    def __init__(self, config: Optional[ASQPConfig] = None) -> None:
+        self.config = config or ASQPConfig()
+
+    def fit(
+        self,
+        db: Database,
+        workload: Optional[Workload] = None,
+        n_generated_queries: int = 40,
+        auto_fine_tune: bool = True,
+    ) -> ASQPSession:
+        """Train on the workload (generating one if absent) and open a session."""
+        generator: Optional[WorkloadGenerator] = None
+        if workload is None or len(workload) == 0:
+            generator = WorkloadGenerator(
+                db, np.random.default_rng(self.config.seed + 17)
+            )
+            workload = generator.generate(n_generated_queries)
+        trainer = ASQPTrainer(db, workload, self.config)
+        model = trainer.train()
+        return ASQPSession(
+            model,
+            auto_fine_tune=auto_fine_tune,
+            workload_generator=generator,
+        )
+
+    def fit_within_budget(
+        self,
+        db: Database,
+        workload: Workload,
+        time_budget_seconds: float,
+        auto_fine_tune: bool = True,
+    ) -> ASQPSession:
+        """Adaptive Configuration (paper §4.5): fit inside a time budget.
+
+        A short probe run (ASQP-Light settings, two iterations) measures
+        the per-iteration cost on this database/workload; the measurement
+        picks the point on the light ↔ full quality spectrum whose
+        projected training time fits the budget, and training runs there.
+        The budget steers the quality/time trade-off — it is a target, not
+        a hard interrupt.
+        """
+        if time_budget_seconds <= 0:
+            raise ValueError(
+                f"time budget must be positive, got {time_budget_seconds}"
+            )
+        probe_config = ASQPConfig.light(
+            memory_budget=self.config.memory_budget,
+            frame_size=self.config.frame_size,
+            n_iterations=2,
+            n_actors=min(2, self.config.n_actors),
+            action_space_target=max(
+                50, self.config.action_space_target // 4
+            ),
+            seed=self.config.seed,
+        )
+        probe_start = time.perf_counter()
+        ASQPTrainer(db, workload, probe_config).train()
+        probe_seconds = time.perf_counter() - probe_start
+
+        # The full configuration costs roughly `cost_ratio` probes: more
+        # iterations, more actors/episodes, and a larger action space.
+        full = ASQPConfig()
+        cost_ratio = (
+            (full.n_iterations / probe_config.n_iterations)
+            * (self.config.n_actors / probe_config.n_actors)
+            * (self.config.action_space_target / probe_config.action_space_target)
+            * 0.5  # probe includes one-off preprocessing
+        )
+        projected_full = probe_seconds * cost_ratio
+        fraction = float(np.clip(time_budget_seconds / max(projected_full, 1e-9), 0.0, 1.0))
+        config = ASQPConfig.adaptive(
+            fraction,
+            memory_budget=self.config.memory_budget,
+            frame_size=self.config.frame_size,
+            seed=self.config.seed,
+        )
+        model = ASQPTrainer(db, workload, config).train()
+        return ASQPSession(model, auto_fine_tune=auto_fine_tune)

@@ -1,0 +1,351 @@
+"""Training (paper Alg. 1) and the trained-model handle.
+
+:class:`ASQPTrainer` runs pre-processing, builds the configured
+environment and agent, and iterates collect → PPO-update with early
+stopping on the mean episode reward. The returned :class:`TrainedModel`
+generates approximation sets (Alg. 2) and supports drift fine-tuning
+(§4.4): new queries extend the coverage list and the action space, the
+networks expand preserving weights, and training continues with batches
+biased toward the new queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.query import AggregateQuery, SPJQuery
+from ..db.sampling import variational_subsample
+from ..datasets.workloads import Workload
+from ..rl.parallel import MultiActorCollector, make_actor_specs
+from ..rl.rollout import RolloutBuffer
+from .action_space import ActionSpace, group_rows_into_actions
+from .agent import ASQPAgent
+from .approximation import ApproximationSet
+from .config import ASQPConfig
+from .environment import make_environment
+from .inference import generate_approximation_set
+from .preprocess import (
+    PreprocessResult,
+    build_coverage,
+    embed_actions,
+    preprocess,
+    provenance_rows,
+)
+from .reward import QueryCoverage
+
+
+@dataclass
+class IterationRecord:
+    """Diagnostics of one outer training iteration."""
+
+    iteration: int
+    mean_episode_reward: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    kl_divergence: float
+    clip_fraction: float
+
+
+@dataclass
+class TrainedModel:
+    """A trained ASQP-RL model bound to its database."""
+
+    db: Database
+    config: ASQPConfig
+    agent: ASQPAgent
+    preprocessed: PreprocessResult
+    coverages: list[QueryCoverage]
+    action_space: ActionSpace
+    history: list[IterationRecord] = field(default_factory=list)
+    setup_seconds: float = 0.0
+    fine_tune_count: int = 0
+
+    # -------------------------------------------------------------- #
+    def approximation_set(
+        self,
+        requested_size: Optional[int] = None,
+        greedy: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ApproximationSet:
+        """Generate an approximation set from the trained policy (Alg. 2).
+
+        Rolls out one greedy trajectory plus ``config.n_candidate_rollouts``
+        sampled ones and keeps the candidate with the best Eq. 1 score on
+        the *training* coverage structures (no test information) — the
+        sequential-selection analogue of taking the best of several policy
+        samples.
+        """
+        rng = rng or np.random.default_rng(self.config.seed + 31)
+        candidates = [
+            generate_approximation_set(
+                self.agent.actor,
+                self.action_space,
+                self.config,
+                requested_size=requested_size,
+                rng=rng,
+                greedy=True,
+            )
+        ]
+        if greedy:
+            for _ in range(self.config.n_candidate_rollouts):
+                candidates.append(
+                    generate_approximation_set(
+                        self.agent.actor,
+                        self.action_space,
+                        self.config,
+                        requested_size=requested_size,
+                        rng=rng,
+                        greedy=False,
+                    )
+                )
+        if len(candidates) == 1:
+            return candidates[0]
+        from .reward import CoverageTracker
+
+        tracker = CoverageTracker(self.coverages)
+        best = candidates[0]
+        best_score = -1.0
+        for candidate in candidates:
+            value = tracker.score_with_keys(candidate.keys())
+            if value > best_score:
+                best_score = value
+                best = candidate
+        return best
+
+    def approximation_database(
+        self, requested_size: Optional[int] = None
+    ) -> Database:
+        return self.approximation_set(requested_size).to_database(self.db)
+
+    def training_scores(self) -> np.ndarray:
+        """Eq. 1 term of each training representative under the final set.
+
+        Feeds the answerability estimator: the model's observed quality on
+        the queries it was trained on.
+        """
+        from .reward import CoverageTracker
+
+        tracker = CoverageTracker(self.coverages)
+        tracker.add_keys(self.approximation_set().keys())
+        return np.asarray(
+            [tracker.query_score(q) for q in range(tracker.n_queries)]
+        )
+
+    def calibrated_count_scale(self, default: float = 1.0) -> float:
+        """Self-calibrated COUNT/SUM rescaling factor for aggregate mode.
+
+        The approximation set is a workload-*biased* sample, so uniform
+        Horvitz–Thompson scaling by the global sampling fraction misfits.
+        Instead, measure the inclusion rate the model actually achieves on
+        its own training representatives — ``|q(T)| / |q(S)|`` per query,
+        both known without touching test queries — and return the median.
+        Used by the §6.4 aggregate evaluation (Fig. 12).
+        """
+        from ..db.executor import execute
+
+        approx_db = self.approximation_database()
+        ratios: list[float] = []
+        for query in self.preprocessed.representatives:
+            subset_size = len(execute(approx_db, query))
+            full_size = len(execute(self.db, query))
+            if subset_size > 0 and full_size > 0:
+                ratios.append(full_size / subset_size)
+        if not ratios:
+            return default
+        return float(np.median(ratios))
+
+    # -------------------------------------------------------------- #
+    def fine_tune(
+        self,
+        new_queries: Sequence[Union[SPJQuery, AggregateQuery]],
+        iterations: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Fine-tune on drifted queries (paper §4.4).
+
+        New queries are relaxed and executed; their provenance rows extend
+        the action space, their coverage structures join the reward, and
+        training resumes with query batches biased toward them.
+        """
+        if not new_queries:
+            return
+        rng = rng or np.random.default_rng(self.config.seed + 500 + self.fine_tune_count)
+        config = self.config
+        prep = self.preprocessed
+        from ..embedding.relaxation import QueryRelaxer, RelaxationConfig
+
+        relaxer = QueryRelaxer(
+            prep.stats,
+            RelaxationConfig(
+                range_widen_fraction=config.relax_range_fraction,
+                equality_siblings=config.relax_equality_siblings,
+            ),
+        )
+        spj_queries = [
+            q.strip_aggregates() if q.is_aggregate else q for q in new_queries
+        ]
+        weight = 1.0 / max(1, len(self.coverages))
+
+        pool_rows, pool_sources = [], []
+        new_coverages: list[QueryCoverage] = []
+        base_query_index = len(self.coverages)
+        for offset, query in enumerate(spj_queries):
+            relaxed = relaxer.relax(query)
+            rows = provenance_rows(self.db, relaxed)
+            pool_rows.extend(rows)
+            pool_sources.extend([base_query_index + offset] * len(rows))
+            new_coverages.append(
+                build_coverage(self.db, query, weight, config.frame_size, rng)
+            )
+
+        if pool_rows:
+            target = max(
+                config.group_size,
+                int(config.action_space_target * config.group_size * 0.25),
+            )
+            sample = variational_subsample(pool_sources, target, rng)
+            kept_rows = [pool_rows[p] for p in sample.positions]
+            kept_sources = [pool_sources[p] for p in sample.positions]
+            new_actions = group_rows_into_actions(
+                kept_rows, kept_sources, config.group_size, rng
+            )
+            if new_actions:
+                vectors = embed_actions(self.db, new_actions, prep.tuple_embedder)
+                self.action_space = self.action_space.extend(new_actions, vectors)
+                self.agent.expand_action_space(len(self.action_space))
+
+        self.coverages.extend(new_coverages)
+        new_indices = list(range(base_query_index, len(self.coverages)))
+        # Extend the estimator inputs too.
+        new_embeddings = prep.query_embedder.embed_workload(spj_queries)
+        prep.representatives.extend(spj_queries)
+        prep.representative_embeddings = np.vstack(
+            [prep.representative_embeddings, new_embeddings]
+        )
+        prep.training_embeddings = np.vstack(
+            [prep.training_embeddings, new_embeddings]
+        )
+
+        n_iterations = iterations or config.fine_tune_iterations
+        run_training_loop(
+            self,
+            n_iterations=n_iterations,
+            rng=rng,
+            bias_queries=new_indices,
+        )
+        self.fine_tune_count += 1
+
+
+def run_training_loop(
+    model: TrainedModel,
+    n_iterations: int,
+    rng: np.random.Generator,
+    bias_queries: Optional[Sequence[int]] = None,
+) -> None:
+    """Collect/update iterations with early stopping (Alg. 1 lines 5-10).
+
+    ``bias_queries`` (fine-tuning) forces every other episode batch to be
+    drawn from those query indices, aligning the reward with the drifted
+    interest while retaining the original workload.
+    """
+    config = model.config
+    coverages = model.coverages
+    if bias_queries:
+        boosted = []
+        bias_set = set(bias_queries)
+        for i, coverage in enumerate(coverages):
+            if i in bias_set:
+                boosted.append(
+                    QueryCoverage(
+                        name=coverage.name,
+                        weight=coverage.weight * 4.0,
+                        denominator=coverage.denominator,
+                        requirements=coverage.requirements,
+                    )
+                )
+            else:
+                boosted.append(coverage)
+        coverages = boosted
+
+    env_seed_sequence = np.random.SeedSequence(int(rng.integers(0, 2**31)))
+    env_seeds = iter(env_seed_sequence.spawn(1024))
+
+    def env_factory():
+        return make_environment(
+            config.environment,
+            model.action_space,
+            coverages,
+            config,
+            np.random.default_rng(next(env_seeds)),
+        )
+
+    specs = make_actor_specs(config.n_actors, seed=int(rng.integers(0, 2**31)))
+    collector = MultiActorCollector(
+        env_factory, model.agent.actor, model.agent.critic, specs
+    )
+
+    best_reward = -np.inf
+    stale = 0
+    start_iteration = len(model.history)
+    for iteration in range(n_iterations):
+        buffer = RolloutBuffer(gamma=config.gamma, lam=config.gae_lambda)
+        mean_reward = collector.collect(config.episodes_per_actor, buffer)
+        batch = buffer.build(use_critic=config.use_actor_critic)
+        stats = model.agent.updater.update(batch)
+        model.history.append(
+            IterationRecord(
+                iteration=start_iteration + iteration,
+                mean_episode_reward=mean_reward,
+                policy_loss=stats.policy_loss,
+                value_loss=stats.value_loss,
+                entropy=stats.entropy,
+                kl_divergence=stats.kl_divergence,
+                clip_fraction=stats.clip_fraction,
+            )
+        )
+        # Early stopping (Alg. 1 line 9) on reward plateau.
+        if mean_reward > best_reward + config.early_stopping_min_delta:
+            best_reward = mean_reward
+            stale = 0
+        else:
+            stale += 1
+            if stale >= config.early_stopping_patience:
+                break
+
+
+class ASQPTrainer:
+    """End-to-end training entry point (paper Alg. 1)."""
+
+    def __init__(
+        self,
+        db: Database,
+        workload: Workload,
+        config: Optional[ASQPConfig] = None,
+    ) -> None:
+        self.db = db
+        self.workload = workload
+        self.config = config or ASQPConfig()
+
+    def train(self) -> TrainedModel:
+        """Pre-process, train, and return the model handle."""
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.config.seed)
+        prep = preprocess(self.db, self.workload, self.config, rng)
+        agent = ASQPAgent(len(prep.action_space), self.config, rng)
+        model = TrainedModel(
+            db=self.db,
+            config=self.config,
+            agent=agent,
+            preprocessed=prep,
+            coverages=list(prep.coverages),
+            action_space=prep.action_space,
+        )
+        run_training_loop(model, self.config.n_iterations, rng)
+        model.setup_seconds = time.perf_counter() - start
+        return model

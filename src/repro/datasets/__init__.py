@@ -1,0 +1,38 @@
+"""Benchmark datasets: seeded synthetic IMDB-JOB, MAS and FLIGHTS bundles."""
+
+from .flights import (
+    load_flights,
+    make_flights_aggregate_workload,
+    make_flights_database,
+    make_flights_workload,
+)
+from .imdb import (
+    load_imdb,
+    make_imdb_aggregate_workload,
+    make_imdb_database,
+    make_imdb_workload,
+)
+from .mas import (
+    load_mas,
+    make_mas_aggregate_workload,
+    make_mas_database,
+    make_mas_workload,
+)
+from .workloads import DatasetBundle, Workload
+
+__all__ = [
+    "DatasetBundle",
+    "Workload",
+    "load_flights",
+    "load_imdb",
+    "load_mas",
+    "make_flights_aggregate_workload",
+    "make_flights_database",
+    "make_flights_workload",
+    "make_imdb_aggregate_workload",
+    "make_imdb_database",
+    "make_imdb_workload",
+    "make_mas_aggregate_workload",
+    "make_mas_database",
+    "make_mas_workload",
+]

@@ -1,0 +1,285 @@
+"""Synthetic MAS benchmark (paper dataset 2, Microsoft Academic Search).
+
+Researchers, publications, venues and authorship edges; the workload
+follows the LearnShapley query-log style cited by the paper: venue/area
+lookups, author-publication joins, citation thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.query import AggFunc, JoinCondition
+from ..db.schema import Column, ColumnType, ForeignKey, TableSchema
+from ..db.statistics import compute_database_stats
+from ..db.table import Table
+from .synthetic import (
+    correlated_numeric,
+    skewed_foreign_keys,
+    synthetic_names,
+    year_column,
+    zipf_choice,
+)
+from .workloads import (
+    DatasetBundle,
+    Workload,
+    assemble_aggregate,
+    assemble_spj,
+    make_pooled_predicate_sampler,
+)
+
+AREAS = ["databases", "machine_learning", "systems", "theory", "vision",
+         "nlp", "security", "hci", "networks", "graphics"]
+VENUE_TYPES = ["conference", "journal", "workshop"]
+AFFILIATION_COUNTRIES = ["us", "il", "de", "uk", "fr", "cn", "ca", "ch", "jp", "kr"]
+
+
+def mas_schemas() -> list[TableSchema]:
+    return [
+        TableSchema(
+            "author",
+            [
+                Column("id", ColumnType.INT),
+                Column("name", ColumnType.STR),
+                Column("affiliation_country", ColumnType.STR),
+                Column("h_index", ColumnType.INT),
+            ],
+            primary_key="id",
+        ),
+        TableSchema(
+            "venue",
+            [
+                Column("id", ColumnType.INT),
+                Column("name", ColumnType.STR),
+                Column("venue_type", ColumnType.STR),
+                Column("area", ColumnType.STR),
+            ],
+            primary_key="id",
+        ),
+        TableSchema(
+            "publication",
+            [
+                Column("id", ColumnType.INT),
+                Column("title", ColumnType.STR),
+                Column("year", ColumnType.INT),
+                Column("venue_id", ColumnType.INT),
+                Column("citations", ColumnType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=(ForeignKey("venue_id", "venue", "id"),),
+        ),
+        TableSchema(
+            "writes",
+            [
+                Column("id", ColumnType.INT),
+                Column("author_id", ColumnType.INT),
+                Column("pub_id", ColumnType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=(
+                ForeignKey("author_id", "author", "id"),
+                ForeignKey("pub_id", "publication", "id"),
+            ),
+        ),
+    ]
+
+
+def make_mas_database(scale: float = 1.0, seed: int = 9090) -> Database:
+    """Generate the synthetic MAS database."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    n_authors = max(40, int(1500 * scale))
+    n_venues = max(10, int(120 * scale))
+    n_pubs = max(60, int(3000 * scale))
+    n_writes = max(100, int(5000 * scale))
+
+    schemas = {s.name: s for s in mas_schemas()}
+
+    author = Table(
+        schemas["author"],
+        {
+            "id": np.arange(n_authors),
+            "name": synthetic_names(n_authors, rng, prefix="Dr "),
+            "affiliation_country": zipf_choice(
+                AFFILIATION_COUNTRIES, n_authors, rng, exponent=1.0
+            ),
+            "h_index": np.maximum(
+                0, rng.negative_binomial(3, 0.15, n_authors)
+            ).astype(np.int64),
+        },
+    )
+
+    venue = Table(
+        schemas["venue"],
+        {
+            "id": np.arange(n_venues),
+            "name": synthetic_names(n_venues, rng, prefix="Proc "),
+            "venue_type": zipf_choice(VENUE_TYPES, n_venues, rng, exponent=0.6),
+            "area": zipf_choice(AREAS, n_venues, rng, exponent=0.9),
+        },
+    )
+
+    pub_years = year_column(n_pubs, rng, low=1985, high=2023, mode=2016)
+    citations = np.maximum(
+        0,
+        correlated_numeric(
+            2023 - pub_years.astype(np.float64), 3.0, 40.0, rng, minimum=0
+        ),
+    ).astype(np.int64)
+    publication = Table(
+        schemas["publication"],
+        {
+            "id": np.arange(n_pubs),
+            "title": synthetic_names(n_pubs, rng, n_syllables=4, prefix="On "),
+            "year": pub_years,
+            "venue_id": skewed_foreign_keys(n_pubs, n_venues, rng),
+            "citations": citations,
+        },
+    )
+
+    writes = Table(
+        schemas["writes"],
+        {
+            "id": np.arange(n_writes),
+            "author_id": skewed_foreign_keys(n_writes, n_authors, rng),
+            "pub_id": skewed_foreign_keys(n_writes, n_pubs, rng),
+        },
+    )
+
+    return Database([author, venue, publication, writes], name="mas")
+
+
+_J_PUB_VENUE = JoinCondition("publication.venue_id", "venue.id")
+_J_WRITES_AUTHOR = JoinCondition("writes.author_id", "author.id")
+_J_WRITES_PUB = JoinCondition("writes.pub_id", "publication.id")
+
+
+def make_mas_workload(db: Database, n_queries: int = 50, seed: int = 777) -> Workload:
+    """MAS-style SPJ workload."""
+    rng = np.random.default_rng(seed)
+    stats = compute_database_stats(db)
+    draw_predicate = make_pooled_predicate_sampler(rng)
+    queries = []
+    template_picks = rng.integers(0, 4, size=n_queries)
+    for i, template in enumerate(template_picks):
+        name = f"mas_q{i:03d}"
+        if template == 0:
+            predicates = [
+                draw_predicate("range", stats["publication"], "publication", "year", rng),
+                draw_predicate("threshold", stats["publication"],
+                               "publication", "citations", rng),
+            ]
+            queries.append(
+                assemble_spj(["publication"], [], predicates, name=name,
+                             projection=["publication.title", "publication.year",
+                                         "publication.citations"])
+            )
+        elif template == 1:
+            predicates = [
+                draw_predicate("equality", stats["venue"], "venue", "area", rng),
+                draw_predicate("range", stats["publication"], "publication", "year", rng),
+            ]
+            queries.append(
+                assemble_spj(
+                    ["publication", "venue"], [_J_PUB_VENUE], predicates, name=name,
+                    projection=["publication.title", "venue.name", "venue.area"],
+                )
+            )
+        elif template == 2:
+            predicates = [
+                draw_predicate("in", stats["author"], "author",
+                                    "affiliation_country", rng,
+                                    n_values=int(rng.integers(1, 3))),
+                draw_predicate("threshold", stats["author"], "author", "h_index", rng),
+            ]
+            queries.append(
+                assemble_spj(
+                    ["author", "writes", "publication"],
+                    [_J_WRITES_AUTHOR, _J_WRITES_PUB],
+                    predicates,
+                    name=name,
+                    projection=["author.name", "publication.title",
+                                "publication.year"],
+                )
+            )
+        else:
+            predicates = [
+                draw_predicate("equality", stats["venue"], "venue", "venue_type", rng),
+                draw_predicate("equality", stats["venue"], "venue", "area", rng),
+                draw_predicate("threshold", stats["publication"],
+                               "publication", "citations", rng),
+            ]
+            queries.append(
+                assemble_spj(
+                    ["author", "writes", "publication", "venue"],
+                    [_J_WRITES_AUTHOR, _J_WRITES_PUB, _J_PUB_VENUE],
+                    predicates,
+                    name=name,
+                    projection=["author.name", "publication.title", "venue.name"],
+                )
+            )
+    weights = np.asarray(
+        [1.0 / (1.0 + 0.04 * i) for i in range(len(queries))], dtype=np.float64
+    )
+    return Workload(queries, weights, name="mas")
+
+
+def make_mas_aggregate_workload(
+    db: Database, n_queries: int = 20, seed: int = 778
+) -> Workload:
+    rng = np.random.default_rng(seed)
+    stats = compute_database_stats(db)
+    draw_predicate = make_pooled_predicate_sampler(rng)
+    queries = []
+    for i in range(n_queries):
+        name = f"mas_agg{i:03d}"
+        template = int(rng.integers(0, 3))
+        if template == 0:
+            queries.append(
+                assemble_aggregate(
+                    ["publication"], [],
+                    [draw_predicate("range", stats["publication"], "publication",
+                                            "year", rng)],
+                    AggFunc.COUNT, None, name=name,
+                )
+            )
+        elif template == 1:
+            queries.append(
+                assemble_aggregate(
+                    ["publication", "venue"], [_J_PUB_VENUE],
+                    [draw_predicate("threshold", stats["publication"], "publication",
+                                                "citations", rng)],
+                    AggFunc.AVG, "publication.citations",
+                    group_by=("venue.area",), name=name,
+                )
+            )
+        else:
+            queries.append(
+                assemble_aggregate(
+                    ["author"], [],
+                    [draw_predicate("equality", stats["author"], "author",
+                                               "affiliation_country", rng)],
+                    AggFunc.MAX, "author.h_index", name=name,
+                )
+            )
+    return Workload(queries, name="mas_agg")
+
+
+def load_mas(
+    scale: float = 1.0,
+    seed: int = 9090,
+    n_queries: int = 50,
+    n_aggregate_queries: int = 20,
+) -> DatasetBundle:
+    """The full MAS bundle."""
+    db = make_mas_database(scale=scale, seed=seed)
+    return DatasetBundle(
+        name="mas",
+        db=db,
+        workload=make_mas_workload(db, n_queries=n_queries, seed=seed + 1),
+        aggregate_workload=make_mas_aggregate_workload(
+            db, n_queries=n_aggregate_queries, seed=seed + 2
+        ),
+    )

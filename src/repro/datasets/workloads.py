@@ -1,0 +1,277 @@
+"""Workload construction helpers shared by the benchmark datasets.
+
+Each dataset module composes these samplers into JOB-/MAS-/IDEBench-style
+query mixes. The same helpers back :mod:`repro.core.workload_gen`, which
+generates a workload from statistics alone when none is provided
+(paper §4.5, "Unknown Query Workloads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.expressions import Between, Comparison, Expression, InSet, conjoin
+from ..db.query import AggFunc, AggregateQuery, AggregateSpec, JoinCondition, SPJQuery
+from ..db.statistics import TableStats, compute_database_stats
+
+
+@dataclass
+class Workload:
+    """A weighted query workload (the paper's ``(Q, w)``)."""
+
+    queries: list[Union[SPJQuery, AggregateQuery]]
+    weights: np.ndarray = field(default=None)  # type: ignore[assignment]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weights is None:
+            n = len(self.queries)
+            self.weights = np.full(n, 1.0 / n) if n else np.empty(0)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if len(self.weights) != len(self.queries):
+                raise ValueError(
+                    f"{len(self.weights)} weights for {len(self.queries)} queries"
+                )
+            total = self.weights.sum()
+            if total > 0:
+                self.weights = self.weights / total
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def spj_only(self) -> "Workload":
+        """Rewrite aggregates to SPJ (paper §3) and keep SPJ queries as-is."""
+        queries = [
+            q.strip_aggregates() if q.is_aggregate else q for q in self.queries
+        ]
+        return Workload(queries=queries, weights=self.weights.copy(), name=self.name)
+
+    def split(
+        self, test_fraction: float, rng: np.random.Generator
+    ) -> tuple["Workload", "Workload"]:
+        """Random train/test partition preserving relative weights."""
+        n = len(self.queries)
+        if n < 2:
+            raise ValueError("need at least two queries to split")
+        n_test = max(1, int(round(n * test_fraction)))
+        n_test = min(n_test, n - 1)
+        order = rng.permutation(n)
+        test_idx = set(order[:n_test].tolist())
+        train_q, train_w, test_q, test_w = [], [], [], []
+        for i in range(n):
+            if i in test_idx:
+                test_q.append(self.queries[i])
+                test_w.append(self.weights[i])
+            else:
+                train_q.append(self.queries[i])
+                train_w.append(self.weights[i])
+        return (
+            Workload(train_q, np.asarray(train_w), name=f"{self.name}:train"),
+            Workload(test_q, np.asarray(test_w), name=f"{self.name}:test"),
+        )
+
+    def subset(self, indices: Sequence[int], name: str = "") -> "Workload":
+        queries = [self.queries[i] for i in indices]
+        weights = self.weights[list(indices)]
+        return Workload(queries, weights, name=name or f"{self.name}:subset")
+
+
+@dataclass
+class DatasetBundle:
+    """A benchmark: database + SPJ workload + aggregate workload."""
+
+    name: str
+    db: Database
+    workload: Workload
+    aggregate_workload: Workload
+    stats: dict[str, TableStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stats:
+            self.stats = compute_database_stats(self.db)
+
+
+# ------------------------------------------------------------------ #
+# predicate samplers
+# ------------------------------------------------------------------ #
+class PooledSampler:
+    """Caches drawn predicates so workloads revisit *hot* regions.
+
+    Real exploration sessions repeatedly query the same few slices of the
+    data (the premise that makes approximation sets useful); the paper's
+    IMDB/MAS logs show exactly this. ``draw`` returns a cached predicate
+    for the same key with probability ``reuse_probability``, otherwise
+    creates (and caches) a fresh one — so train/test splits of a workload
+    share hot predicates while still containing unseen ones.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        reuse_probability: float = 0.8,
+        pool_limit: int = 5,
+    ) -> None:
+        if not 0 <= reuse_probability <= 1:
+            raise ValueError(
+                f"reuse probability must be in [0, 1], got {reuse_probability}"
+            )
+        self.rng = rng
+        self.reuse_probability = reuse_probability
+        self.pool_limit = pool_limit
+        self._pools: dict[tuple, list] = {}
+
+    def draw(self, key: tuple, factory):
+        """A cached value for ``key`` (probabilistically) or a new one."""
+        pool = self._pools.setdefault(key, [])
+        full = len(pool) >= self.pool_limit
+        if pool and (full or self.rng.random() < self.reuse_probability):
+            return pool[int(self.rng.integers(0, len(pool)))]
+        value = factory()
+        pool.append(value)
+        return value
+
+
+
+def sample_range_predicate(
+    stats: TableStats,
+    table: str,
+    column: str,
+    rng: np.random.Generator,
+    width_fraction: Optional[float] = None,
+) -> Expression:
+    """A BETWEEN predicate over a random sub-range of the column."""
+    numeric = stats.numeric[column]
+    if width_fraction is None:
+        width_fraction = float(rng.uniform(0.05, 0.5))
+    span = numeric.value_range * width_fraction
+    low = float(rng.uniform(numeric.minimum, max(numeric.minimum, numeric.maximum - span)))
+    ref = f"{table}.{column}"
+    if float(numeric.minimum).is_integer() and float(numeric.maximum).is_integer():
+        return Between(ref, int(low), int(low + span))
+    return Between(ref, round(low, 2), round(low + span, 2))
+
+
+def sample_threshold_predicate(
+    stats: TableStats,
+    table: str,
+    column: str,
+    rng: np.random.Generator,
+) -> Expression:
+    """A one-sided comparison at a random quantile of the column."""
+    numeric = stats.numeric[column]
+    quantile = float(rng.choice(list(numeric.quantiles)))
+    threshold = numeric.quantiles[quantile]
+    op = ">" if rng.random() < 0.5 else "<"
+    if float(numeric.minimum).is_integer() and float(numeric.maximum).is_integer():
+        threshold = int(threshold)
+    else:
+        threshold = round(threshold, 2)
+    return Comparison(f"{table}.{column}", op, threshold)
+
+
+def sample_equality_predicate(
+    stats: TableStats,
+    table: str,
+    column: str,
+    rng: np.random.Generator,
+    popularity_weighted: bool = True,
+) -> Expression:
+    """An equality on a categorical column (popular values more likely)."""
+    cat = stats.categorical[column]
+    if popularity_weighted:
+        value = cat.sample_weighted(rng, 1)[0]
+    else:
+        value = str(rng.choice(list(cat.frequencies)))
+    return Comparison(f"{table}.{column}", "=", value)
+
+
+def sample_in_predicate(
+    stats: TableStats,
+    table: str,
+    column: str,
+    rng: np.random.Generator,
+    n_values: int = 3,
+) -> Expression:
+    """An IN-set over popularity-weighted categorical values."""
+    cat = stats.categorical[column]
+    values = set(cat.sample_weighted(rng, n_values))
+    return InSet(f"{table}.{column}", values)
+
+
+
+
+def make_pooled_predicate_sampler(
+    rng: np.random.Generator,
+    reuse_probability: float = 0.8,
+    pool_limit: int = 5,
+):
+    """A ``draw(kind, stats, table, column, rng, **kwargs)`` closure.
+
+    Routes the four predicate samplers through one :class:`PooledSampler`
+    keyed by (kind, table, column, kwargs), so a workload builder reuses
+    hot predicates across its queries.
+    """
+    pool = PooledSampler(rng, reuse_probability, pool_limit)
+    factories = {
+        "range": sample_range_predicate,
+        "threshold": sample_threshold_predicate,
+        "equality": sample_equality_predicate,
+        "in": sample_in_predicate,
+    }
+
+    def draw(kind: str, stats: TableStats, table: str, column: str,
+             rng_: np.random.Generator, **kwargs):
+        key = (kind, table, column, tuple(sorted(kwargs.items())))
+        return pool.draw(
+            key, lambda: factories[kind](stats, table, column, rng_, **kwargs)
+        )
+
+    return draw
+
+
+# ------------------------------------------------------------------ #
+# query assembly
+# ------------------------------------------------------------------ #
+def assemble_spj(
+    tables: Sequence[str],
+    joins: Sequence[JoinCondition],
+    predicates: Sequence[Expression],
+    name: str = "",
+    projection: Sequence[str] = (),
+    limit: Optional[int] = None,
+) -> SPJQuery:
+    return SPJQuery(
+        tables=tuple(tables),
+        joins=tuple(joins),
+        predicate=conjoin(list(predicates)),
+        projection=tuple(projection),
+        limit=limit,
+        name=name,
+    )
+
+
+def assemble_aggregate(
+    tables: Sequence[str],
+    joins: Sequence[JoinCondition],
+    predicates: Sequence[Expression],
+    func: AggFunc,
+    column: Optional[str],
+    group_by: Sequence[str] = (),
+    name: str = "",
+) -> AggregateQuery:
+    return AggregateQuery(
+        tables=tuple(tables),
+        joins=tuple(joins),
+        predicate=conjoin(list(predicates)),
+        aggregates=(AggregateSpec(func=func, column=column),),
+        group_by=tuple(group_by),
+        name=name,
+    )

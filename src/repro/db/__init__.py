@@ -1,0 +1,109 @@
+"""In-memory column-store relational engine.
+
+This package is the substrate the paper ran on PostgreSQL: typed tables,
+vectorized predicates, hash equi-joins, aggregation, a small SQL parser,
+statistics, sampling primitives, and an LRU cache model.
+"""
+
+from .cache import LRUTupleCache
+from .database import Database
+from .executor import (
+    AggregateResult,
+    ExecutionError,
+    ResultSet,
+    execute,
+    execute_aggregate,
+    timed_execute,
+)
+from .expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    ExpressionError,
+    InSet,
+    IsNotNull,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    TrueExpr,
+    conjoin,
+    conjuncts,
+)
+from .query import (
+    AggFunc,
+    AggregateQuery,
+    AggregateSpec,
+    JoinCondition,
+    Query,
+    QueryError,
+    SPJQuery,
+)
+from .sampling import (
+    SubsampleResult,
+    stratified_table_sample,
+    uniform_sample,
+    variational_subsample,
+)
+from .schema import INT_NULL, Column, ColumnType, ForeignKey, SchemaError, TableSchema
+from .sql import SQLSyntaxError, sql
+from .statistics import (
+    CategoricalStats,
+    NumericStats,
+    TableStats,
+    compute_database_stats,
+    compute_table_stats,
+)
+from .table import Table, table_from_rows
+
+__all__ = [
+    "AggFunc",
+    "AggregateQuery",
+    "AggregateResult",
+    "AggregateSpec",
+    "And",
+    "Between",
+    "CategoricalStats",
+    "Column",
+    "ColumnType",
+    "Comparison",
+    "Database",
+    "ExecutionError",
+    "Expression",
+    "ExpressionError",
+    "ForeignKey",
+    "INT_NULL",
+    "InSet",
+    "IsNotNull",
+    "IsNull",
+    "JoinCondition",
+    "LRUTupleCache",
+    "Like",
+    "Not",
+    "NumericStats",
+    "Or",
+    "Query",
+    "QueryError",
+    "ResultSet",
+    "SPJQuery",
+    "SQLSyntaxError",
+    "SchemaError",
+    "SubsampleResult",
+    "Table",
+    "TableSchema",
+    "TableStats",
+    "TrueExpr",
+    "compute_database_stats",
+    "compute_table_stats",
+    "conjoin",
+    "conjuncts",
+    "execute",
+    "execute_aggregate",
+    "sql",
+    "stratified_table_sample",
+    "table_from_rows",
+    "timed_execute",
+    "uniform_sample",
+    "variational_subsample",
+]

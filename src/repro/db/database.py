@@ -1,0 +1,105 @@
+"""A named collection of tables plus derivation of sub-databases.
+
+An *approximation set* in ASQP-RL is exactly a sub-database: the same
+schema with per-table subsets of rows (identified by base row ids). Both
+the full data and every candidate approximation set are :class:`Database`
+objects, so queries run through one executor for both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from .schema import SchemaError
+from .table import Table
+
+
+class Database:
+    """A set of uniquely named tables."""
+
+    def __init__(self, tables: Iterable[Table] = (), name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"database {self.name!r} already has table {table.name!r}")
+        self._tables[table.name] = table
+
+    # -------------------------------------------------------------- #
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"database {self.name!r} has no table {name!r}; "
+                f"available: {self.table_names}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    # -------------------------------------------------------------- #
+    def subset(
+        self,
+        row_ids: Mapping[str, Iterable[int]],
+        name: Optional[str] = None,
+    ) -> "Database":
+        """Build the sub-database keeping the given base row ids per table.
+
+        Tables absent from ``row_ids`` become empty (the approximation set
+        simply holds no tuples from them); unknown table names are an error.
+        """
+        for table_name in row_ids:
+            if table_name not in self._tables:
+                raise SchemaError(
+                    f"subset references unknown table {table_name!r}; "
+                    f"available: {self.table_names}"
+                )
+        tables = []
+        for table in self._tables.values():
+            keep = row_ids.get(table.name, ())
+            tables.append(table.subset_by_row_ids(keep))
+        return Database(tables, name=name or f"{self.name}:subset")
+
+    def scale(self, factor: int, name: Optional[str] = None) -> "Database":
+        """Blow up every table by duplicating it ``factor`` times.
+
+        Used by the Figure-4 "problem justification" experiment, which
+        measures direct-query latency on progressively larger copies of the
+        data. Duplicated rows get fresh row ids.
+        """
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {factor}")
+        tables = []
+        for table in self._tables.values():
+            positions = np.tile(np.arange(len(table)), factor)
+            blown = table.take(positions)
+            blown = Table(
+                blown.schema,
+                {c: blown.column(c) for c in blown.schema.column_names},
+                row_ids=np.arange(len(blown)),
+            )
+            tables.append(blown)
+        return Database(tables, name=name or f"{self.name}:x{factor}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        summary = ", ".join(f"{t.name}({len(t)})" for t in self._tables.values())
+        return f"Database({self.name!r}: {summary})"

@@ -1,0 +1,409 @@
+"""Query execution: filters, hash equi-joins, projection, aggregation.
+
+The executor is deliberately simple but real: predicate pushdown to base
+tables, greedy join ordering over the join graph, vectorized hash joins,
+and hash aggregation. It executes the same :class:`~repro.db.query.SPJQuery`
+objects against the full database and against approximation-set
+sub-databases, which is what Eq. 1 of the paper compares.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .database import Database
+from .expressions import Expression, TrueExpr, conjoin, conjuncts
+from .query import AggFunc, AggregateQuery, JoinCondition, QueryError, SPJQuery
+
+
+@dataclass
+class ResultSet:
+    """A relational intermediate / final result.
+
+    ``columns`` maps qualified refs (``"table.column"``) to value arrays;
+    ``row_ids`` maps each base table to the base row id contributing to each
+    output row. All arrays share the same length.
+    """
+
+    columns: dict[str, np.ndarray]
+    row_ids: dict[str, np.ndarray]
+    n_rows: int
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def column(self, ref: str) -> np.ndarray:
+        if ref in self.columns:
+            return self.columns[ref]
+        matches = [key for key in self.columns if key.endswith("." + ref)]
+        if len(matches) == 1:
+            return self.columns[matches[0]]
+        raise QueryError(f"result has no column {ref!r}; available: {sorted(self.columns)}")
+
+    def take(self, positions: np.ndarray) -> "ResultSet":
+        positions = np.asarray(positions, dtype=np.int64)
+        return ResultSet(
+            columns={ref: arr[positions] for ref, arr in self.columns.items()},
+            row_ids={t: arr[positions] for t, arr in self.row_ids.items()},
+            n_rows=len(positions),
+        )
+
+    def tuple_keys(self) -> list[tuple]:
+        """Hashable identity per output row (projected values)."""
+        refs = sorted(self.columns)
+        arrays = [self.columns[ref] for ref in refs]
+        return [tuple(arr[i] for arr in arrays) for i in range(self.n_rows)]
+
+    def provenance_keys(self) -> list[tuple]:
+        """Hashable identity per output row by base-row provenance."""
+        tables = sorted(self.row_ids)
+        arrays = [self.row_ids[t] for t in tables]
+        return [tuple(int(arr[i]) for arr in arrays) for i in range(self.n_rows)]
+
+    def to_rows(self) -> list[dict[str, object]]:
+        refs = list(self.columns)
+        return [
+            {ref: self.columns[ref][i] for ref in refs} for i in range(self.n_rows)
+        ]
+
+    def _repr_html_(self) -> str:
+        """Jupyter rendering of the first rows."""
+        from .table import render_html_table
+
+        refs = list(self.columns)
+        limit = 20
+        rows = [
+            [self.columns[ref][i] for ref in refs]
+            for i in range(min(limit, self.n_rows))
+        ]
+        caption = f"{self.n_rows} rows"
+        if self.n_rows > limit:
+            caption += f" (showing {limit})"
+        return render_html_table(refs, rows, caption=caption)
+
+
+@dataclass
+class AggregateResult:
+    """Result of an aggregate query: one row per group."""
+
+    group_columns: Tuple[str, ...]
+    agg_names: Tuple[str, ...]
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_mapping(self) -> dict[tuple, dict[str, float]]:
+        """Map group-key tuple -> {aggregate name: value}."""
+        mapping: dict[tuple, dict[str, float]] = {}
+        for row in self.rows:
+            key = tuple(row[c] for c in self.group_columns)
+            mapping[key] = {name: row[name] for name in self.agg_names}
+        return mapping
+
+    def _repr_html_(self) -> str:
+        """Jupyter rendering of the grouped answer."""
+        from .table import render_html_table
+
+        headers = list(self.group_columns) + list(self.agg_names)
+        rows = [[row[h] for h in headers] for row in self.rows[:50]]
+        return render_html_table(headers, rows, caption=f"{len(self.rows)} groups")
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a query cannot be executed against a database."""
+
+
+def _base_context(db: Database, table_name: str) -> ResultSet:
+    table = db.table(table_name)
+    columns = {
+        f"{table_name}.{name}": table.column(name)
+        for name in table.schema.column_names
+    }
+    return ResultSet(
+        columns=columns,
+        row_ids={table_name: table.row_ids},
+        n_rows=len(table),
+    )
+
+
+def _tables_of(expression: Expression) -> set[str]:
+    return {ref.split(".", 1)[0] for ref in expression.columns() if "." in ref}
+
+
+def _pushdown(predicate: Expression, tables: Sequence[str]) -> tuple[dict[str, Expression], Expression]:
+    """Split a predicate into per-table conjuncts plus a residual.
+
+    Conjuncts touching exactly one table are applied before joining; the
+    rest (multi-table or OR-of-multi-table) run on the joined context.
+    """
+    per_table: dict[str, list[Expression]] = {t: [] for t in tables}
+    residual: list[Expression] = []
+    for part in conjuncts(predicate):
+        touched = _tables_of(part)
+        if len(touched) == 1:
+            per_table[next(iter(touched))].append(part)
+        else:
+            residual.append(part)
+    return (
+        {t: conjoin(parts) for t, parts in per_table.items()},
+        conjoin(residual),
+    )
+
+
+def _join_order(tables: Sequence[str], joins: Sequence[JoinCondition]) -> list[str]:
+    """Greedy connected ordering over the join graph (falls back to listed order)."""
+    if len(tables) <= 1:
+        return list(tables)
+    adjacency: dict[str, set[str]] = {t: set() for t in tables}
+    for join in joins:
+        adjacency[join.left_table].add(join.right_table)
+        adjacency[join.right_table].add(join.left_table)
+    order = [tables[0]]
+    remaining = [t for t in tables[1:]]
+    while remaining:
+        connected = [t for t in remaining if any(n in order for n in adjacency[t])]
+        nxt = connected[0] if connected else remaining[0]
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondition]) -> ResultSet:
+    """Inner equi-join of two contexts on one or more conditions."""
+    left_keys = []
+    right_keys = []
+    for cond in conditions:
+        if cond.left in left.columns and cond.right in right.columns:
+            left_keys.append(left.columns[cond.left])
+            right_keys.append(right.columns[cond.right])
+        elif cond.right in left.columns and cond.left in right.columns:
+            left_keys.append(left.columns[cond.right])
+            right_keys.append(right.columns[cond.left])
+        else:
+            raise ExecutionError(
+                f"join condition {cond.to_sql()!r} does not span the two inputs"
+            )
+
+    # Build hash table on the smaller side.
+    swap = len(right) < len(left)
+    build, probe = (right, left) if swap else (left, right)
+    build_keys = right_keys if swap else left_keys
+    probe_keys = left_keys if swap else right_keys
+
+    buckets: dict[tuple, list[int]] = {}
+    n_keys = len(conditions)
+    for i in range(len(build)):
+        key = tuple(build_keys[j][i] for j in range(n_keys))
+        buckets.setdefault(key, []).append(i)
+
+    probe_positions: list[int] = []
+    build_positions: list[int] = []
+    for i in range(len(probe)):
+        key = tuple(probe_keys[j][i] for j in range(n_keys))
+        for b in buckets.get(key, ()):
+            probe_positions.append(i)
+            build_positions.append(b)
+
+    probe_idx = np.asarray(probe_positions, dtype=np.int64)
+    build_idx = np.asarray(build_positions, dtype=np.int64)
+    probe_part = probe.take(probe_idx)
+    build_part = build.take(build_idx)
+    left_part, right_part = (build_part, probe_part) if swap else (probe_part, build_part)
+
+    columns = dict(left_part.columns)
+    columns.update(right_part.columns)
+    row_ids = dict(left_part.row_ids)
+    row_ids.update(right_part.row_ids)
+    return ResultSet(columns=columns, row_ids=row_ids, n_rows=len(probe_idx))
+
+
+def _distinct_positions(result: ResultSet, refs: Sequence[str]) -> np.ndarray:
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    arrays = [result.column(ref) for ref in refs]
+    for i in range(len(result)):
+        key = tuple(arr[i] for arr in arrays)
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    return np.asarray(keep, dtype=np.int64)
+
+
+def execute(db: Database, query: SPJQuery) -> ResultSet:
+    """Execute an SPJ query against a database."""
+    for table in query.tables:
+        if not db.has_table(table):
+            raise ExecutionError(
+                f"query references unknown table {table!r}; database has {db.table_names}"
+            )
+
+    per_table, residual = _pushdown(query.predicate, query.tables)
+    contexts: dict[str, ResultSet] = {}
+    for table in query.tables:
+        context = _base_context(db, table)
+        predicate = per_table.get(table, TrueExpr())
+        if not isinstance(predicate, TrueExpr):
+            mask = predicate.evaluate(context.columns)
+            context = context.take(np.flatnonzero(mask))
+        contexts[table] = context
+
+    order = _join_order(query.tables, query.joins)
+    current = contexts[order[0]]
+    joined = {order[0]}
+    pending = list(query.joins)
+    for table in order[1:]:
+        usable = [
+            j
+            for j in pending
+            if (j.left_table == table and j.right_table in joined)
+            or (j.right_table == table and j.left_table in joined)
+        ]
+        if usable:
+            current = _hash_join(current, contexts[table], usable)
+            for j in usable:
+                pending.remove(j)
+        else:
+            current = _cross_join(current, contexts[table])
+        joined.add(table)
+        # Apply any join condition that became fully available.
+        newly = [
+            j
+            for j in pending
+            if j.left_table in joined and j.right_table in joined
+        ]
+        for j in newly:
+            mask = current.columns[j.left] == current.columns[j.right]
+            current = current.take(np.flatnonzero(mask))
+            pending.remove(j)
+
+    if not isinstance(residual, TrueExpr):
+        mask = residual.evaluate(current.columns)
+        current = current.take(np.flatnonzero(mask))
+
+    # Sort on the full context (ORDER BY may reference non-projected
+    # columns), then project, then dedupe (stable, keeps sort order).
+    if query.order_by:
+        key = current.column(_order_ref(query, current))
+        if key.dtype == object:
+            key = np.asarray([str(v) for v in key], dtype="U")
+        positions = np.argsort(key, kind="stable")
+        if query.descending:
+            positions = positions[::-1]
+        current = current.take(positions)
+
+    projection = query.qualified_projection()
+    if projection:
+        current = ResultSet(
+            columns={ref: current.column(ref) for ref in projection},
+            row_ids=current.row_ids,
+            n_rows=len(current),
+        )
+
+    if query.distinct:
+        refs = list(current.columns)
+        current = current.take(_distinct_positions(current, refs))
+
+    if query.limit is not None:
+        current = current.take(np.arange(min(query.limit, len(current))))
+
+    return current
+
+
+def _order_ref(query: SPJQuery, result: ResultSet) -> str:
+    ref = query.order_by
+    assert ref is not None
+    if "." in ref or len(query.tables) > 1:
+        return ref
+    return f"{query.tables[0]}.{ref}"
+
+
+def _cross_join(left: ResultSet, right: ResultSet) -> ResultSet:
+    left_idx = np.repeat(np.arange(len(left)), len(right))
+    right_idx = np.tile(np.arange(len(right)), len(left))
+    left_part = left.take(left_idx)
+    right_part = right.take(right_idx)
+    columns = dict(left_part.columns)
+    columns.update(right_part.columns)
+    row_ids = dict(left_part.row_ids)
+    row_ids.update(right_part.row_ids)
+    return ResultSet(columns=columns, row_ids=row_ids, n_rows=len(left_idx))
+
+
+# ------------------------------------------------------------------ #
+# aggregation
+# ------------------------------------------------------------------ #
+def execute_aggregate(db: Database, query: AggregateQuery) -> AggregateResult:
+    """Execute an aggregate query (hash aggregation over the SPJ core)."""
+    core = SPJQuery(tables=query.tables, predicate=query.predicate, joins=query.joins)
+    flat = execute(db, core)
+
+    group_refs = tuple(_qualify_ref(ref, query) for ref in query.group_by)
+    agg_names = tuple(spec.output_name() for spec in query.aggregates)
+    result = AggregateResult(group_columns=query.group_by, agg_names=agg_names)
+
+    if group_refs:
+        key_arrays = [flat.column(ref) for ref in group_refs]
+        groups: dict[tuple, list[int]] = {}
+        for i in range(len(flat)):
+            key = tuple(arr[i] for arr in key_arrays)
+            groups.setdefault(key, []).append(i)
+    else:
+        groups = {(): list(range(len(flat)))}
+        if not groups[()]:
+            groups = {(): []}
+
+    for key, positions in sorted(groups.items(), key=lambda kv: str(kv[0])):
+        row: dict[str, object] = {
+            col: key[j] for j, col in enumerate(query.group_by)
+        }
+        idx = np.asarray(positions, dtype=np.int64)
+        for spec, name in zip(query.aggregates, agg_names):
+            row[name] = _compute_aggregate(flat, spec, idx, query)
+        result.rows.append(row)
+    return result
+
+
+def _qualify_ref(ref: str, query: AggregateQuery) -> str:
+    if "." in ref:
+        return ref
+    if len(query.tables) == 1:
+        return f"{query.tables[0]}.{ref}"
+    raise QueryError(f"aggregate ref {ref!r} must be qualified")
+
+
+def _compute_aggregate(
+    flat: ResultSet, spec, idx: np.ndarray, query: AggregateQuery
+) -> float:
+    if spec.func is AggFunc.COUNT and spec.column is None:
+        return float(len(idx))
+    ref = _qualify_ref(spec.column, query)
+    values = flat.column(ref)[idx]
+    if spec.func is AggFunc.COUNT:
+        return float(len(values))
+    if len(values) == 0:
+        return float("nan")
+    values = np.asarray(values, dtype=np.float64)
+    if spec.func is AggFunc.SUM:
+        return float(np.sum(values))
+    if spec.func is AggFunc.AVG:
+        return float(np.mean(values))
+    if spec.func is AggFunc.MIN:
+        return float(np.min(values))
+    if spec.func is AggFunc.MAX:
+        return float(np.max(values))
+    raise QueryError(f"unsupported aggregate {spec.func}")
+
+
+# ------------------------------------------------------------------ #
+# timing helper
+# ------------------------------------------------------------------ #
+def timed_execute(db: Database, query: SPJQuery) -> tuple[ResultSet, float]:
+    """Execute and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = execute(db, query)
+    return result, time.perf_counter() - start

@@ -1,0 +1,401 @@
+"""Predicate expression AST with vectorized evaluation.
+
+Predicates are evaluated against a *row context*: a mapping from qualified
+column reference ``"table.column"`` (or bare ``"column"`` for single-table
+queries) to a numpy array of values, all of the same length. The executor
+builds such contexts for base tables and join intermediates.
+
+Supported forms::
+
+    Comparison(col, op, value)      op in {=, !=, <, <=, >, >=}
+    Between(col, low, high)         inclusive range
+    InSet(col, {v1, v2, ...})
+    Like(col, pattern)              SQL LIKE with % and _
+    IsNull(col) / IsNotNull(col)
+    And(p1, p2, ...), Or(p1, p2, ...), Not(p)
+    TrueExpr()                      matches everything
+
+Every node renders back to SQL text via ``to_sql()`` and exposes
+``columns()`` (the column refs it touches) and ``tokens()`` (structural
+tokens used by the embedding substrate).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+Value = Union[int, float, str]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed predicates or evaluation against a bad context."""
+
+
+def _sql_literal(value: Value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(float(value))
+    return str(int(value))
+
+
+def _context_column(context: Mapping[str, np.ndarray], ref: str) -> np.ndarray:
+    if ref in context:
+        return context[ref]
+    # Allow bare-name lookup when the qualified ref is unambiguous.
+    if "." not in ref:
+        matches = [key for key in context if key.endswith("." + ref)]
+        if len(matches) == 1:
+            return context[matches[0]]
+        if len(matches) > 1:
+            raise ExpressionError(f"ambiguous column reference {ref!r}: {matches}")
+    raise ExpressionError(f"unknown column reference {ref!r}; context has {sorted(context)}")
+
+
+class Expression:
+    """Base class for all predicate nodes."""
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean mask over the context rows."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def columns(self) -> list[str]:
+        """Column references this predicate touches (with duplicates removed)."""
+        raise NotImplementedError
+
+    def tokens(self) -> list[str]:
+        """Structural tokens for the embedding substrate."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Expression") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueExpr(Expression):
+    """A predicate satisfied by every row."""
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(context.values()))) if context else 0
+        return np.ones(n, dtype=bool)
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+    def columns(self) -> list[str]:
+        return []
+
+    def tokens(self) -> list[str]:
+        return ["true"]
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    column: str
+    op: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        array = _context_column(context, self.column)
+        compare = _COMPARATORS[self.op]
+        if array.dtype == object:
+            values = np.asarray([str(v) for v in array], dtype="U")
+            result = compare(values, str(self.value))
+        else:
+            with np.errstate(invalid="ignore"):
+                result = compare(array, self.value)
+        return np.asarray(result, dtype=bool)
+
+    def to_sql(self) -> str:
+        return f"{self.column} {self.op} {_sql_literal(self.value)}"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [f"pred:{self.column}{self.op}", f"val:{self.column}={self.value}"]
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    column: str
+    low: Value
+    high: Value
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        array = _context_column(context, self.column)
+        if array.dtype == object:
+            values = np.asarray([str(v) for v in array], dtype="U")
+            return (values >= str(self.low)) & (values <= str(self.high))
+        with np.errstate(invalid="ignore"):
+            return np.asarray((array >= self.low) & (array <= self.high), dtype=bool)
+
+    def to_sql(self) -> str:
+        return f"{self.column} BETWEEN {_sql_literal(self.low)} AND {_sql_literal(self.high)}"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [
+            f"pred:{self.column}between",
+            f"val:{self.column}>={self.low}",
+            f"val:{self.column}<={self.high}",
+        ]
+
+
+class InSet(Expression):
+    """``column IN (v1, v2, ...)``."""
+
+    def __init__(self, column: str, values: Iterable[Value]) -> None:
+        self.column = column
+        self.values = tuple(sorted(set(values), key=str))
+        if not self.values:
+            raise ExpressionError(f"IN-set for {column!r} must be non-empty")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InSet)
+            and self.column == other.column
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.column, self.values))
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        array = _context_column(context, self.column)
+        if array.dtype == object:
+            wanted = {str(v) for v in self.values}
+            return np.asarray([str(v) in wanted for v in array], dtype=bool)
+        return np.isin(array, np.asarray(self.values))
+
+    def to_sql(self) -> str:
+        inner = ", ".join(_sql_literal(v) for v in self.values)
+        return f"{self.column} IN ({inner})"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [f"pred:{self.column}in"] + [f"val:{self.column}={v}" for v in self.values]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InSet({self.column!r}, {self.values!r})"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL LIKE: ``%`` matches any run, ``_`` any single character."""
+
+    column: str
+    pattern: str
+
+    def _regex(self) -> re.Pattern:
+        # re.escape leaves % and _ untouched (they are not regex-special),
+        # so the wildcard substitution happens on the escaped text directly.
+        escaped = re.escape(self.pattern)
+        regex = escaped.replace("%", ".*").replace("_", ".")
+        return re.compile(f"^{regex}$")
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        array = _context_column(context, self.column)
+        regex = self._regex()
+        return np.asarray(
+            [bool(regex.match(str(value))) for value in array], dtype=bool
+        )
+
+    def to_sql(self) -> str:
+        return f"{self.column} LIKE {_sql_literal(self.pattern)}"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [f"pred:{self.column}like", f"val:{self.column}~{self.pattern}"]
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    column: str
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        array = _context_column(context, self.column)
+        if array.dtype == object:
+            return np.asarray([str(v) == "" for v in array], dtype=bool)
+        if np.issubdtype(array.dtype, np.floating):
+            return np.isnan(array)
+        from .schema import INT_NULL
+
+        return array == INT_NULL
+
+    def to_sql(self) -> str:
+        return f"{self.column} IS NULL"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [f"pred:{self.column}isnull"]
+
+
+@dataclass(frozen=True)
+class IsNotNull(Expression):
+    column: str
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        return ~IsNull(self.column).evaluate(context)
+
+    def to_sql(self) -> str:
+        return f"{self.column} IS NOT NULL"
+
+    def columns(self) -> list[str]:
+        return [self.column]
+
+    def tokens(self) -> list[str]:
+        return [f"pred:{self.column}notnull"]
+
+
+class And(Expression):
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if not operands:
+            raise ExpressionError("AND needs at least one operand")
+        self.operands = tuple(operands)
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        result = self.operands[0].evaluate(context)
+        for operand in self.operands[1:]:
+            result = result & operand.evaluate(context)
+        return result
+
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
+
+    def columns(self) -> list[str]:
+        seen: list[str] = []
+        for operand in self.operands:
+            for ref in operand.columns():
+                if ref not in seen:
+                    seen.append(ref)
+        return seen
+
+    def tokens(self) -> list[str]:
+        tokens: list[str] = []
+        for operand in self.operands:
+            tokens.extend(operand.tokens())
+        return tokens
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("and", self.operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"And({list(self.operands)!r})"
+
+
+class Or(Expression):
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if not operands:
+            raise ExpressionError("OR needs at least one operand")
+        self.operands = tuple(operands)
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        result = self.operands[0].evaluate(context)
+        for operand in self.operands[1:]:
+            result = result | operand.evaluate(context)
+        return result
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
+
+    def columns(self) -> list[str]:
+        seen: list[str] = []
+        for operand in self.operands:
+            for ref in operand.columns():
+                if ref not in seen:
+                    seen.append(ref)
+        return seen
+
+    def tokens(self) -> list[str]:
+        tokens = ["or"]
+        for operand in self.operands:
+            tokens.extend(operand.tokens())
+        return tokens
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("or", self.operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Or({list(self.operands)!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        return ~self.operand.evaluate(context)
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+    def columns(self) -> list[str]:
+        return self.operand.columns()
+
+    def tokens(self) -> list[str]:
+        return ["not"] + self.operand.tokens()
+
+
+def conjuncts(expression: Expression) -> list[Expression]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if isinstance(expression, And):
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(conjuncts(operand))
+        return result
+    if isinstance(expression, TrueExpr):
+        return []
+    return [expression]
+
+
+def conjoin(parts: Sequence[Expression]) -> Expression:
+    """Combine predicates with AND, simplifying the 0- and 1-element cases."""
+    parts = [p for p in parts if not isinstance(p, TrueExpr)]
+    if not parts:
+        return TrueExpr()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)

@@ -1,0 +1,137 @@
+"""Sampling primitives.
+
+``variational_subsample`` is the stand-in for VerdictDB's variational
+subsampling (paper Alg. 1 line 4): it reduces the output of the executed
+query representatives to a tractable action-space seed while preserving
+per-stratum representation — rare strata keep at least one member, and
+inclusion probabilities are retained so downstream consumers (the Verdict
+baseline) can rescale aggregate answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from .table import Table
+
+
+def uniform_sample(n_rows: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Positions of a uniform sample without replacement (clipped to n_rows)."""
+    if n_rows <= 0 or size <= 0:
+        return np.empty(0, dtype=np.int64)
+    size = min(size, n_rows)
+    return np.sort(rng.choice(n_rows, size=size, replace=False)).astype(np.int64)
+
+
+def reservoir_sample(
+    stream: Sequence[int], size: int, rng: np.random.Generator
+) -> list[int]:
+    """Classic reservoir sampling over an arbitrary stream of items."""
+    reservoir: list[int] = []
+    for i, item in enumerate(stream):
+        if len(reservoir) < size:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < size:
+                reservoir[j] = item
+    return reservoir
+
+
+@dataclass
+class SubsampleResult:
+    """Outcome of a stratified subsample.
+
+    ``positions`` index into the input; ``inclusion_probability[i]`` is the
+    probability with which position ``positions[i]`` was kept — the
+    Horvitz–Thompson weight ``1/p`` rescales aggregates computed on the
+    sample back to the population.
+    """
+
+    positions: np.ndarray
+    inclusion_probability: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def variational_subsample(
+    keys: Sequence[Hashable],
+    target_size: int,
+    rng: np.random.Generator,
+    min_per_stratum: int = 1,
+) -> SubsampleResult:
+    """Stratified probabilistic subsampling.
+
+    Parameters
+    ----------
+    keys:
+        One stratum key per input position (e.g. which query representative
+        produced the tuple, or a group-by key).
+    target_size:
+        Desired total sample size. Every stratum keeps at least
+        ``min_per_stratum`` members (so the result can exceed the target
+        when there are many tiny strata).
+    rng:
+        Source of randomness.
+    """
+    n = len(keys)
+    if n == 0 or target_size <= 0:
+        return SubsampleResult(
+            positions=np.empty(0, dtype=np.int64),
+            inclusion_probability=np.empty(0, dtype=np.float64),
+        )
+    if target_size >= n:
+        return SubsampleResult(
+            positions=np.arange(n, dtype=np.int64),
+            inclusion_probability=np.ones(n, dtype=np.float64),
+        )
+
+    strata: dict[Hashable, list[int]] = {}
+    for position, key in enumerate(keys):
+        strata.setdefault(key, []).append(position)
+
+    # Allocate the budget proportionally to sqrt(stratum size): small strata
+    # are over-represented relative to their population share, which is the
+    # behaviour the paper relies on (tuples from small query results matter
+    # more, challenge C3).
+    sizes = {key: len(positions) for key, positions in strata.items()}
+    weights = {key: np.sqrt(size) for key, size in sizes.items()}
+    total_weight = sum(weights.values())
+
+    positions_out: list[int] = []
+    probabilities: list[float] = []
+    for key, members in strata.items():
+        quota = max(
+            min(min_per_stratum, sizes[key]),
+            int(round(target_size * weights[key] / total_weight)),
+        )
+        quota = min(quota, sizes[key])
+        member_array = np.asarray(members, dtype=np.int64)
+        picked = rng.choice(member_array, size=quota, replace=False)
+        probability = quota / sizes[key]
+        positions_out.extend(int(p) for p in picked)
+        probabilities.extend([probability] * quota)
+
+    order = np.argsort(positions_out)
+    return SubsampleResult(
+        positions=np.asarray(positions_out, dtype=np.int64)[order],
+        inclusion_probability=np.asarray(probabilities, dtype=np.float64)[order],
+    )
+
+
+def stratified_table_sample(
+    table: Table,
+    stratify_by: Optional[str],
+    target_size: int,
+    rng: np.random.Generator,
+) -> Table:
+    """Stratified (or uniform, if ``stratify_by`` is None) sample of a table."""
+    if stratify_by is None:
+        return table.take(uniform_sample(len(table), target_size, rng))
+    keys = [str(v) for v in table.column(stratify_by)]
+    result = variational_subsample(keys, target_size, rng)
+    return table.take(result.positions)

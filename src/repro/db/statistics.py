@@ -1,0 +1,126 @@
+"""Per-table / per-column statistics.
+
+Used by three consumers:
+
+* the **workload generator** (paper §4.5, "Unknown Query Workloads"):
+  means/stds of numeric columns and popularity-weighted categorical samples
+  feed the query templates;
+* the **QuickR baseline**, which keeps a catalog of per-table samples and
+  statistics;
+* the **skyline baseline**, which ranks categorical values by frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from .database import Database
+from .table import Table
+
+
+@dataclass
+class NumericStats:
+    """Summary statistics of a numeric column (NULLs excluded)."""
+
+    count: int
+    n_null: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    quantiles: dict[float, float] = field(default_factory=dict)
+
+    @property
+    def value_range(self) -> float:
+        return self.maximum - self.minimum
+
+
+@dataclass
+class CategoricalStats:
+    """Frequency table of a categorical column."""
+
+    count: int
+    n_null: int
+    n_distinct: int
+    frequencies: dict[str, int] = field(default_factory=dict)
+
+    def top_values(self, n: int) -> list[str]:
+        ranked = sorted(self.frequencies.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [value for value, _ in ranked[:n]]
+
+    def sample_weighted(self, rng: np.random.Generator, n: int) -> list[str]:
+        """Sample values proportionally to popularity (with replacement)."""
+        values = list(self.frequencies)
+        weights = np.asarray([self.frequencies[v] for v in values], dtype=np.float64)
+        weights /= weights.sum()
+        picks = rng.choice(len(values), size=n, p=weights)
+        return [values[i] for i in picks]
+
+
+@dataclass
+class TableStats:
+    """All column statistics of one table."""
+
+    table_name: str
+    n_rows: int
+    numeric: dict[str, NumericStats] = field(default_factory=dict)
+    categorical: dict[str, CategoricalStats] = field(default_factory=dict)
+
+
+_DEFAULT_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def compute_table_stats(table: Table, max_distinct: int = 10_000) -> TableStats:
+    """Scan a table once and summarize every column."""
+    stats = TableStats(table_name=table.name, n_rows=len(table))
+    for column in table.schema.columns:
+        array = table.column(column.name)
+        nulls = column.null_mask(array)
+        n_null = int(nulls.sum())
+        if column.ctype.is_numeric:
+            values = np.asarray(array[~nulls], dtype=np.float64)
+            if len(values) == 0:
+                values = np.zeros(1)
+            stats.numeric[column.name] = NumericStats(
+                count=len(array) - n_null,
+                n_null=n_null,
+                mean=float(values.mean()),
+                std=float(values.std()),
+                minimum=float(values.min()),
+                maximum=float(values.max()),
+                quantiles={
+                    q: float(np.quantile(values, q)) for q in _DEFAULT_QUANTILES
+                },
+            )
+        else:
+            frequencies: dict[str, int] = {}
+            for value in array[~nulls]:
+                key = str(value)
+                frequencies[key] = frequencies.get(key, 0) + 1
+                if len(frequencies) > max_distinct:
+                    break
+            stats.categorical[column.name] = CategoricalStats(
+                count=len(array) - n_null,
+                n_null=n_null,
+                n_distinct=len(frequencies),
+                frequencies=frequencies,
+            )
+    return stats
+
+
+def compute_database_stats(db: Database) -> dict[str, TableStats]:
+    """Statistics for every table in the database."""
+    return {table.name: compute_table_stats(table) for table in db}
+
+
+def column_selectivity(table: Table, column_name: str, value) -> float:
+    """Fraction of rows of ``table`` where ``column = value``."""
+    array = table.column(column_name)
+    if len(array) == 0:
+        return 0.0
+    if array.dtype == object:
+        hits = sum(1 for v in array if str(v) == str(value))
+    else:
+        hits = int(np.sum(array == value))
+    return hits / len(array)

@@ -1,0 +1,212 @@
+"""Column-store table.
+
+A :class:`Table` owns one numpy array per column plus a stable integer
+*row id* per row. Row ids are positions in the base table and survive into
+subsets taken with :meth:`Table.take`, which is how approximation sets
+remember which base tuples they contain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .schema import Column, SchemaError, TableSchema
+
+
+class Table:
+    """An immutable in-memory table.
+
+    Parameters
+    ----------
+    schema:
+        The table schema.
+    columns:
+        Mapping from column name to a sequence of values (all the same
+        length). Values are coerced to the column's storage dtype.
+    row_ids:
+        Optional explicit row ids. Defaults to ``arange(n)``; subsets carry
+        the ids of the base rows they came from.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        columns: Mapping[str, Sequence],
+        row_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        self.schema = schema
+        missing = [c.name for c in schema.columns if c.name not in columns]
+        if missing:
+            raise SchemaError(f"table {schema.name!r}: missing columns {missing}")
+        extra = [name for name in columns if not schema.has_column(name)]
+        if extra:
+            raise SchemaError(f"table {schema.name!r}: unknown columns {extra}")
+
+        self._data: dict[str, np.ndarray] = {}
+        n_rows: Optional[int] = None
+        for column in schema.columns:
+            array = column.coerce(columns[column.name])
+            if n_rows is None:
+                n_rows = len(array)
+            elif len(array) != n_rows:
+                raise SchemaError(
+                    f"table {schema.name!r}: column {column.name!r} has "
+                    f"{len(array)} values, expected {n_rows}"
+                )
+            array.setflags(write=False)
+            self._data[column.name] = array
+        self._n_rows = int(n_rows or 0)
+
+        if row_ids is None:
+            row_ids = np.arange(self._n_rows, dtype=np.int64)
+        else:
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+            if len(row_ids) != self._n_rows:
+                raise SchemaError(
+                    f"table {schema.name!r}: {len(row_ids)} row ids for "
+                    f"{self._n_rows} rows"
+                )
+        row_ids.setflags(write=False)
+        self.row_ids = row_ids
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The storage array of a column (read-only view)."""
+        self.schema.column(name)  # validates the name
+        return self._data[name]
+
+    def row(self, index: int) -> dict[str, object]:
+        """Materialize one row (by position, not row id) as a dict."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError(
+                f"table {self.name!r}: row {index} out of range 0..{self._n_rows - 1}"
+            )
+        return {name: array[index] for name, array in self._data.items()}
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over all rows as dicts. Intended for tests and display."""
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    def null_mask(self, name: str) -> np.ndarray:
+        column = self.schema.column(name)
+        return column.null_mask(self._data[name])
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+    def take(self, positions: np.ndarray) -> "Table":
+        """A new table containing the rows at ``positions`` (in order).
+
+        Row ids are carried through, so a subset of a subset still refers
+        to base-table rows.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        data = {name: array[positions] for name, array in self._data.items()}
+        return Table(self.schema, data, row_ids=self.row_ids[positions])
+
+    def filter_mask(self, mask: np.ndarray) -> "Table":
+        """A new table keeping rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._n_rows:
+            raise ValueError(
+                f"table {self.name!r}: mask length {len(mask)} != {self._n_rows} rows"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def subset_by_row_ids(self, keep_ids: Iterable[int]) -> "Table":
+        """A new table keeping rows whose *row id* is in ``keep_ids``."""
+        keep = np.asarray(sorted(set(int(i) for i in keep_ids)), dtype=np.int64)
+        mask = np.isin(self.row_ids, keep)
+        return self.filter_mask(mask)
+
+    def head(self, n: int = 10) -> "Table":
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    # ------------------------------------------------------------------ #
+    # display
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={self._n_rows}, cols={self.schema.column_names})"
+
+    def _repr_html_(self) -> str:
+        """Jupyter rendering (the paper targets notebook EDA sessions)."""
+        limit = 10
+        names = self.schema.column_names
+        rows = [
+            [self._data[name][i] for name in names]
+            for i in range(min(limit, self._n_rows))
+        ]
+        caption = f"{self.name} — {self._n_rows} rows"
+        if self._n_rows > limit:
+            caption += f" (showing {limit})"
+        return render_html_table(names, rows, caption=caption)
+
+    def to_text(self, limit: int = 10) -> str:
+        """A small fixed-width rendering, for examples and debugging."""
+        names = self.schema.column_names
+        shown = [
+            [str(self._data[name][i]) for name in names]
+            for i in range(min(limit, self._n_rows))
+        ]
+        widths = [
+            max(len(name), *(len(row[j]) for row in shown)) if shown else len(name)
+            for j, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(widths[j]) for j, name in enumerate(names))
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [header, rule]
+        for row in shown:
+            lines.append(" | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if self._n_rows > limit:
+            lines.append(f"... ({self._n_rows - limit} more rows)")
+        return "\n".join(lines)
+
+
+def table_from_rows(schema: TableSchema, rows: Sequence[Mapping[str, object]]) -> Table:
+    """Build a :class:`Table` from a sequence of row dicts."""
+    columns: dict[str, list] = {column.name: [] for column in schema.columns}
+    for row in rows:
+        for column in schema.columns:
+            if column.name not in row:
+                raise SchemaError(
+                    f"table {schema.name!r}: row missing column {column.name!r}"
+                )
+            columns[column.name].append(row[column.name])
+    return Table(schema, columns)
+
+
+def _html_escape(value: object) -> str:
+    text = str(value)
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_html_table(headers, rows, caption: str = "") -> str:
+    """Minimal HTML table used by the Jupyter reprs (no styling deps)."""
+    parts = ["<table>"]
+    if caption:
+        parts.append(f"<caption>{_html_escape(caption)}</caption>")
+    parts.append(
+        "<thead><tr>"
+        + "".join(f"<th>{_html_escape(h)}</th>" for h in headers)
+        + "</tr></thead><tbody>"
+    )
+    for row in rows:
+        parts.append(
+            "<tr>" + "".join(f"<td>{_html_escape(v)}</td>" for v in row) + "</tr>"
+        )
+    parts.append("</tbody></table>")
+    return "".join(parts)

@@ -1,0 +1,102 @@
+"""Deterministic feature-hashed token embeddings.
+
+Stand-in for the paper's modified sentence-BERT: a hashing-trick embedder
+that maps token lists to fixed-dimension vectors. Each token gets a stable
+pseudo-random direction (seeded by a hash of the token text), and a
+sequence embeds as the L2-normalized sum of its token directions. Two
+token lists that share many tokens therefore land near each other in
+cosine space — the only property the ASQP-RL pipeline actually relies on
+("similar queries ⇒ nearby vectors").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+DEFAULT_DIM = 64
+
+
+def _token_seed(token: str) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class TokenHasher:
+    """Maps tokens to stable unit vectors and token lists to embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    cache_size:
+        Token directions are memoized; the cache is cleared once it exceeds
+        this many entries (workloads here are far below the limit).
+    """
+
+    def __init__(self, dim: int = DEFAULT_DIM, cache_size: int = 200_000) -> None:
+        if dim < 2:
+            raise ValueError(f"embedding dim must be >= 2, got {dim}")
+        self.dim = dim
+        self._cache_size = cache_size
+        self._cache: dict[str, np.ndarray] = {}
+
+    def token_vector(self, token: str) -> np.ndarray:
+        """The stable unit direction of one token."""
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(_token_seed(token))
+        vector = rng.standard_normal(self.dim)
+        vector /= np.linalg.norm(vector)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[token] = vector
+        return vector
+
+    def embed(self, tokens: Sequence[str], weights: Sequence[float] = ()) -> np.ndarray:
+        """L2-normalized weighted sum of token directions.
+
+        An empty token list embeds as the zero vector.
+        """
+        if not tokens:
+            return np.zeros(self.dim)
+        if weights and len(weights) != len(tokens):
+            raise ValueError(
+                f"{len(weights)} weights for {len(tokens)} tokens"
+            )
+        total = np.zeros(self.dim)
+        for i, token in enumerate(tokens):
+            weight = weights[i] if weights else 1.0
+            total += weight * self.token_vector(token)
+        norm = np.linalg.norm(total)
+        return total / norm if norm > 0 else total
+
+    def embed_many(self, token_lists: Iterable[Sequence[str]]) -> np.ndarray:
+        """Stack embeddings of several token lists into a matrix."""
+        rows = [self.embed(tokens) for tokens in token_lists]
+        if not rows:
+            return np.zeros((0, self.dim))
+        return np.vstack(rows)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 when either is zero)."""
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between rows of ``a`` and rows of ``b``."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    norms_a = np.linalg.norm(a, axis=1, keepdims=True)
+    norms_b = np.linalg.norm(b, axis=1, keepdims=True)
+    norms_a[norms_a == 0] = 1.0
+    norms_b[norms_b == 0] = 1.0
+    return (a / norms_a) @ (b / norms_b).T

@@ -1,0 +1,86 @@
+"""Tuple embeddings (the paper's ``Emb_tab``).
+
+The paper adapts sentence-BERT for tabular rows by "including column names
+as tokens to capture both the meaning of the column as well as the value"
+(§4.2). We mirror that: a row embeds from ``table``, ``column`` and
+``column=value`` tokens; numeric values contribute a bucket token (so
+near-equal numbers share tokens) and the raw value token.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..db.schema import ColumnType
+from ..db.statistics import TableStats
+from ..db.table import Table
+from .query_embed import N_VALUE_BUCKETS
+from .text import DEFAULT_DIM, TokenHasher
+
+
+class TupleEmbedder:
+    """Embeds rows of tables into the same hashed vector space."""
+
+    def __init__(
+        self,
+        dim: int = DEFAULT_DIM,
+        stats: Optional[Mapping[str, TableStats]] = None,
+    ) -> None:
+        self.hasher = TokenHasher(dim=dim)
+        self.stats = dict(stats) if stats else {}
+
+    @property
+    def dim(self) -> int:
+        return self.hasher.dim
+
+    # -------------------------------------------------------------- #
+    def row_tokens(self, table: Table, position: int) -> list[str]:
+        """Tokens of one row: table, column names, and column=value pairs."""
+        tokens = [f"table:{table.name}"]
+        for column in table.schema.columns:
+            value = table.column(column.name)[position]
+            tokens.append(f"col:{table.name}.{column.name}")
+            if column.ctype is ColumnType.STR:
+                tokens.append(f"val:{table.name}.{column.name}={value}")
+            else:
+                tokens.append(f"val:{table.name}.{column.name}={value}")
+                bucket = self._bucket(table.name, column.name, float(value))
+                if bucket is not None:
+                    tokens.append(f"bucket:{table.name}.{column.name}@{bucket}")
+        return tokens
+
+    def embed_row(self, table: Table, position: int) -> np.ndarray:
+        return self.hasher.embed(self.row_tokens(table, position))
+
+    def embed_table(self, table: Table, positions: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Embedding matrix for ``positions`` (default: all rows)."""
+        if positions is None:
+            positions = range(len(table))
+        return self.hasher.embed_many(self.row_tokens(table, p) for p in positions)
+
+    def embed_group(self, rows: Sequence[tuple[Table, int]]) -> np.ndarray:
+        """Embedding of a *join group*: the normalized mean of its rows.
+
+        Actions in ASQP-RL bundle one row per joined table; the group
+        embedding is what the action-space vector representation
+        (Alg. 1 line 4) stores per action.
+        """
+        if not rows:
+            return np.zeros(self.dim)
+        vectors = [self.embed_row(table, position) for table, position in rows]
+        mean = np.mean(vectors, axis=0)
+        norm = np.linalg.norm(mean)
+        return mean / norm if norm > 0 else mean
+
+    # -------------------------------------------------------------- #
+    def _bucket(self, table_name: str, column: str, value: float) -> Optional[int]:
+        table_stats = self.stats.get(table_name)
+        if table_stats is None:
+            return None
+        numeric = table_stats.numeric.get(column)
+        if numeric is None or numeric.value_range <= 0:
+            return None
+        fraction = (value - numeric.minimum) / numeric.value_range
+        return int(np.clip(fraction * N_VALUE_BUCKETS, 0, N_VALUE_BUCKETS - 1))

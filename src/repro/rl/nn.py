@@ -1,0 +1,168 @@
+"""Minimal neural-network layer stack with manual backprop, plus Adam.
+
+The paper trains its actor-critic networks with PyTorch; this module is the
+CPU/numpy substitute. It provides exactly what ASQP-RL needs: fully
+connected MLPs ("a large input layer matching the action space's size,
+followed by smaller fully-connected layers", paper §5.1) with tanh hidden
+activations, a linear output head, and the Adam optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ForwardCache:
+    """Activations recorded during a forward pass, consumed by backward."""
+
+    inputs: list[np.ndarray]       # input to each linear layer
+    pre_activations: list[np.ndarray]
+
+
+class MLP:
+    """A fully connected network: tanh hidden layers, linear output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        e.g. ``[n_actions, 128, 64, n_actions]`` for the actor or
+        ``[n_actions, 128, 64, 1]`` for the critic.
+    rng:
+        Initialization randomness (Xavier/Glorot uniform).
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], rng: np.random.Generator) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError(f"need at least input+output sizes, got {layer_sizes}")
+        self.layer_sizes = list(layer_sizes)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    # -------------------------------------------------------------- #
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, ForwardCache]:
+        """Batch forward pass; ``x`` is ``(batch, input_dim)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cache = ForwardCache(inputs=[], pre_activations=[])
+        activation = x
+        for i in range(self.n_layers):
+            cache.inputs.append(activation)
+            z = activation @ self.weights[i] + self.biases[i]
+            cache.pre_activations.append(z)
+            activation = z if i == self.n_layers - 1 else np.tanh(z)
+        return activation, cache
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without keeping the cache."""
+        output, _ = self.forward(x)
+        return output
+
+    def backward(
+        self, cache: ForwardCache, grad_output: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backprop ``dLoss/dOutput`` to per-parameter gradients.
+
+        Returns ``(weight_grads, bias_grads)`` aligned with
+        ``self.weights`` / ``self.biases``, averaged over the batch is the
+        caller's choice — gradients here are *sums* over the batch.
+        """
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        weight_grads: list[Optional[np.ndarray]] = [None] * self.n_layers
+        bias_grads: list[Optional[np.ndarray]] = [None] * self.n_layers
+        for i in reversed(range(self.n_layers)):
+            if i != self.n_layers - 1:
+                grad = grad * (1.0 - np.tanh(cache.pre_activations[i]) ** 2)
+            weight_grads[i] = cache.inputs[i].T @ grad
+            bias_grads[i] = grad.sum(axis=0)
+            if i > 0:
+                grad = grad @ self.weights[i].T
+        return weight_grads, bias_grads  # type: ignore[return-value]
+
+    # -------------------------------------------------------------- #
+    def parameters(self) -> list[np.ndarray]:
+        return self.weights + self.biases
+
+    def copy_from(self, other: "MLP") -> None:
+        """Copy parameters from another MLP of identical shape."""
+        if other.layer_sizes != self.layer_sizes:
+            raise ValueError(
+                f"shape mismatch: {other.layer_sizes} vs {self.layer_sizes}"
+            )
+        for target, source in zip(self.parameters(), other.parameters()):
+            target[...] = source
+
+    def clone(self, rng: Optional[np.random.Generator] = None) -> "MLP":
+        clone = MLP(self.layer_sizes, rng or np.random.default_rng(0))
+        clone.copy_from(self)
+        return clone
+
+
+class Adam:
+    """Adam optimizer over a fixed list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        learning_rate: float = 5e-5,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in self.parameters]
+        self._v = [np.zeros_like(p) for p in self.parameters]
+        self._t = 0
+
+    def step(self, gradients: Sequence[np.ndarray]) -> None:
+        """One descent step given gradients aligned with ``parameters``."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"{len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        for param, grad, m, v in zip(self.parameters, gradients, self._m, self._v):
+            m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
+            v[...] = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def masked_log_softmax(logits: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Log-probabilities with invalid actions forced to ``-inf``.
+
+    ``mask`` is boolean, True = valid. Rows with no valid action raise.
+    """
+    logits = np.atleast_2d(logits)
+    mask = np.atleast_2d(mask).astype(bool)
+    if not mask.any(axis=1).all():
+        raise ValueError("at least one row has no valid action")
+    masked = np.where(mask, logits, -np.inf)
+    shifted = masked - np.max(masked, axis=1, keepdims=True)
+    exp = np.where(mask, np.exp(shifted), 0.0)
+    log_norm = np.log(np.sum(exp, axis=1, keepdims=True))
+    return np.where(mask, shifted - log_norm, -np.inf)

@@ -1,0 +1,139 @@
+"""Multi-actor rollout collection.
+
+The paper trains "32 actor and critic networks, asynchronously" with
+distinct exploration policies per actor (§5.1). Asynchrony there buys
+wall-clock speed on a GPU server; the algorithmically relevant part —
+*multiple actors exploring with different policies between updates* — is
+reproduced here synchronously: each logical actor runs episodes against
+its own environment instance with its own sampling temperature and RNG
+stream, and all trajectories feed one shared update.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .policy import ActorNetwork, CriticNetwork
+from .rollout import RolloutBuffer, Trajectory
+
+
+class Environment(abc.ABC):
+    """Minimal episodic environment contract (gym-like, with masks)."""
+
+    @abc.abstractmethod
+    def reset(self) -> tuple[np.ndarray, np.ndarray]:
+        """Start an episode; returns ``(state, valid-action mask)``."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, np.ndarray]:
+        """Apply an action; returns ``(state, reward, done, mask)``."""
+
+    @property
+    @abc.abstractmethod
+    def n_actions(self) -> int:
+        """Size of the (fixed) discrete action space."""
+
+
+@dataclass
+class ActorSpec:
+    """One logical actor: exploration temperature + its RNG stream."""
+
+    temperature: float
+    rng: np.random.Generator
+
+
+def make_actor_specs(
+    n_actors: int,
+    seed: int,
+    temperature_low: float = 0.8,
+    temperature_high: float = 1.6,
+) -> list[ActorSpec]:
+    """Evenly spaced exploration temperatures, one RNG stream per actor."""
+    if n_actors < 1:
+        raise ValueError(f"need at least one actor, got {n_actors}")
+    if n_actors == 1:
+        temperatures = [1.0]
+    else:
+        temperatures = list(
+            np.linspace(temperature_low, temperature_high, n_actors)
+        )
+    seeds = np.random.SeedSequence(seed).spawn(n_actors)
+    return [
+        ActorSpec(temperature=float(t), rng=np.random.default_rng(s))
+        for t, s in zip(temperatures, seeds)
+    ]
+
+
+class MultiActorCollector:
+    """Collects trajectories from N parallel (logical) actors.
+
+    Parameters
+    ----------
+    env_factory:
+        Builds a fresh environment per actor (environments carry mutable
+        episode state, so actors must not share one).
+    actor / critic:
+        The shared networks. The critic is optional (REINFORCE ablation).
+    specs:
+        Per-actor exploration settings from :func:`make_actor_specs`.
+    max_episode_steps:
+        Hard cap per episode (safety net over the environment's own
+        terminal condition).
+    """
+
+    def __init__(
+        self,
+        env_factory: Callable[[], Environment],
+        actor: ActorNetwork,
+        critic: CriticNetwork | None,
+        specs: Sequence[ActorSpec],
+        max_episode_steps: int = 10_000,
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one actor spec")
+        self.environments = [env_factory() for _ in specs]
+        self.actor = actor
+        self.critic = critic
+        self.specs = list(specs)
+        self.max_episode_steps = max_episode_steps
+
+    def collect(self, episodes_per_actor: int, buffer: RolloutBuffer) -> float:
+        """Run episodes for every actor; returns the mean episode reward."""
+        rewards: list[float] = []
+        for env, spec in zip(self.environments, self.specs):
+            for _ in range(episodes_per_actor):
+                trajectory = self._run_episode(env, spec)
+                if len(trajectory) > 0:
+                    buffer.add(trajectory)
+                    rewards.append(trajectory.total_reward)
+        return float(np.mean(rewards)) if rewards else 0.0
+
+    def _run_episode(self, env: Environment, spec: ActorSpec) -> Trajectory:
+        trajectory = Trajectory()
+        state, mask = env.reset()
+        for _ in range(self.max_episode_steps):
+            if not mask.any():
+                break
+            decision = self.actor.sample(state, mask, spec.rng, spec.temperature)
+            value = (
+                float(self.critic.value(state[None, :])[0])
+                if self.critic is not None
+                else 0.0
+            )
+            next_state, reward, done, next_mask = env.step(decision.action)
+            trajectory.append(
+                state=state,
+                action=decision.action,
+                reward=reward,
+                log_prob=decision.log_prob,
+                value=value,
+                mask=mask,
+            )
+            state, mask = next_state, next_mask
+            if done:
+                break
+        return trajectory

@@ -1,0 +1,125 @@
+"""Actor and critic networks over a masked discrete action space.
+
+Mirrors the paper's architecture (§5.1): both networks take the multi-hot
+state over the action space; the actor ends in a softmax over actions
+(invalid actions masked to -inf, per the action-masking technique of
+[Huang & Ontañón]), the critic in a single linear value output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .nn import MLP, masked_log_softmax, softmax
+
+DEFAULT_HIDDEN = (128, 64)
+
+
+@dataclass
+class PolicyDecision:
+    """One sampled action with its bookkeeping for PPO."""
+
+    action: int
+    log_prob: float
+    probabilities: np.ndarray
+
+
+class ActorNetwork:
+    """Policy network π_θ(a|s) with action masking and a temperature knob.
+
+    Temperature scales logits before the softmax; the parallel actor
+    collector gives each actor a distinct temperature, implementing the
+    paper's "different exploration policies are explicitly used in each
+    actor-critic to maximize diversity".
+    """
+
+    def __init__(
+        self,
+        n_actions: int,
+        rng: np.random.Generator,
+        hidden: Sequence[int] = DEFAULT_HIDDEN,
+        state_dim: Optional[int] = None,
+    ) -> None:
+        if n_actions < 1:
+            raise ValueError(f"need at least one action, got {n_actions}")
+        self.n_actions = n_actions
+        self.state_dim = state_dim if state_dim is not None else n_actions
+        self.net = MLP([self.state_dim, *hidden, n_actions], rng)
+
+    # -------------------------------------------------------------- #
+    def logits(self, states: np.ndarray) -> np.ndarray:
+        return self.net.predict(states)
+
+    def log_probs(
+        self, states: np.ndarray, masks: np.ndarray, temperature: float = 1.0
+    ) -> np.ndarray:
+        logits = self.logits(states) / max(temperature, 1e-6)
+        return masked_log_softmax(logits, masks)
+
+    def sample(
+        self,
+        state: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+        temperature: float = 1.0,
+    ) -> PolicyDecision:
+        """Sample one masked action from π(a|s)."""
+        log_probs = self.log_probs(state[None, :], mask[None, :], temperature)[0]
+        probabilities = np.exp(np.where(np.isfinite(log_probs), log_probs, -np.inf))
+        probabilities = np.where(np.isfinite(log_probs), probabilities, 0.0)
+        probabilities /= probabilities.sum()
+        action = int(rng.choice(self.n_actions, p=probabilities))
+        return PolicyDecision(
+            action=action,
+            log_prob=float(log_probs[action]),
+            probabilities=probabilities,
+        )
+
+    def greedy(self, state: np.ndarray, mask: np.ndarray) -> int:
+        """The highest-probability valid action (used at inference)."""
+        log_probs = self.log_probs(state[None, :], mask[None, :])[0]
+        return int(np.argmax(log_probs))
+
+    # -------------------------------------------------------------- #
+    def clone(self) -> "ActorNetwork":
+        copy = ActorNetwork(
+            self.n_actions,
+            np.random.default_rng(0),
+            hidden=self.net.layer_sizes[1:-1],
+            state_dim=self.state_dim,
+        )
+        copy.net.copy_from(self.net)
+        return copy
+
+
+class CriticNetwork:
+    """Value network V(s) with a single linear output."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        rng: np.random.Generator,
+        hidden: Sequence[int] = DEFAULT_HIDDEN,
+    ) -> None:
+        self.state_dim = state_dim
+        self.net = MLP([state_dim, *hidden, 1], rng)
+
+    def value(self, states: np.ndarray) -> np.ndarray:
+        """V(s) for a batch of states, shape ``(batch,)``."""
+        return self.net.predict(states)[:, 0]
+
+    def clone(self) -> "CriticNetwork":
+        copy = CriticNetwork(
+            self.state_dim, np.random.default_rng(0), hidden=self.net.layer_sizes[1:-1]
+        )
+        copy.net.copy_from(self.net)
+        return copy
+
+
+def entropy_of(probabilities: np.ndarray) -> float:
+    """Shannon entropy of a distribution (natural log, zero-safe)."""
+    p = probabilities[probabilities > 0]
+    return float(-np.sum(p * np.log(p)))

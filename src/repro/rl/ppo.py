@@ -1,0 +1,218 @@
+"""Policy updates: PPO-clip, A2C, and REINFORCE variants.
+
+The full agent is the paper's actor-critic PPO (§5.1): clipped surrogate
+objective, entropy bonus for exploration, and a KL coefficient that
+penalizes large policy moves. The two ablation variants of Fig. 3 are
+selected by flags:
+
+* ``use_clip=False``  → "-ppo": plain advantage actor-critic (no ratio,
+  no clipping, no KL penalty).
+* ``use_critic=False`` (together with ``use_clip=False``) → "-ppo -ac":
+  REINFORCE with reward-to-go.
+
+All gradients are derived analytically against the masked softmax — see
+the inline notes — and applied with Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .nn import Adam, masked_log_softmax
+from .policy import ActorNetwork, CriticNetwork
+from .rollout import RolloutBatch
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters (paper defaults from §6.1)."""
+
+    learning_rate: float = 5e-5
+    clip_epsilon: float = 0.2
+    entropy_coef: float = 0.001
+    kl_coef: float = 0.2
+    value_coef: float = 0.5
+    update_epochs: int = 4
+    minibatch_size: int = 64
+    max_grad_norm: float = 5.0
+    use_clip: bool = True
+    use_critic: bool = True
+
+    def variant_name(self) -> str:
+        if not self.use_critic:
+            return "reinforce"
+        if not self.use_clip:
+            return "a2c"
+        return "ppo"
+
+
+@dataclass
+class UpdateStats:
+    """Diagnostics from one update call."""
+
+    policy_loss: float = 0.0
+    value_loss: float = 0.0
+    entropy: float = 0.0
+    kl_divergence: float = 0.0
+    clip_fraction: float = 0.0
+    n_samples: int = 0
+
+
+def _clip_gradients(gradients: list[np.ndarray], max_norm: float) -> list[np.ndarray]:
+    total = np.sqrt(sum(float(np.sum(g * g)) for g in gradients))
+    if total > max_norm > 0:
+        scale = max_norm / (total + 1e-12)
+        return [g * scale for g in gradients]
+    return gradients
+
+
+class PPOUpdater:
+    """Updates an actor (and optionally a critic) from rollout batches."""
+
+    def __init__(
+        self,
+        actor: ActorNetwork,
+        critic: Optional[CriticNetwork],
+        config: Optional[PPOConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or PPOConfig()
+        if self.config.use_critic and critic is None:
+            raise ValueError("use_critic=True requires a critic network")
+        self.actor = actor
+        self.critic = critic
+        self.rng = rng or np.random.default_rng(0)
+        self.actor_optimizer = Adam(
+            actor.net.parameters(), learning_rate=self.config.learning_rate
+        )
+        self.critic_optimizer = (
+            Adam(critic.net.parameters(), learning_rate=self.config.learning_rate * 10)
+            if critic is not None
+            else None
+        )
+
+    # -------------------------------------------------------------- #
+    def update(self, batch: RolloutBatch) -> UpdateStats:
+        """Run K epochs of minibatch updates on one rollout batch."""
+        config = self.config
+        n = len(batch)
+        stats = UpdateStats(n_samples=n)
+        if n == 0:
+            return stats
+
+        # Snapshot π_old for ratios and the KL penalty.
+        old_actor = self.actor.clone()
+        old_log_dist = old_actor.log_probs(batch.states, batch.masks)
+
+        n_updates = 0
+        for _epoch in range(config.update_epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, config.minibatch_size):
+                idx = order[start : start + config.minibatch_size]
+                mb_stats = self._minibatch_update(batch, idx, old_log_dist[idx])
+                stats.policy_loss += mb_stats.policy_loss
+                stats.value_loss += mb_stats.value_loss
+                stats.entropy += mb_stats.entropy
+                stats.kl_divergence += mb_stats.kl_divergence
+                stats.clip_fraction += mb_stats.clip_fraction
+                n_updates += 1
+
+        if n_updates:
+            stats.policy_loss /= n_updates
+            stats.value_loss /= n_updates
+            stats.entropy /= n_updates
+            stats.kl_divergence /= n_updates
+            stats.clip_fraction /= n_updates
+        return stats
+
+    # -------------------------------------------------------------- #
+    def _minibatch_update(
+        self,
+        batch: RolloutBatch,
+        idx: np.ndarray,
+        old_log_dist: np.ndarray,
+    ) -> UpdateStats:
+        config = self.config
+        states = batch.states[idx]
+        actions = batch.actions[idx]
+        old_log_probs = batch.old_log_probs[idx]
+        advantages = batch.advantages[idx]
+        returns = batch.returns[idx]
+        masks = batch.masks[idx]
+        m = len(idx)
+
+        logits, cache = self.actor.net.forward(states)
+        log_dist = masked_log_softmax(logits, masks)
+        probs = np.where(masks, np.exp(log_dist), 0.0)
+        log_pi = log_dist[np.arange(m), actions]
+
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(m), actions] = 1.0
+        # d log π(a|s) / d logits = onehot(a) − p   (masked softmax identity)
+        dlogpi_dlogits = one_hot - probs
+
+        if config.use_clip:
+            ratio = np.exp(log_pi - old_log_probs)
+            clipped = np.clip(ratio, 1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
+            surrogate_1 = ratio * advantages
+            surrogate_2 = clipped * advantages
+            take_unclipped = surrogate_1 <= surrogate_2
+            policy_loss = -float(np.mean(np.minimum(surrogate_1, surrogate_2)))
+            clip_fraction = float(np.mean(~take_unclipped))
+            # dL/dlogπ = −ratio·A when the unclipped branch is active, else 0.
+            g = np.where(take_unclipped, -ratio * advantages, 0.0)
+        else:
+            policy_loss = -float(np.mean(log_pi * advantages))
+            clip_fraction = 0.0
+            g = -advantages
+
+        grad_logits = (g[:, None] * dlogpi_dlogits) / m
+
+        # Entropy bonus: L −= c_ent · H;  dH/dz_j = −p_j (log p_j + H).
+        safe_log = np.where(probs > 0, np.log(np.maximum(probs, 1e-12)), 0.0)
+        entropy = -np.sum(probs * safe_log, axis=1)
+        dH_dlogits = -probs * (safe_log + entropy[:, None])
+        grad_logits -= config.entropy_coef * dH_dlogits / m
+
+        # KL(π_old ‖ π) penalty (PPO variant only): dKL/dz = p − p_old.
+        kl = 0.0
+        if config.use_clip and config.kl_coef > 0:
+            old_probs = np.where(masks, np.exp(old_log_dist), 0.0)
+            valid = masks & (old_probs > 0) & (probs > 0)
+            kl_terms = np.where(
+                valid, old_probs * (np.log(np.maximum(old_probs, 1e-12)) - safe_log), 0.0
+            )
+            kl = float(np.mean(np.sum(kl_terms, axis=1)))
+            grad_logits += config.kl_coef * (probs - old_probs) / m
+
+        grad_logits = np.where(masks, grad_logits, 0.0)
+        weight_grads, bias_grads = self.actor.net.backward(cache, grad_logits)
+        gradients = _clip_gradients(weight_grads + bias_grads, config.max_grad_norm)
+        self.actor_optimizer.step(gradients)
+
+        value_loss = 0.0
+        if config.use_critic and self.critic is not None:
+            values_out, value_cache = self.critic.net.forward(states)
+            errors = values_out[:, 0] - returns
+            value_loss = float(np.mean(errors ** 2))
+            grad_values = (2.0 * errors / m)[:, None] * self.config.value_coef
+            v_weight_grads, v_bias_grads = self.critic.net.backward(
+                value_cache, grad_values
+            )
+            v_gradients = _clip_gradients(
+                v_weight_grads + v_bias_grads, config.max_grad_norm
+            )
+            assert self.critic_optimizer is not None
+            self.critic_optimizer.step(v_gradients)
+
+        return UpdateStats(
+            policy_loss=policy_loss,
+            value_loss=value_loss,
+            entropy=float(np.mean(entropy)),
+            kl_divergence=kl,
+            clip_fraction=clip_fraction,
+            n_samples=m,
+        )

@@ -1,0 +1,259 @@
+"""Unit tests for repro.core.action_space and repro.core.environment."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ASQPConfig,
+    Action,
+    ActionSpace,
+    DropOneEnvironment,
+    GSLEnvironment,
+    HybridEnvironment,
+    QueryCoverage,
+    group_rows_into_actions,
+    make_environment,
+)
+
+
+@pytest.fixture
+def actions():
+    return [
+        Action(keys=(("t", 0), ("u", 0)), source_query=0),
+        Action(keys=(("t", 1), ("u", 1)), source_query=0),
+        Action(keys=(("t", 2),), source_query=1),
+        Action(keys=(("t", 3), ("t", 4)), source_query=1),
+    ]
+
+
+@pytest.fixture
+def space(actions):
+    return ActionSpace(actions, embedding_dim=8)
+
+
+@pytest.fixture
+def coverages():
+    return [
+        QueryCoverage(
+            name="q0", weight=0.5, denominator=2,
+            requirements=[(("t", 0), ("u", 0)), (("t", 1), ("u", 1))],
+        ),
+        QueryCoverage(
+            name="q1", weight=0.5, denominator=3,
+            requirements=[(("t", 2),), (("t", 3),), (("t", 4),)],
+        ),
+    ]
+
+
+def _config(**overrides):
+    defaults = dict(memory_budget=5, query_batch_size=2, drp_horizon=6, seed=0)
+    defaults.update(overrides)
+    return ASQPConfig(**defaults)
+
+
+class TestActionSpace:
+    def test_len_and_indexing(self, space, actions):
+        assert len(space) == 4
+        assert space[2] is actions[2]
+        assert space.keys_of(0) == (("t", 0), ("u", 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpace([])
+
+    def test_embedding_length_check(self, actions):
+        with pytest.raises(ValueError):
+            ActionSpace(actions, embeddings=np.zeros((2, 8)))
+
+    def test_stats(self, space):
+        assert space.mean_action_size() == pytest.approx((2 + 2 + 1 + 2) / 4)
+        assert space.total_distinct_tuples() == 7
+
+    def test_extend(self, space):
+        extra = [Action(keys=(("t", 9),), source_query=5)]
+        bigger = space.extend(extra, np.zeros((1, 8)))
+        assert len(bigger) == 5
+        assert len(space) == 4  # original untouched
+
+    def test_extend_length_check(self, space):
+        with pytest.raises(ValueError):
+            space.extend([Action(keys=(("t", 9),))], np.zeros((2, 8)))
+
+
+class TestGroupRows:
+    def test_groups_within_source(self, rng):
+        rows = [(("t", i),) for i in range(6)]
+        sources = [0, 0, 0, 1, 1, 1]
+        actions = group_rows_into_actions(rows, sources, group_size=2, rng=rng)
+        assert len(actions) == 4  # ceil(3/2) per source
+        for action in actions:
+            assert action.source_query in (0, 1)
+
+    def test_duplicate_keys_collapse(self, rng):
+        rows = [(("t", 0), ("u", 1)), (("t", 0), ("u", 2))]
+        actions = group_rows_into_actions(rows, [0, 0], group_size=2, rng=rng)
+        assert len(actions) == 1
+        assert len(actions[0].keys) == 3
+
+    def test_group_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            group_rows_into_actions([], [], group_size=0, rng=rng)
+
+    def test_all_rows_covered(self, rng):
+        rows = [(("t", i),) for i in range(10)]
+        actions = group_rows_into_actions(rows, [0] * 10, group_size=3, rng=rng)
+        keys = {key for action in actions for key in action.keys}
+        assert keys == {("t", i) for i in range(10)}
+
+
+class TestGSLEnvironment:
+    def test_episode_reaches_budget(self, space, coverages, rng):
+        env = GSLEnvironment(space, coverages, _config(), rng)
+        state, mask = env.reset()
+        assert state.sum() == 0 and mask.all()
+        done = False
+        steps = 0
+        while not done:
+            action = int(np.flatnonzero(mask)[0])
+            state, reward, done, mask = env.step(action)
+            steps += 1
+        assert env.approx.total_size() >= 5 or not mask.any()
+
+    def test_mask_violation_raises(self, space, coverages, rng):
+        env = GSLEnvironment(space, coverages, _config(), rng)
+        env.reset()
+        env.step(0)
+        with pytest.raises(ValueError, match="already selected"):
+            env.step(0)
+
+    def test_delta_rewards_telescope_to_score(self, space, coverages, rng):
+        config = _config(memory_budget=100, query_batch_size=2)
+        env = GSLEnvironment(space, coverages, config, rng,
+                             query_batch=[0, 1])
+        _, mask = env.reset()
+        total = 0.0
+        done = False
+        while not done and mask.any():
+            action = int(np.flatnonzero(mask)[0])
+            _, reward, done, mask = env.step(action)
+            total += reward
+        assert total == pytest.approx(env.current_score())
+
+    def test_absolute_rewards_mode(self, space, coverages, rng):
+        config = _config(gsl_delta_rewards=False)
+        env = GSLEnvironment(space, coverages, config, rng, query_batch=[0, 1])
+        env.reset()
+        _, r1, _, _ = env.step(0)
+        assert r1 == pytest.approx(env.tracker.batch_score([0, 1]))
+
+    def test_fixed_batch_respected(self, space, coverages, rng):
+        env = GSLEnvironment(space, coverages, _config(), rng, query_batch=[1])
+        env.reset()
+        assert env.batch == [1]
+
+    def test_reset_clears_state(self, space, coverages, rng):
+        env = GSLEnvironment(space, coverages, _config(), rng)
+        env.reset()
+        env.step(0)
+        state, mask = env.reset()
+        assert state.sum() == 0
+        assert mask.all()
+        assert env.approx.total_size() == 0
+
+
+class TestDropOneEnvironment:
+    def test_initializes_full(self, space, coverages, rng):
+        env = DropOneEnvironment(space, coverages, _config(), rng)
+        state, mask = env.reset()
+        assert env.approx.total_size() >= 5 or state.sum() == len(space)
+
+    def test_swap_keeps_size_roughly_constant(self, space, coverages, rng):
+        env = DropOneEnvironment(space, coverages, _config(), rng)
+        _, mask = env.reset()
+        before = state_size = env.approx.total_size()
+        action = int(np.flatnonzero(mask)[0])
+        env.step(action)
+        after = env.approx.total_size()
+        assert abs(after - before) <= 2  # one group out, one in
+
+    def test_horizon_terminates(self, space, coverages, rng):
+        config = _config(drp_horizon=2, memory_budget=2)
+        env = DropOneEnvironment(space, coverages, config, rng)
+        _, mask = env.reset()
+        done = False
+        steps = 0
+        while not done and mask.any():
+            action = int(np.flatnonzero(mask)[0])
+            _, _, done, mask = env.step(action)
+            steps += 1
+        assert steps <= 2
+
+    def test_reward_is_delta(self, space, coverages, rng):
+        env = DropOneEnvironment(space, coverages, _config(), rng)
+        _, mask = env.reset()
+        before = env.tracker.batch_score(env.batch)
+        action = int(np.flatnonzero(mask)[0])
+        _, reward, _, _ = env.step(action)
+        after = env.tracker.batch_score(env.batch)
+        assert reward == pytest.approx(after - before)
+
+
+class TestHybridEnvironment:
+    def test_grows_then_swaps(self, space, coverages, rng):
+        config = _config(memory_budget=3, drp_horizon=4)
+        env = HybridEnvironment(space, coverages, config, rng)
+        _, mask = env.reset()
+        done = False
+        while not done and mask.any():
+            action = int(np.flatnonzero(mask)[0])
+            _, _, done, mask = env.step(action)
+        assert env.approx.total_size() >= 3 or not mask.any()
+
+
+class TestFactory:
+    def test_known_names(self, space, coverages, rng):
+        for name, cls in (
+            ("gsl", GSLEnvironment),
+            ("drp", DropOneEnvironment),
+            ("drp+gsl", HybridEnvironment),
+        ):
+            env = make_environment(name, space, coverages, _config(), rng)
+            assert isinstance(env, cls)
+
+    def test_unknown_name(self, space, coverages, rng):
+        with pytest.raises(ValueError, match="unknown environment"):
+            make_environment("bogus", space, coverages, _config(), rng)
+
+
+class TestDiversityRegularizer:
+    def test_off_by_default(self, space, coverages, rng):
+        env = GSLEnvironment(space, coverages, _config(), rng, query_batch=[0, 1])
+        env.reset()
+        assert env._diversity_bonus(0) == 0.0
+
+    def test_first_pick_full_bonus(self, space, coverages, rng):
+        config = _config(diversity_coef=0.5)
+        env = GSLEnvironment(space, coverages, config, rng, query_batch=[0, 1])
+        env.reset()
+        assert env._diversity_bonus(0) == 1.0
+
+    def test_bonus_bounded_and_rewards_shift(self, space, coverages, rng):
+        import numpy as np
+
+        base_cfg = _config(diversity_coef=0.0)
+        div_cfg = _config(diversity_coef=1.0)
+        rewards = {}
+        for name, config in (("base", base_cfg), ("div", div_cfg)):
+            env = GSLEnvironment(
+                space, coverages, config, np.random.default_rng(0),
+                query_batch=[0, 1],
+            )
+            env.reset()
+            _, r0, _, _ = env.step(0)
+            _, r1, _, _ = env.step(1)
+            rewards[name] = (r0, r1)
+        # First pick earns the full bonus under the regularizer.
+        assert rewards["div"][0] == rewards["base"][0] + 1.0
+        # Later picks earn a bounded, non-negative extra.
+        extra = rewards["div"][1] - rewards["base"][1]
+        assert 0.0 <= extra <= 1.0

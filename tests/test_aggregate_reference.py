@@ -1,0 +1,97 @@
+"""Differential testing of hash aggregation against a naive reference."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    SPJQuery,
+    Table,
+    TableSchema,
+    TrueExpr,
+    execute_aggregate,
+    sql,
+)
+
+
+def _build(rows) -> Database:
+    schema = TableSchema(
+        "f",
+        [Column("id", ColumnType.INT), Column("g", ColumnType.STR),
+         Column("v", ColumnType.INT)],
+    )
+    return Database([
+        Table(schema, {
+            "id": [r[0] for r in rows],
+            "g": [r[1] for r in rows],
+            "v": [r[2] for r in rows],
+        })
+    ])
+
+
+def _reference(rows, threshold):
+    groups: dict[str, list[int]] = {}
+    for _id, g, v in rows:
+        if v > threshold:
+            groups.setdefault(g, []).append(v)
+    return {
+        (g,): {
+            "count(*)": float(len(vs)),
+            "sum(v)": float(sum(vs)),
+            "avg(v)": float(np.mean(vs)),
+            "min(v)": float(min(vs)),
+            "max(v)": float(max(vs)),
+        }
+        for g, vs in groups.items()
+    }
+
+
+_rows = st.lists(
+    st.tuples(st.integers(0, 50), st.sampled_from("pqr"), st.integers(-20, 20)),
+    min_size=1, max_size=40,
+)
+
+
+@given(rows=_rows, threshold=st.integers(-25, 25))
+@settings(max_examples=80, deadline=None)
+def test_grouped_aggregates_match_reference(rows, threshold):
+    db = _build(rows)
+    query = sql(
+        f"SELECT g, COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) "
+        f"FROM f WHERE v > {threshold} GROUP BY g"
+    )
+    got = execute_aggregate(db, query).as_mapping()
+    expected = _reference(rows, threshold)
+    assert set(got) == set(expected)
+    for key, expected_row in expected.items():
+        for name, value in expected_row.items():
+            assert got[key][name] == value
+
+
+@given(rows=_rows)
+@settings(max_examples=40, deadline=None)
+def test_global_count_matches_len(rows):
+    db = _build(rows)
+    query = sql("SELECT COUNT(*) FROM f")
+    assert execute_aggregate(db, query).rows[0]["count(*)"] == float(len(rows))
+
+
+@given(rows=_rows, threshold=st.integers(-25, 25))
+@settings(max_examples=40, deadline=None)
+def test_count_consistent_with_spj(rows, threshold):
+    """COUNT(*) under a predicate == row count of the SPJ core."""
+    from repro.db import execute
+
+    db = _build(rows)
+    predicate = Comparison("f.v", ">", threshold)
+    count = execute_aggregate(
+        db, sql(f"SELECT COUNT(*) FROM f WHERE f.v > {threshold}")
+    ).rows[0]["count(*)"]
+    spj = SPJQuery(tables=("f",), predicate=predicate)
+    assert count == float(len(execute(db, spj)))

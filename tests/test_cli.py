@@ -1,0 +1,49 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_demo_runs(self, capsys):
+        code = main([
+            "demo", "--dataset", "flights", "--scale", "0.12",
+            "--k", "100", "--iterations", "2", "--light", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload quality" in out
+
+    def test_train_then_query(self, tmp_path, capsys):
+        model_dir = str(tmp_path / "model")
+        code = main([
+            "train", "--dataset", "flights", "--scale", "0.12",
+            "--k", "100", "--iterations", "2", "--light", "--seed", "1",
+            "--out", model_dir,
+        ])
+        assert code == 0
+        code = main([
+            "query", "--model", model_dir, "--dataset", "flights",
+            "--scale", "0.12",
+            "--sql", "SELECT * FROM flights WHERE flights.month BETWEEN 1 AND 3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows from the" in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--dataset", "bogus"])
+
+    def test_bench_without_results(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "empty"))
+        assert main(["bench"]) == 1
+
+    def test_bench_with_results(self, tmp_path, monkeypatch, capsys):
+        directory = tmp_path / "res"
+        directory.mkdir()
+        (directory / "x.txt").write_text("TABLE CONTENT\n")
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(directory))
+        assert main(["bench"]) == 0
+        assert "TABLE CONTENT" in capsys.readouterr().out

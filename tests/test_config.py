@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core import ASQPConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = ASQPConfig()
+        assert config.memory_budget == 1000
+        assert config.frame_size == 50
+        assert config.n_query_representatives is None  # all (paper §6.1)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="memory budget"):
+            ASQPConfig(memory_budget=0)
+
+    def test_bad_frame(self):
+        with pytest.raises(ValueError, match="frame size"):
+            ASQPConfig(frame_size=0)
+
+    def test_bad_training_fraction(self):
+        with pytest.raises(ValueError):
+            ASQPConfig(training_fraction=0.0)
+        with pytest.raises(ValueError):
+            ASQPConfig(training_fraction=1.5)
+
+    def test_bad_environment(self):
+        with pytest.raises(ValueError, match="environment"):
+            ASQPConfig(environment="nope")
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            ASQPConfig(group_size=0)
+
+    def test_no_ppo_zeroes_kl(self):
+        config = ASQPConfig(use_ppo_clip=False, kl_coef=0.5)
+        assert config.kl_coef == 0.0
+
+
+class TestPresets:
+    def test_light_is_faster_profile(self):
+        light = ASQPConfig.light()
+        full = ASQPConfig()
+        assert light.training_fraction < full.training_fraction
+        assert light.learning_rate > full.learning_rate
+        assert light.n_iterations < full.n_iterations
+
+    def test_light_accepts_overrides(self):
+        light = ASQPConfig.light(memory_budget=77)
+        assert light.memory_budget == 77
+
+    def test_adaptive_endpoints(self):
+        lightest = ASQPConfig.adaptive(0.0)
+        fullest = ASQPConfig.adaptive(1.0)
+        assert lightest.training_fraction == pytest.approx(0.25)
+        assert fullest.training_fraction == pytest.approx(1.0)
+        assert lightest.n_iterations < fullest.n_iterations
+        assert lightest.learning_rate > fullest.learning_rate
+
+    def test_adaptive_clamps(self):
+        assert ASQPConfig.adaptive(-1.0).training_fraction == pytest.approx(0.25)
+        assert ASQPConfig.adaptive(2.0).training_fraction == pytest.approx(1.0)
+
+    def test_adaptive_monotone_in_budget(self):
+        fractions = [ASQPConfig.adaptive(f).training_fraction for f in (0.0, 0.5, 1.0)]
+        assert fractions == sorted(fractions)
+
+
+class TestLabels:
+    def test_variant_labels(self):
+        assert ASQPConfig().variant_label == "ASQP-RL"
+        assert ASQPConfig(use_ppo_clip=False).variant_label == "ASQP-RL -ppo"
+        assert (
+            ASQPConfig(use_ppo_clip=False, use_actor_critic=False).variant_label
+            == "ASQP-RL -ppo -ac"
+        )
+
+    def test_with_overrides(self):
+        config = ASQPConfig().with_overrides(memory_budget=5)
+        assert config.memory_budget == 5

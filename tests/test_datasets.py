@@ -1,0 +1,193 @@
+"""Tests for the synthetic dataset bundles and workload helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Workload,
+    load_flights,
+    load_imdb,
+    load_mas,
+)
+from repro.datasets.synthetic import (
+    skewed_foreign_keys,
+    synthetic_names,
+    year_column,
+    zipf_choice,
+    zipf_weights,
+)
+from repro.datasets.workloads import PooledSampler
+from repro.db import execute, execute_aggregate, sql
+
+
+class TestSyntheticPrimitives:
+    def test_zipf_weights_normalized_decreasing(self):
+        weights = zipf_weights(10)
+        assert abs(weights.sum() - 1.0) < 1e-12
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_zipf_choice_skew(self, rng):
+        picks = zipf_choice(list("abcdefghij"), 2000, rng, exponent=1.2)
+        counts = {v: picks.count(v) for v in set(picks)}
+        assert counts["a"] > counts.get("j", 0)
+
+    def test_skewed_foreign_keys_in_range(self, rng):
+        fks = skewed_foreign_keys(500, 40, rng)
+        assert fks.min() >= 0 and fks.max() < 40
+
+    def test_skewed_foreign_keys_heavy_tail(self, rng):
+        fks = skewed_foreign_keys(2000, 100, rng)
+        counts = np.bincount(fks, minlength=100)
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+    def test_names_unique(self, rng):
+        names = synthetic_names(200, rng)
+        assert len(set(names)) == 200
+
+    def test_year_column_bounds(self, rng):
+        years = year_column(500, rng, low=1990, high=2020, mode=2010)
+        assert years.min() >= 1990 and years.max() <= 2020
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestPooledSampler:
+    def test_reuses_from_pool(self):
+        rng = np.random.default_rng(0)
+        sampler = PooledSampler(rng, reuse_probability=1.0)
+        counter = iter(range(100))
+        values = [sampler.draw(("k",), lambda: next(counter)) for _ in range(10)]
+        assert set(values) == {0}
+
+    def test_no_reuse_generates_fresh(self):
+        rng = np.random.default_rng(0)
+        sampler = PooledSampler(rng, reuse_probability=0.0, pool_limit=100)
+        counter = iter(range(100))
+        values = [sampler.draw(("k",), lambda: next(counter)) for _ in range(10)]
+        assert values == list(range(10))
+
+    def test_pool_limit_caps_distinct(self):
+        rng = np.random.default_rng(0)
+        sampler = PooledSampler(rng, reuse_probability=0.0, pool_limit=3)
+        counter = iter(range(100))
+        values = [sampler.draw(("k",), lambda: next(counter)) for _ in range(50)]
+        assert len(set(values)) == 3
+
+    def test_keys_independent(self):
+        rng = np.random.default_rng(0)
+        sampler = PooledSampler(rng, reuse_probability=1.0)
+        a = sampler.draw(("a",), lambda: "A")
+        b = sampler.draw(("b",), lambda: "B")
+        assert (a, b) == ("A", "B")
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PooledSampler(np.random.default_rng(0), reuse_probability=1.5)
+
+
+class TestWorkloadContainer:
+    def test_weights_normalized(self):
+        workload = Workload(
+            [sql("SELECT * FROM t"), sql("SELECT * FROM u")], np.asarray([2.0, 2.0])
+        )
+        assert np.allclose(workload.weights, [0.5, 0.5])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Workload([sql("SELECT * FROM t")], np.asarray([0.5, 0.5]))
+
+    def test_split_partitions(self, rng):
+        queries = [sql(f"SELECT * FROM t WHERE t.x = {i}") for i in range(10)]
+        workload = Workload(queries)
+        train, test = workload.split(0.3, rng)
+        assert len(train) == 7 and len(test) == 3
+        train_names = {q.to_sql() for q in train}
+        test_names = {q.to_sql() for q in test}
+        assert not train_names & test_names
+
+    def test_split_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            Workload([sql("SELECT * FROM t")]).split(0.5, rng)
+
+    def test_spj_only_strips_aggregates(self):
+        workload = Workload([
+            sql("SELECT genre, COUNT(*) FROM movies GROUP BY genre"),
+            sql("SELECT * FROM movies"),
+        ])
+        stripped = workload.spj_only()
+        assert all(not q.is_aggregate for q in stripped)
+
+    def test_subset(self):
+        queries = [sql(f"SELECT * FROM t WHERE t.x = {i}") for i in range(5)]
+        workload = Workload(queries)
+        sub = workload.subset([0, 2])
+        assert len(sub) == 2
+
+
+@pytest.mark.parametrize("loader,tables", [
+    (load_imdb, {"title", "company", "movie_companies", "person", "cast_info", "movie_info"}),
+    (load_mas, {"author", "venue", "publication", "writes"}),
+    (load_flights, {"carriers", "flights"}),
+])
+class TestBundles:
+    def test_schema_and_workloads(self, loader, tables):
+        bundle = loader(scale=0.1, n_queries=10, n_aggregate_queries=6)
+        assert set(bundle.db.table_names) == tables
+        assert len(bundle.workload) == 10
+        assert len(bundle.aggregate_workload) == 6
+        assert set(bundle.stats) == tables
+
+    def test_workload_executable(self, loader, tables):
+        bundle = loader(scale=0.1, n_queries=10, n_aggregate_queries=6)
+        for query in bundle.workload:
+            execute(bundle.db, query)
+        for query in bundle.aggregate_workload:
+            execute_aggregate(bundle.db, query)
+
+    def test_deterministic(self, loader, tables):
+        a = loader(scale=0.1, n_queries=6, n_aggregate_queries=4)
+        b = loader(scale=0.1, n_queries=6, n_aggregate_queries=4)
+        assert [q.to_sql() for q in a.workload] == [q.to_sql() for q in b.workload]
+        for name in tables:
+            ta, tb = a.db.table(name), b.db.table(name)
+            assert len(ta) == len(tb)
+
+    def test_scale_changes_size(self, loader, tables):
+        small = loader(scale=0.1, n_queries=4, n_aggregate_queries=4)
+        large = loader(scale=0.3, n_queries=4, n_aggregate_queries=4)
+        assert large.db.total_rows() > small.db.total_rows()
+
+    def test_scale_validation(self, loader, tables):
+        with pytest.raises(ValueError):
+            loader(scale=0.0)
+
+
+class TestWorkloadCharacter:
+    def test_imdb_result_sizes_spread(self, tiny_imdb):
+        sizes = [len(execute(tiny_imdb.db, q)) for q in tiny_imdb.workload]
+        assert min(sizes) < 20
+        assert max(sizes) > 50
+
+    def test_imdb_has_joins_and_single_table(self, tiny_imdb):
+        n_tables = [len(q.tables) for q in tiny_imdb.workload]
+        assert 1 in n_tables
+        assert any(n >= 2 for n in n_tables)
+
+    def test_flights_aggregate_classes_balanced(self, tiny_flights):
+        from repro.db import AggFunc
+
+        funcs = [q.aggregates[0].func for q in tiny_flights.aggregate_workload]
+        assert {AggFunc.COUNT, AggFunc.SUM, AggFunc.AVG} <= set(funcs)
+        grouped = [q for q in tiny_flights.aggregate_workload if q.group_by]
+        assert len(grouped) == len(tiny_flights.aggregate_workload) // 2
+
+    def test_workloads_share_hot_predicates(self, tiny_imdb):
+        """The pooled sampler must create predicate overlap across queries."""
+        texts = [q.predicate.to_sql() for q in tiny_imdb.workload]
+        conjunct_counts: dict[str, int] = {}
+        for text in texts:
+            for part in text.strip("()").split(" AND "):
+                conjunct_counts[part] = conjunct_counts.get(part, 0) + 1
+        assert max(conjunct_counts.values()) >= 3

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.estimator and repro.core.drift."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnswerabilityEstimator, DriftDetector
+from repro.db import compute_database_stats, sql
+from repro.embedding import QueryEmbedder
+
+
+@pytest.fixture
+def embedder(mini_db):
+    return QueryEmbedder(dim=32, stats=compute_database_stats(mini_db))
+
+
+@pytest.fixture
+def training_queries():
+    return [
+        sql("SELECT * FROM movies WHERE movies.year > 2000"),
+        sql("SELECT * FROM movies WHERE movies.year > 2005"),
+        sql("SELECT * FROM movies WHERE movies.genre = 'drama'"),
+        sql("SELECT * FROM movies WHERE movies.genre = 'action'"),
+        sql("SELECT * FROM movies WHERE movies.rating > 7.0"),
+    ]
+
+
+@pytest.fixture
+def estimator(embedder, training_queries):
+    embeddings = embedder.embed_workload(training_queries)
+    scores = [0.9, 0.8, 0.7, 0.6, 0.9]
+    return AnswerabilityEstimator(
+        embedder, embeddings, scores,
+        calibration_embeddings=embeddings,
+    )
+
+
+class TestEstimator:
+    def test_training_query_fully_familiar(self, estimator, training_queries):
+        estimate = estimator.estimate(training_queries[0])
+        assert estimate.familiarity == pytest.approx(1.0)
+        assert estimate.confidence == pytest.approx(estimate.competence)
+
+    def test_training_query_competence_near_own_score(self, estimator, training_queries):
+        estimate = estimator.estimate(training_queries[0])
+        assert estimate.competence > 0.7  # own score is 0.9
+
+    def test_unrelated_query_low_confidence(self, estimator):
+        foreign = sql("SELECT * FROM cast_info WHERE cast_info.actor = 'zzz'")
+        estimate = estimator.estimate(foreign)
+        assert estimate.confidence < 0.3
+        assert not estimate.answerable
+
+    def test_deviation_complements_familiarity(self, estimator, training_queries):
+        known = estimator.deviation_confidence(training_queries[0])
+        foreign = estimator.deviation_confidence(
+            sql("SELECT * FROM cast_info WHERE cast_info.actor = 'zzz'")
+        )
+        assert known < 0.2
+        assert foreign > 0.6
+
+    def test_threshold_controls_answerable(self, embedder, training_queries):
+        embeddings = embedder.embed_workload(training_queries)
+        strict = AnswerabilityEstimator(
+            embedder, embeddings, [0.6] * 5, threshold=0.9,
+            calibration_embeddings=embeddings,
+        )
+        assert not strict.estimate(training_queries[0]).answerable
+
+    def test_update_extends(self, estimator, embedder):
+        new_query = sql("SELECT * FROM cast_info WHERE cast_info.actor = 'ann'")
+        before = estimator.estimate(new_query).confidence
+        estimator.update(embedder.embed(new_query)[None, :], [0.95])
+        after = estimator.estimate(new_query).confidence
+        assert after > before
+
+    def test_update_length_mismatch(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.update(np.zeros((2, 32)), [0.5])
+
+    def test_mismatched_construction(self, embedder):
+        with pytest.raises(ValueError):
+            AnswerabilityEstimator(embedder, np.zeros((2, 32)), [0.5])
+
+    def test_empty_construction(self, embedder):
+        with pytest.raises(ValueError):
+            AnswerabilityEstimator(embedder, np.zeros((0, 32)), [])
+
+    def test_single_representative_fallback(self, embedder, training_queries):
+        embeddings = embedder.embed_workload(training_queries[:1])
+        estimator = AnswerabilityEstimator(embedder, embeddings, [0.8])
+        estimate = estimator.estimate(training_queries[0])
+        assert 0.0 <= estimate.confidence <= 1.0
+
+    def test_confidence_bounded(self, estimator, training_queries):
+        for q in training_queries:
+            c = estimator.estimate(q).confidence
+            assert 0.0 <= c <= 1.0
+
+
+class TestDriftDetector:
+    def _q(self, i):
+        return sql(f"SELECT * FROM movies WHERE movies.year > {2000 + i}")
+
+    def test_fires_after_trigger_count(self):
+        detector = DriftDetector(confidence_threshold=0.8, trigger_count=3)
+        assert detector.observe(self._q(0), 0.9) is None
+        assert detector.observe(self._q(1), 0.95) is None
+        event = detector.observe(self._q(2), 0.85)
+        assert event is not None
+        assert len(event.queries) == 3
+        assert detector.events_fired == 1
+
+    def test_low_confidence_does_not_count(self):
+        detector = DriftDetector(trigger_count=2)
+        assert detector.observe(self._q(0), 0.5) is None
+        assert detector.observe(self._q(1), 0.79) is None
+        assert detector.pending_count == 0
+
+    def test_threshold_is_strict(self):
+        detector = DriftDetector(confidence_threshold=0.8, trigger_count=1)
+        assert detector.observe(self._q(0), 0.8) is None  # must exceed
+        assert detector.observe(self._q(0), 0.81) is not None
+
+    def test_pending_clears_after_fire(self):
+        detector = DriftDetector(trigger_count=2)
+        detector.observe(self._q(0), 0.9)
+        event = detector.observe(self._q(1), 0.9)
+        assert event is not None
+        assert detector.pending_count == 0
+
+    def test_interleaved_familiar_queries_keep_pending(self):
+        detector = DriftDetector(trigger_count=2)
+        detector.observe(self._q(0), 0.9)
+        detector.observe(self._q(1), 0.1)  # familiar, ignored
+        assert detector.pending_count == 1
+        assert detector.observe(self._q(2), 0.9) is not None
+
+    def test_reset(self):
+        detector = DriftDetector(trigger_count=3)
+        detector.observe(self._q(0), 0.9)
+        detector.reset()
+        assert detector.pending_count == 0

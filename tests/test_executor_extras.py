@@ -1,0 +1,127 @@
+"""Deeper executor tests: multi-way joins, ordering, provenance edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    JoinCondition,
+    SPJQuery,
+    Table,
+    TableSchema,
+    execute,
+    sql,
+)
+
+
+@pytest.fixture
+def chain_db():
+    """A three-table chain a -> b -> c for multi-hop joins."""
+    a = Table(
+        TableSchema("a", [Column("id", ColumnType.INT), Column("x", ColumnType.INT)]),
+        {"id": [1, 2, 3], "x": [10, 20, 30]},
+    )
+    b = Table(
+        TableSchema("b", [Column("id", ColumnType.INT), Column("a_id", ColumnType.INT),
+                          Column("y", ColumnType.STR)]),
+        {"id": [1, 2, 3, 4], "a_id": [1, 1, 2, 3], "y": ["p", "q", "p", "r"]},
+    )
+    c = Table(
+        TableSchema("c", [Column("id", ColumnType.INT), Column("b_id", ColumnType.INT),
+                          Column("z", ColumnType.FLOAT)]),
+        {"id": [1, 2, 3], "b_id": [1, 3, 4], "z": [0.5, 1.5, 2.5]},
+    )
+    return Database([a, b, c], name="chain")
+
+
+class TestThreeWayJoins:
+    def test_chain_join(self, chain_db):
+        q = sql(
+            "SELECT a.x, c.z FROM a, b, c "
+            "WHERE a.id = b.a_id AND b.id = c.b_id"
+        )
+        result = execute(chain_db, q)
+        got = sorted(zip(result.column("a.x"), result.column("c.z")))
+        assert got == [(10, 0.5), (20, 1.5), (30, 2.5)]
+
+    def test_chain_join_with_filters_on_each_table(self, chain_db):
+        q = sql(
+            "SELECT a.x FROM a, b, c "
+            "WHERE a.id = b.a_id AND b.id = c.b_id "
+            "AND a.x > 10 AND b.y = 'p' AND c.z < 2.0"
+        )
+        result = execute(chain_db, q)
+        assert list(result.column("a.x")) == [20]
+
+    def test_join_order_independent_of_from_order(self, chain_db):
+        joins = (
+            JoinCondition("a.id", "b.a_id"),
+            JoinCondition("b.id", "c.b_id"),
+        )
+        q1 = SPJQuery(tables=("a", "b", "c"), joins=joins)
+        q2 = SPJQuery(tables=("c", "a", "b"), joins=joins)
+        r1 = execute(chain_db, q1)
+        r2 = execute(chain_db, q2)
+        assert sorted(r1.provenance_keys()) == sorted(r2.provenance_keys())
+
+    def test_disconnected_table_cross_product(self, chain_db):
+        q = SPJQuery(
+            tables=("a", "b", "c"),
+            joins=(JoinCondition("a.id", "b.a_id"),),
+        )
+        result = execute(chain_db, q)
+        assert len(result) == 4 * 3  # (a⋈b) × c
+
+    def test_self_equality_predicate_not_a_join(self, chain_db):
+        # a.id = a.x is a plain per-table predicate.
+        q = sql("SELECT * FROM a WHERE a.id = a.x")
+        assert len(execute(chain_db, q)) == 0
+
+
+class TestOrderingEdgeCases:
+    def test_order_by_unprojected_column(self, mini_db):
+        q = sql("SELECT movies.title FROM movies ORDER BY movies.rating LIMIT 2")
+        result = execute(mini_db, q)
+        assert list(result.column("movies.title")) == ["Gamma", "Epsilon"]
+
+    def test_order_stability_on_ties(self, mini_db):
+        q = sql("SELECT movies.title FROM movies ORDER BY movies.year")
+        result = execute(mini_db, q)
+        titles = list(result.column("movies.title"))
+        # 2005 appears twice: Beta (row 1) before Epsilon (row 4) — stable.
+        assert titles.index("Beta") < titles.index("Epsilon")
+
+    def test_distinct_after_order_keeps_first(self, mini_db):
+        q = sql("SELECT DISTINCT movies.genre FROM movies ORDER BY movies.rating DESC")
+        result = execute(mini_db, q)
+        assert list(result.column("movies.genre"))[0] == "scifi"  # rating 9.0
+
+
+class TestPredicateCoverage:
+    def test_numeric_in(self, chain_db):
+        q = sql("SELECT * FROM a WHERE a.x IN (10, 30)")
+        assert len(execute(chain_db, q)) == 2
+
+    def test_or_across_tables_residual(self, chain_db):
+        q = sql(
+            "SELECT * FROM a, b WHERE a.id = b.a_id AND (a.x = 10 OR b.y = 'r')"
+        )
+        result = execute(chain_db, q)
+        assert len(result) == 3  # two b-rows of a1 plus the 'r' row
+
+    def test_not_predicate(self, chain_db):
+        q = sql("SELECT * FROM b WHERE NOT (b.y = 'p')")
+        assert len(execute(chain_db, q)) == 2
+
+
+class TestEmptyInputs:
+    def test_empty_table_join(self, chain_db):
+        sub = chain_db.subset({"a": [0, 1, 2], "b": []})
+        q = sql("SELECT * FROM a, b WHERE a.id = b.a_id")
+        assert len(execute(sub, q)) == 0
+
+    def test_all_rows_filtered_then_ordered(self, chain_db):
+        q = sql("SELECT * FROM a WHERE a.x > 1000 ORDER BY a.x LIMIT 5")
+        assert len(execute(chain_db, q)) == 0

@@ -1,0 +1,168 @@
+"""Differential testing: the executor vs a naive reference evaluator.
+
+A nested-loop, row-at-a-time evaluator is trivially correct; hypothesis
+generates small random databases and SPJ queries, and the vectorized
+executor must produce exactly the same multiset of result rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    Between,
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    InSet,
+    JoinCondition,
+    SPJQuery,
+    Table,
+    TableSchema,
+    conjoin,
+    execute,
+)
+
+_GENRES = ["a", "b", "c"]
+
+
+def _build_db(left_rows, right_rows) -> Database:
+    left_schema = TableSchema(
+        "l",
+        [Column("id", ColumnType.INT), Column("x", ColumnType.INT),
+         Column("g", ColumnType.STR)],
+    )
+    right_schema = TableSchema(
+        "r",
+        [Column("id", ColumnType.INT), Column("l_id", ColumnType.INT),
+         Column("y", ColumnType.INT)],
+    )
+    left = Table(left_schema, {
+        "id": [row[0] for row in left_rows],
+        "x": [row[1] for row in left_rows],
+        "g": [row[2] for row in left_rows],
+    })
+    right = Table(right_schema, {
+        "id": [row[0] for row in right_rows],
+        "l_id": [row[1] for row in right_rows],
+        "y": [row[2] for row in right_rows],
+    })
+    return Database([left, right])
+
+
+def _reference_single(left_rows, predicate) -> list[tuple]:
+    out = []
+    for lid, x, g in left_rows:
+        ctx = {"l.id": np.asarray([lid]), "l.x": np.asarray([x]),
+               "l.g": np.asarray([g], dtype=object)}
+        if predicate.evaluate(ctx)[0]:
+            out.append((lid, x, g))
+    return sorted(out)
+
+
+def _reference_join(left_rows, right_rows, predicate) -> list[tuple]:
+    out = []
+    for lid, x, g in left_rows:
+        for rid, l_id, y in right_rows:
+            if l_id != lid:
+                continue
+            ctx = {
+                "l.id": np.asarray([lid]), "l.x": np.asarray([x]),
+                "l.g": np.asarray([g], dtype=object),
+                "r.id": np.asarray([rid]), "r.l_id": np.asarray([l_id]),
+                "r.y": np.asarray([y]),
+            }
+            if predicate.evaluate(ctx)[0]:
+                out.append((lid, x, g, rid, l_id, y))
+    return sorted(out)
+
+
+_left_rows = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-5, 5), st.sampled_from(_GENRES)),
+    min_size=1, max_size=12,
+)
+_right_rows = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(-5, 5)),
+    min_size=1, max_size=12,
+)
+
+
+def _predicates():
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from(["l.x", "l.id"]),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.integers(-5, 5),
+    )
+    between = st.builds(
+        lambda lo, hi: Between("l.x", min(lo, hi), max(lo, hi)),
+        st.integers(-5, 5), st.integers(-5, 5),
+    )
+    inset = st.builds(
+        lambda vs: InSet("l.g", vs),
+        st.sets(st.sampled_from(_GENRES), min_size=1, max_size=3),
+    )
+    atom = st.one_of(comparison, between, inset)
+    return st.lists(atom, min_size=0, max_size=3).map(conjoin)
+
+
+@given(rows=_left_rows, predicate=_predicates())
+@settings(max_examples=80, deadline=None)
+def test_single_table_matches_reference(rows, predicate):
+    db = _build_db(rows, [(0, 0, 0)])
+    query = SPJQuery(tables=("l",), predicate=predicate)
+    result = execute(db, query)
+    got = sorted(
+        zip(
+            (int(v) for v in result.column("l.id")),
+            (int(v) for v in result.column("l.x")),
+            (str(v) for v in result.column("l.g")),
+        )
+    )
+    assert got == _reference_single(rows, predicate)
+
+
+@given(left=_left_rows, right=_right_rows, predicate=_predicates())
+@settings(max_examples=60, deadline=None)
+def test_join_matches_reference(left, right, predicate):
+    db = _build_db(left, right)
+    query = SPJQuery(
+        tables=("l", "r"),
+        joins=(JoinCondition("l.id", "r.l_id"),),
+        predicate=predicate,
+    )
+    result = execute(db, query)
+    got = sorted(
+        zip(
+            (int(v) for v in result.column("l.id")),
+            (int(v) for v in result.column("l.x")),
+            (str(v) for v in result.column("l.g")),
+            (int(v) for v in result.column("r.id")),
+            (int(v) for v in result.column("r.l_id")),
+            (int(v) for v in result.column("r.y")),
+        )
+    )
+    assert got == _reference_join(left, right, predicate)
+
+
+@given(left=_left_rows, right=_right_rows, predicate=_predicates())
+@settings(max_examples=40, deadline=None)
+def test_subset_monotonicity_random(left, right, predicate):
+    """q(S) ⊆ q(T) for random sub-databases (SPJ monotonicity)."""
+    db = _build_db(left, right)
+    query = SPJQuery(
+        tables=("l", "r"),
+        joins=(JoinCondition("l.id", "r.l_id"),),
+        predicate=predicate,
+    )
+    full = set(execute(db, query).provenance_keys())
+    rng = np.random.default_rng(0)
+    keep_l = [i for i in range(len(left)) if rng.random() < 0.6]
+    keep_r = [i for i in range(len(right)) if rng.random() < 0.6]
+    sub = db.subset({"l": keep_l, "r": keep_r})
+    partial = set(execute(sub, query).provenance_keys())
+    assert partial <= full

@@ -1,0 +1,77 @@
+"""Tests for trained-model save/load (repro.core.persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ASQPConfig,
+    ASQPSession,
+    ASQPTrainer,
+    load_model,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_flights):
+    config = ASQPConfig(
+        memory_budget=60, n_iterations=2, n_actors=2, episodes_per_actor=1,
+        action_space_target=40, n_query_representatives=5,
+        n_candidate_rollouts=1, learning_rate=1e-3, seed=8,
+    )
+    return ASQPTrainer(tiny_flights.db, tiny_flights.workload, config).train()
+
+
+class TestRoundTrip:
+    def test_same_approximation_set(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        assert loaded.approximation_set().keys() == trained.approximation_set().keys()
+
+    def test_config_and_history_preserved(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        assert loaded.config == trained.config
+        assert len(loaded.history) == len(trained.history)
+        assert loaded.setup_seconds == trained.setup_seconds
+        assert loaded.fine_tune_count == trained.fine_tune_count
+
+    def test_action_space_preserved(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        assert len(loaded.action_space) == len(trained.action_space)
+        assert loaded.action_space.keys_of(0) == trained.action_space.keys_of(0)
+        assert np.allclose(
+            loaded.action_space.embeddings, trained.action_space.embeddings
+        )
+
+    def test_coverages_rebuilt_equivalent(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        assert len(loaded.coverages) == len(trained.coverages)
+        for a, b in zip(loaded.coverages, trained.coverages):
+            assert a.denominator == b.denominator
+            assert sorted(a.requirements) == sorted(b.requirements)
+
+    def test_loaded_model_opens_session(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        session = ASQPSession(loaded, auto_fine_tune=False)
+        outcome = session.query(tiny_flights.workload.queries[0])
+        assert outcome is not None
+
+    def test_training_scores_match(self, trained, tiny_flights, tmp_path):
+        save_model(trained, str(tmp_path / "model"))
+        loaded = load_model(str(tmp_path / "model"), tiny_flights.db)
+        assert np.allclose(loaded.training_scores(), trained.training_scores())
+
+    def test_version_check(self, trained, tiny_flights, tmp_path):
+        import json, os
+
+        save_model(trained, str(tmp_path / "model"))
+        path = tmp_path / "model" / "config.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_model(str(tmp_path / "model"), tiny_flights.db)

@@ -1,0 +1,195 @@
+"""Unit tests for repro.db.query and repro.db.sql."""
+
+import pytest
+
+from repro.db import (
+    AggFunc,
+    AggregateQuery,
+    AggregateSpec,
+    Comparison,
+    JoinCondition,
+    QueryError,
+    SPJQuery,
+    SQLSyntaxError,
+    TrueExpr,
+    sql,
+)
+
+
+class TestSPJQuery:
+    def test_requires_tables(self):
+        with pytest.raises(QueryError):
+            SPJQuery(tables=())
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            SPJQuery(tables=("a", "a"))
+
+    def test_join_must_reference_from_tables(self):
+        with pytest.raises(QueryError, match="not in FROM"):
+            SPJQuery(tables=("a",), joins=(JoinCondition("a.x", "b.y"),))
+
+    def test_join_condition_requires_qualified(self):
+        with pytest.raises(QueryError, match="qualified"):
+            JoinCondition("x", "b.y")
+
+    def test_qualified_projection_single_table(self):
+        q = SPJQuery(tables=("movies",), projection=("title",))
+        assert q.qualified_projection() == ("movies.title",)
+
+    def test_qualified_projection_multi_table_requires_prefix(self):
+        q = SPJQuery(tables=("a", "b"), projection=("x",))
+        with pytest.raises(QueryError, match="qualified"):
+            q.qualified_projection()
+
+    def test_with_limit(self):
+        q = SPJQuery(tables=("a",)).with_limit(7)
+        assert q.limit == 7
+
+    def test_to_sql_round_trippable(self):
+        q = SPJQuery(
+            tables=("movies",),
+            predicate=Comparison("movies.year", ">", 2000),
+            projection=("movies.title",),
+            order_by="movies.year",
+            descending=True,
+            limit=3,
+        )
+        text = q.to_sql()
+        assert "ORDER BY movies.year DESC" in text
+        assert "LIMIT 3" in text
+        reparsed = sql(text)
+        assert reparsed.limit == 3
+        assert reparsed.descending
+
+    def test_tokens_cover_structure(self):
+        q = SPJQuery(
+            tables=("a", "b"),
+            joins=(JoinCondition("a.x", "b.y"),),
+            predicate=Comparison("a.z", "=", 1),
+            projection=("a.z",),
+        )
+        tokens = q.tokens()
+        assert "table:a" in tokens and "table:b" in tokens
+        assert "join:a.x=b.y" in tokens
+        assert "proj:a.z" in tokens
+
+
+class TestAggregateQuery:
+    def test_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(tables=("t",), aggregates=())
+
+    def test_sum_requires_column(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(func=AggFunc.SUM, column=None)
+
+    def test_strip_aggregates_projects_group_and_agg_columns(self):
+        q = AggregateQuery(
+            tables=("t",),
+            aggregates=(AggregateSpec(AggFunc.AVG, "t.x"),),
+            group_by=("t.g",),
+        )
+        spj = q.strip_aggregates()
+        assert not spj.is_aggregate
+        assert spj.projection == ("t.g", "t.x")
+
+    def test_strip_aggregates_count_star(self):
+        q = AggregateQuery(tables=("t",), aggregates=(AggregateSpec(AggFunc.COUNT),))
+        assert q.strip_aggregates().projection == ()
+
+    def test_output_name(self):
+        assert AggregateSpec(AggFunc.COUNT).output_name() == "count(*)"
+        assert AggregateSpec(AggFunc.SUM, "t.x", alias="s").output_name() == "s"
+
+
+class TestSQLParser:
+    def test_select_star(self):
+        q = sql("SELECT * FROM movies")
+        assert q.tables == ("movies",)
+        assert isinstance(q.predicate, TrueExpr)
+        assert q.projection == ()
+
+    def test_projection_and_modifiers(self):
+        q = sql("SELECT movies.title FROM movies ORDER BY movies.year DESC LIMIT 5")
+        assert q.projection == ("movies.title",)
+        assert q.order_by == "movies.year"
+        assert q.descending and q.limit == 5
+
+    def test_distinct(self):
+        assert sql("SELECT DISTINCT genre FROM movies").distinct
+
+    def test_where_precedence_or_under_and(self):
+        q = sql("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        text = q.predicate.to_sql()
+        assert "OR" in text and "AND" in text
+
+    def test_between_and_in(self):
+        q = sql("SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND g IN ('a', 'b')")
+        assert "BETWEEN" in q.predicate.to_sql()
+        assert "IN" in q.predicate.to_sql()
+
+    def test_like_and_null(self):
+        q = sql("SELECT * FROM t WHERE name LIKE 'A%' AND x IS NOT NULL")
+        text = q.predicate.to_sql()
+        assert "LIKE" in text and "IS NOT NULL" in text
+
+    def test_string_escape(self):
+        q = sql("SELECT * FROM t WHERE name = 'O''Brien'")
+        assert "O'Brien" in repr(q.predicate)
+
+    def test_join_lifting(self):
+        q = sql(
+            "SELECT * FROM movies, cast_info "
+            "WHERE movies.id = cast_info.movie_id AND movies.year > 2000"
+        )
+        assert len(q.joins) == 1
+        assert q.joins[0].left == "movies.id"
+        assert "year" in q.predicate.to_sql()
+
+    def test_same_table_equality_not_lifted(self):
+        q = sql("SELECT * FROM t WHERE t.a = t.b")
+        assert q.joins == ()
+
+    def test_aggregate_parse(self):
+        q = sql("SELECT genre, COUNT(*), AVG(rating) AS ar FROM movies GROUP BY genre")
+        assert q.is_aggregate
+        assert q.group_by == ("genre",)
+        assert [s.func for s in q.aggregates] == [AggFunc.COUNT, AggFunc.AVG]
+        assert q.aggregates[1].alias == "ar"
+
+    def test_aggregate_rejects_order_by(self):
+        with pytest.raises(SQLSyntaxError):
+            sql("SELECT COUNT(*) FROM t ORDER BY x")
+
+    def test_nonaggregated_column_must_be_grouped(self):
+        with pytest.raises(SQLSyntaxError):
+            sql("SELECT genre, COUNT(*) FROM movies")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            sql("SELECT genre FROM movies GROUP BY genre")
+
+    def test_neq_spellings(self):
+        q1 = sql("SELECT * FROM t WHERE a != 1")
+        q2 = sql("SELECT * FROM t WHERE a <> 1")
+        assert q1.predicate.to_sql() == q2.predicate.to_sql()
+
+    def test_empty_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            sql("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            sql("SELECT FROM WHERE")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            sql("SELECT * FROM t LIMIT 1 extra")
+
+    def test_semicolon_tolerated(self):
+        assert sql("SELECT * FROM t;").tables == ("t",)
+
+    def test_case_insensitive_keywords(self):
+        q = sql("select * from t where a between 1 and 2 limit 3")
+        assert q.limit == 3

@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.reward (incremental coverage tracking).
+
+The central invariant: the tracker's incremental score must equal the
+score computed by executing queries on the materialized sub-database.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproximationSet,
+    CoverageTracker,
+    QueryCoverage,
+    build_coverage,
+    score,
+)
+from repro.datasets import Workload
+from repro.db import sql
+
+
+@pytest.fixture
+def coverages():
+    # Query A needs rows (t,0),(t,1); query B needs joined pairs.
+    return [
+        QueryCoverage(
+            name="A", weight=0.5, denominator=2,
+            requirements=[(("t", 0),), (("t", 1),)],
+        ),
+        QueryCoverage(
+            name="B", weight=0.5, denominator=2,
+            requirements=[(("t", 0), ("u", 7)), (("t", 2), ("u", 8))],
+        ),
+    ]
+
+
+class TestCoverageTracker:
+    def test_initially_zero(self, coverages):
+        tracker = CoverageTracker(coverages)
+        assert tracker.batch_score() == 0.0
+
+    def test_single_tuple_partial(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_key(("t", 0))
+        assert tracker.query_score(0) == 0.5
+        assert tracker.query_score(1) == 0.0  # join partner missing
+
+    def test_join_requirement_needs_all_keys(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_key(("t", 0))
+        tracker.add_key(("u", 7))
+        assert tracker.query_score(1) == 0.5
+
+    def test_full_coverage(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_keys([("t", 0), ("t", 1), ("t", 2), ("u", 7), ("u", 8)])
+        assert tracker.batch_score() == pytest.approx(1.0)
+
+    def test_remove_reverses_add(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_keys([("t", 0), ("u", 7)])
+        before = tracker.batch_score()
+        tracker.add_key(("t", 1))
+        tracker.remove_key(("t", 1))
+        assert tracker.batch_score() == pytest.approx(before)
+
+    def test_refcounted_duplicates(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_key(("t", 0))
+        tracker.add_key(("t", 0))
+        tracker.remove_key(("t", 0))
+        assert tracker.query_score(0) == 0.5  # still present once
+        tracker.remove_key(("t", 0))
+        assert tracker.query_score(0) == 0.0
+
+    def test_remove_absent_is_noop(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.remove_key(("t", 99))
+        assert tracker.batch_score() == 0.0
+
+    def test_irrelevant_key_no_effect(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_key(("zzz", 1))
+        assert tracker.batch_score() == 0.0
+
+    def test_reset(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_keys([("t", 0), ("t", 1)])
+        tracker.reset()
+        assert tracker.batch_score() == 0.0
+        tracker.add_key(("t", 0))
+        assert tracker.query_score(0) == 0.5
+
+    def test_batch_score_subset_renormalizes(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_keys([("t", 0), ("t", 1)])
+        assert tracker.batch_score([0]) == pytest.approx(1.0)
+        assert tracker.batch_score([1]) == pytest.approx(0.0)
+
+    def test_empty_query_scores_one(self):
+        tracker = CoverageTracker(
+            [QueryCoverage(name="empty", weight=1.0, denominator=0)]
+        )
+        assert tracker.batch_score() == pytest.approx(1.0)
+
+    def test_score_with_keys_preserves_state(self, coverages):
+        tracker = CoverageTracker(coverages)
+        tracker.add_keys([("t", 0)])
+        before = tracker.batch_score()
+        probe = tracker.score_with_keys([("t", 0), ("t", 1), ("t", 2), ("u", 7), ("u", 8)])
+        assert probe == pytest.approx(1.0)
+        assert tracker.batch_score() == pytest.approx(before)
+
+    def test_denominator_caps_coverage(self):
+        coverage = QueryCoverage(
+            name="big", weight=1.0, denominator=2,
+            requirements=[(("t", i),) for i in range(10)],
+        )
+        tracker = CoverageTracker([coverage])
+        tracker.add_keys([("t", 0), ("t", 1)])
+        assert tracker.batch_score() == pytest.approx(1.0)
+
+
+class TestTrackerMatchesExecution:
+    """Incremental coverage == executing the query on the sub-database."""
+
+    QUERIES = [
+        "SELECT * FROM movies WHERE movies.genre = 'drama'",
+        "SELECT * FROM movies WHERE movies.year > 2004",
+        "SELECT movies.title, cast_info.actor FROM movies, cast_info "
+        "WHERE movies.id = cast_info.movie_id AND cast_info.actor = 'ann'",
+    ]
+
+    @pytest.mark.parametrize("selection", [
+        {"movies": [0, 1], "cast_info": [0, 2]},
+        {"movies": [0, 1, 2, 3, 4, 5], "cast_info": [0, 1, 2, 3, 4, 5, 6]},
+        {"movies": [3]},
+        {},
+    ])
+    def test_equivalence(self, mini_db, selection, rng):
+        queries = [sql(text) for text in self.QUERIES]
+        workload = Workload(queries)
+        coverages = [
+            build_coverage(mini_db, q, 1.0 / len(queries), frame_size=50, rng=rng)
+            for q in queries
+        ]
+        tracker = CoverageTracker(coverages)
+        approx = ApproximationSet.from_mapping(selection)
+        tracker.add_keys(approx.keys())
+        executed = score(mini_db, approx.to_database(mini_db), workload, frame_size=50)
+        assert tracker.batch_score() == pytest.approx(executed, abs=1e-9)

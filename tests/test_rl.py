@@ -1,0 +1,307 @@
+"""Unit tests for repro.rl: layers, gradients, PPO, rollouts, collection."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    MLP,
+    ActorNetwork,
+    Adam,
+    CriticNetwork,
+    Environment,
+    MultiActorCollector,
+    PPOConfig,
+    PPOUpdater,
+    RolloutBuffer,
+    Trajectory,
+    discounted_returns,
+    entropy_of,
+    gae_advantages,
+    make_actor_specs,
+    masked_log_softmax,
+    softmax,
+)
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        net = MLP([4, 8, 3], rng)
+        out = net.predict(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_needs_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_gradient_check(self, rng):
+        """Finite-difference check of backward() on a scalar loss."""
+        net = MLP([3, 5, 2], rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss_of():
+            return 0.5 * float(np.sum((net.predict(x) - target) ** 2))
+
+        out, cache = net.forward(x)
+        weight_grads, bias_grads = net.backward(cache, out - target)
+        grads = weight_grads + bias_grads
+        params = net.parameters()
+        epsilon = 1e-6
+        for param, grad in zip(params, grads):
+            flat_index = np.unravel_index(
+                int(rng.integers(param.size)), param.shape
+            )
+            original = param[flat_index]
+            param[flat_index] = original + epsilon
+            up = loss_of()
+            param[flat_index] = original - epsilon
+            down = loss_of()
+            param[flat_index] = original
+            numeric = (up - down) / (2 * epsilon)
+            assert abs(numeric - grad[flat_index]) < 1e-4, "gradient mismatch"
+
+    def test_copy_from_and_clone(self, rng):
+        a = MLP([3, 4, 2], rng)
+        b = a.clone()
+        assert all(np.allclose(x, y) for x, y in zip(a.parameters(), b.parameters()))
+        b.weights[0][0, 0] += 1.0
+        assert not np.allclose(a.weights[0], b.weights[0])
+
+    def test_copy_shape_mismatch(self, rng):
+        a = MLP([3, 4, 2], rng)
+        b = MLP([3, 5, 2], rng)
+        with pytest.raises(ValueError):
+            a.copy_from(b)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        param = np.asarray([5.0])
+        optimizer = Adam([param], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.step([2 * param])
+        assert abs(param[0]) < 0.05
+
+    def test_gradient_count_check(self):
+        param = np.zeros(2)
+        optimizer = Adam([param])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+
+class TestSoftmaxMasking:
+    def test_softmax_sums_to_one(self):
+        p = softmax(np.asarray([[1.0, 2.0, 3.0]]))
+        assert abs(p.sum() - 1.0) < 1e-12
+
+    def test_masked_log_softmax_invalid_is_neg_inf(self):
+        logits = np.asarray([[1.0, 2.0, 3.0]])
+        mask = np.asarray([[True, False, True]])
+        lp = masked_log_softmax(logits, mask)
+        assert lp[0, 1] == -np.inf
+        assert abs(np.exp(lp[0, [0, 2]]).sum() - 1.0) < 1e-12
+
+    def test_all_masked_rejected(self):
+        with pytest.raises(ValueError):
+            masked_log_softmax(np.zeros((1, 3)), np.zeros((1, 3), dtype=bool))
+
+    def test_extreme_logits_stable(self):
+        lp = masked_log_softmax(np.asarray([[1e4, -1e4]]), np.ones((1, 2), dtype=bool))
+        assert np.isfinite(lp[0, 0])
+
+
+class TestReturnsAdvantages:
+    def test_discounted_returns(self):
+        returns = discounted_returns([1.0, 1.0, 1.0], gamma=0.5)
+        assert np.allclose(returns, [1.75, 1.5, 1.0])
+
+    def test_gamma_one_is_suffix_sum(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], gamma=1.0)
+        assert np.allclose(returns, [6.0, 5.0, 3.0])
+
+    def test_gae_zero_lambda_is_td(self):
+        rewards = [1.0, 0.0]
+        values = [0.5, 0.25]
+        adv = gae_advantages(rewards, values, gamma=1.0, lam=0.0)
+        assert np.allclose(adv, [1 + 0.25 - 0.5, 0 + 0 - 0.25])
+
+    def test_gae_shapes(self):
+        adv = gae_advantages([1.0] * 5, [0.0] * 5, 0.99, 0.95)
+        assert adv.shape == (5,)
+
+
+class TestPolicyNetworks:
+    def test_sample_respects_mask(self, rng):
+        actor = ActorNetwork(6, rng, hidden=(8,))
+        mask = np.asarray([True, False, True, False, False, False])
+        for _ in range(30):
+            decision = actor.sample(np.zeros(6), mask, rng)
+            assert mask[decision.action]
+
+    def test_greedy_respects_mask(self, rng):
+        actor = ActorNetwork(4, rng, hidden=(8,))
+        mask = np.asarray([False, False, True, False])
+        assert actor.greedy(np.zeros(4), mask) == 2
+
+    def test_log_prob_consistency(self, rng):
+        actor = ActorNetwork(5, rng, hidden=(8,))
+        mask = np.ones(5, dtype=bool)
+        decision = actor.sample(np.zeros(5), mask, rng)
+        assert abs(np.exp(decision.log_prob) - decision.probabilities[decision.action]) < 1e-9
+
+    def test_temperature_flattens(self, rng):
+        actor = ActorNetwork(5, rng, hidden=(8,))
+        mask = np.ones(5, dtype=bool)
+        state = rng.standard_normal(5)
+        cold = np.exp(actor.log_probs(state[None], mask[None], temperature=0.1)[0])
+        hot = np.exp(actor.log_probs(state[None], mask[None], temperature=10.0)[0])
+        assert entropy_of(hot) > entropy_of(cold)
+
+    def test_critic_scalar_output(self, rng):
+        critic = CriticNetwork(5, rng, hidden=(8,))
+        values = critic.value(np.zeros((3, 5)))
+        assert values.shape == (3,)
+
+    def test_clone_independent(self, rng):
+        actor = ActorNetwork(4, rng, hidden=(8,))
+        clone = actor.clone()
+        clone.net.weights[0][0, 0] += 10.0
+        assert not np.allclose(actor.net.weights[0], clone.net.weights[0])
+
+
+class _BanditEnv(Environment):
+    """3-armed bandit as an episodic env: one step per episode."""
+
+    REWARDS = [0.1, 0.9, 0.2]
+
+    @property
+    def n_actions(self):
+        return 3
+
+    def reset(self):
+        return np.zeros(3), np.ones(3, dtype=bool)
+
+    def step(self, action):
+        return np.zeros(3), self.REWARDS[action], True, np.zeros(3, dtype=bool)
+
+
+def _train_bandit(config: PPOConfig, n_iterations: int = 40, seed: int = 3) -> float:
+    rng = np.random.default_rng(seed)
+    actor = ActorNetwork(3, rng, hidden=(16,))
+    critic = CriticNetwork(3, rng, hidden=(16,)) if config.use_critic else None
+    updater = PPOUpdater(actor, critic, config, rng=np.random.default_rng(seed + 1))
+    collector = MultiActorCollector(
+        _BanditEnv, actor, critic, make_actor_specs(2, seed=seed + 2)
+    )
+    reward = 0.0
+    for _ in range(n_iterations):
+        buffer = RolloutBuffer()
+        reward = collector.collect(8, buffer)
+        updater.update(buffer.build(use_critic=config.use_critic))
+    return reward
+
+
+class TestPPOVariants:
+    def test_ppo_learns_bandit(self):
+        config = PPOConfig(learning_rate=5e-3, update_epochs=4, minibatch_size=16)
+        assert _train_bandit(config) > 0.7
+
+    def test_a2c_learns_bandit(self):
+        config = PPOConfig(learning_rate=5e-3, use_clip=False)
+        assert _train_bandit(config) > 0.7
+
+    def test_reinforce_learns_bandit(self):
+        config = PPOConfig(learning_rate=5e-3, use_clip=False, use_critic=False)
+        assert _train_bandit(config) > 0.6
+
+    def test_use_critic_requires_critic(self, rng):
+        actor = ActorNetwork(3, rng)
+        with pytest.raises(ValueError):
+            PPOUpdater(actor, None, PPOConfig(use_critic=True))
+
+    def test_variant_names(self):
+        assert PPOConfig().variant_name() == "ppo"
+        assert PPOConfig(use_clip=False).variant_name() == "a2c"
+        assert PPOConfig(use_clip=False, use_critic=False).variant_name() == "reinforce"
+
+    def test_update_stats_populated(self, rng):
+        config = PPOConfig(learning_rate=1e-3)
+        actor = ActorNetwork(3, rng, hidden=(8,))
+        critic = CriticNetwork(3, rng, hidden=(8,))
+        updater = PPOUpdater(actor, critic, config, rng=rng)
+        collector = MultiActorCollector(
+            _BanditEnv, actor, critic, make_actor_specs(1, seed=0)
+        )
+        buffer = RolloutBuffer()
+        collector.collect(4, buffer)
+        stats = updater.update(buffer.build())
+        assert stats.n_samples == 4
+        assert stats.entropy > 0
+
+
+class TestRolloutBuffer:
+    def _trajectory(self, n=3):
+        trajectory = Trajectory()
+        for i in range(n):
+            trajectory.append(
+                state=np.zeros(2), action=i % 2, reward=1.0,
+                log_prob=-0.5, value=0.1, mask=np.ones(2, dtype=bool),
+            )
+        return trajectory
+
+    def test_empty_trajectory_rejected(self):
+        buffer = RolloutBuffer()
+        with pytest.raises(ValueError):
+            buffer.add(Trajectory())
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().build()
+
+    def test_flatten_counts(self):
+        buffer = RolloutBuffer()
+        buffer.add(self._trajectory(3))
+        buffer.add(self._trajectory(2))
+        assert len(buffer) == 5
+        assert buffer.n_trajectories == 2
+        batch = buffer.build()
+        assert len(batch) == 5
+
+    def test_advantage_normalization(self):
+        buffer = RolloutBuffer()
+        buffer.add(self._trajectory(10))
+        batch = buffer.build(normalize_advantages=True)
+        assert abs(batch.advantages.mean()) < 1e-9
+
+    def test_reinforce_advantages_are_returns(self):
+        buffer = RolloutBuffer(gamma=1.0)
+        buffer.add(self._trajectory(3))
+        batch = buffer.build(use_critic=False, normalize_advantages=False)
+        assert np.allclose(batch.advantages, [3.0, 2.0, 1.0])
+
+    def test_mean_episode_reward(self):
+        buffer = RolloutBuffer()
+        buffer.add(self._trajectory(3))
+        assert buffer.mean_episode_reward == pytest.approx(3.0)
+
+
+class TestActorSpecs:
+    def test_temperature_spread(self):
+        specs = make_actor_specs(4, seed=0)
+        temperatures = [s.temperature for s in specs]
+        assert temperatures == sorted(temperatures)
+        assert temperatures[0] < 1.0 < temperatures[-1]
+
+    def test_single_actor_neutral(self):
+        specs = make_actor_specs(1, seed=0)
+        assert specs[0].temperature == 1.0
+
+    def test_independent_rngs(self):
+        specs = make_actor_specs(2, seed=0)
+        a = specs[0].rng.integers(0, 1000, 5)
+        b = specs[1].rng.integers(0, 1000, 5)
+        assert not np.array_equal(a, b)
+
+    def test_zero_actors_rejected(self):
+        with pytest.raises(ValueError):
+            make_actor_specs(0, seed=0)

@@ -1,0 +1,168 @@
+"""Unit tests for repro.db.statistics, repro.db.sampling and repro.db.cache."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    LRUTupleCache,
+    compute_database_stats,
+    compute_table_stats,
+    stratified_table_sample,
+    uniform_sample,
+    variational_subsample,
+)
+from repro.db.sampling import reservoir_sample
+from repro.db.statistics import column_selectivity
+
+
+class TestStatistics:
+    def test_numeric_stats(self, movies):
+        stats = compute_table_stats(movies)
+        year = stats.numeric["year"]
+        assert year.minimum == 1999 and year.maximum == 2020
+        assert year.count == 6 and year.n_null == 0
+        assert 0.5 in year.quantiles
+
+    def test_categorical_stats(self, movies):
+        stats = compute_table_stats(movies)
+        genre = stats.categorical["genre"]
+        assert genre.n_distinct == 3
+        assert genre.frequencies["drama"] == 3
+        assert genre.top_values(1) == ["drama"]
+
+    def test_weighted_sampling_prefers_popular(self, movies, rng):
+        stats = compute_table_stats(movies)
+        picks = stats.categorical["genre"].sample_weighted(rng, 300)
+        counts = {v: picks.count(v) for v in set(picks)}
+        assert counts["drama"] > counts.get("scifi", 0)
+
+    def test_database_stats_covers_all_tables(self, mini_db):
+        stats = compute_database_stats(mini_db)
+        assert set(stats) == {"movies", "cast_info"}
+
+    def test_column_selectivity(self, movies):
+        assert column_selectivity(movies, "genre", "drama") == pytest.approx(0.5)
+        assert column_selectivity(movies, "year", 2005) == pytest.approx(2 / 6)
+
+    def test_value_range(self, movies):
+        stats = compute_table_stats(movies)
+        assert stats.numeric["year"].value_range == 21
+
+
+class TestUniformSample:
+    def test_size_clipped(self, rng):
+        positions = uniform_sample(5, 10, rng)
+        assert len(positions) == 5
+
+    def test_no_replacement(self, rng):
+        positions = uniform_sample(100, 50, rng)
+        assert len(set(positions.tolist())) == 50
+
+    def test_empty_inputs(self, rng):
+        assert len(uniform_sample(0, 5, rng)) == 0
+        assert len(uniform_sample(5, 0, rng)) == 0
+
+    def test_sorted_output(self, rng):
+        positions = uniform_sample(100, 20, rng)
+        assert list(positions) == sorted(positions)
+
+
+class TestReservoirSample:
+    def test_size(self, rng):
+        assert len(reservoir_sample(range(100), 10, rng)) == 10
+
+    def test_short_stream(self, rng):
+        assert reservoir_sample(range(3), 10, rng) == [0, 1, 2]
+
+    def test_coverage_roughly_uniform(self):
+        rng = np.random.default_rng(7)
+        hits = np.zeros(20)
+        for _ in range(400):
+            for item in reservoir_sample(range(20), 5, rng):
+                hits[item] += 1
+        assert hits.min() > 50  # expected 100 each
+
+class TestVariationalSubsample:
+    def test_full_keep_when_target_large(self, rng):
+        result = variational_subsample(["a"] * 5, 10, rng)
+        assert len(result) == 5
+        assert (result.inclusion_probability == 1.0).all()
+
+    def test_every_stratum_represented(self, rng):
+        keys = ["a"] * 100 + ["b"] * 3 + ["c"] * 1
+        result = variational_subsample(keys, 20, rng)
+        sampled_keys = {keys[p] for p in result.positions}
+        assert sampled_keys == {"a", "b", "c"}
+
+    def test_rare_strata_over_represented(self, rng):
+        keys = ["big"] * 1000 + ["small"] * 10
+        result = variational_subsample(keys, 100, rng)
+        small = sum(1 for p in result.positions if keys[p] == "small")
+        # Proportional share would be ~1; sqrt allocation gives more.
+        assert small >= 2
+
+    def test_inclusion_probabilities_match_quota(self, rng):
+        keys = ["a"] * 50 + ["b"] * 50
+        result = variational_subsample(keys, 20, rng)
+        for position, probability in zip(result.positions, result.inclusion_probability):
+            assert 0 < probability <= 1
+
+    def test_empty(self, rng):
+        assert len(variational_subsample([], 10, rng)) == 0
+
+    def test_positions_unique(self, rng):
+        keys = list("aabbccddee") * 10
+        result = variational_subsample(keys, 30, rng)
+        assert len(set(result.positions.tolist())) == len(result.positions)
+
+
+class TestStratifiedTableSample:
+    def test_uniform_mode(self, movies, rng):
+        sample = stratified_table_sample(movies, None, 3, rng)
+        assert len(sample) == 3
+
+    def test_stratified_keeps_all_strata(self, movies, rng):
+        sample = stratified_table_sample(movies, "genre", 3, rng)
+        assert set(sample.column("genre")) == {"drama", "action", "scifi"}
+
+
+class TestLRUCache:
+    def test_capacity_enforced(self):
+        cache = LRUTupleCache(capacity=2)
+        cache.touch(("t", 1))
+        cache.touch(("t", 2))
+        cache.touch(("t", 3))
+        assert len(cache) == 2
+        assert ("t", 1) not in cache
+        assert cache.evictions == 1
+
+    def test_lru_order(self):
+        cache = LRUTupleCache(capacity=2)
+        cache.touch(("t", 1))
+        cache.touch(("t", 2))
+        cache.touch(("t", 1))  # refresh 1; 2 becomes LRU
+        cache.touch(("t", 3))
+        assert ("t", 1) in cache
+        assert ("t", 2) not in cache
+
+    def test_hit_accounting(self):
+        cache = LRUTupleCache(capacity=3)
+        assert not cache.touch(("t", 1))
+        assert cache.touch(("t", 1))
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_touch_many_dedupes(self):
+        cache = LRUTupleCache(capacity=5)
+        hits = cache.touch_many([("t", 1), ("t", 1), ("t", 2)])
+        assert hits == 0
+        assert len(cache) == 2
+
+    def test_contents_grouped(self):
+        cache = LRUTupleCache(capacity=5)
+        cache.touch_many([("b", 2), ("a", 9), ("a", 3)])
+        assert cache.contents() == {"a": [3, 9], "b": [2]}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUTupleCache(capacity=0)
