@@ -29,15 +29,19 @@ def _run(bundle) -> list[dict]:
     for factor in SCALE_FACTORS:
         blown = bundle.db.scale(factor)
         elapsed: list[float] = []
+        throughput: list[float] = []
         for query in queries:
-            _, seconds = timed_execute(blown, query)
-            elapsed.append(seconds)
+            timing = timed_execute(blown, query)
+            elapsed.append(timing.seconds)
+            throughput.append(timing.rows_per_second)
         cumulative_mean = np.cumsum(elapsed) / np.arange(1, len(elapsed) + 1)
         rows.append(
             {
                 "scale_factor": factor,
                 "total_rows": blown.total_rows(),
                 "per_query_seconds": elapsed,
+                "per_query_rows_per_second": throughput,
+                "mean_rows_per_second": float(np.mean(throughput)),
                 "cumulative_mean_seconds": cumulative_mean.tolist(),
                 "final_cumulative_mean": float(cumulative_mean[-1]),
             }
@@ -50,12 +54,18 @@ def test_fig4_direct_query_cost(benchmark, imdb_bundle):
     rows = benchmark.pedantic(_run, args=(imdb_bundle,), rounds=1, iterations=1)
     emit(
         "fig4_direct_query_cost",
-        ["Scale", "Rows", *[f"after {i + 1} queries (ms)" for i in range(N_SESSION_QUERIES)]],
+        [
+            "Scale",
+            "Rows",
+            *[f"after {i + 1} queries (ms)" for i in range(N_SESSION_QUERIES)],
+            "rows/s",
+        ],
         [
             [
                 f"x{r['scale_factor']}",
                 r["total_rows"],
                 *[f"{v * 1000:.1f}" for v in r["cumulative_mean_seconds"]],
+                f"{r['mean_rows_per_second']:.0f}",
             ]
             for r in rows
         ],

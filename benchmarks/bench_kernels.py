@@ -1,0 +1,302 @@
+"""Micro-benchmark of the vectorized execution kernels and CSR tracker.
+
+Times each hot-path kernel — equi-join, stable distinct, group-by, and
+the CoverageTracker batch add/remove/probe operations — on seeded
+synthetic data, against the retained pre-vectorization reference
+implementations (``repro.db.kernels.reference_*`` and
+``repro.core.reward.DictCoverageTracker``). Writes ``BENCH_kernels.json``
+so the performance trajectory of these kernels is tracked in-repo.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py                  # full profile
+    PYTHONPATH=src python benchmarks/bench_kernels.py --profile fast   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --profile fast \
+        --check BENCH_kernels.json --max-regression 2.0
+
+``--check`` compares the freshly measured vectorized timings against a
+committed baseline file and exits non-zero if any kernel regressed by
+more than ``--max-regression`` (see ``scripts/bench_smoke.sh``).
+
+This file is not a pytest benchmark: it is a standalone script so CI can
+run it without the pytest-benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.reward import CoverageTracker, DictCoverageTracker, QueryCoverage
+from repro.db import kernels
+
+#: Speedups the tentpole must hold at the 10k-row profile (join and the
+#: coverage hot paths are the acceptance-gated kernels; distinct/group and
+#: the raw batch-update path ride along). ``coverage_probe`` is the BRT /
+#: greedy inner loop — reset, add a candidate set, score — where the
+#: legacy tracker rebuilds its missing-requirement dict per candidate.
+#: ``coverage_batch`` (raw add/remove) is reported but ungated: both
+#: implementations pay the same per-key tuple hash to intern keys, which
+#: caps that path's speedup near 3x regardless of the update structure.
+REQUIRED_SPEEDUPS = {
+    "join_10k": 5.0,
+    "coverage_probe": 5.0,
+    "coverage_score_with_keys": 5.0,
+}
+
+PROFILES = {
+    # rows are identical between profiles so the JSON is comparable;
+    # "fast" only lowers the repeat count for CI smoke runs.
+    "full": {"repeats": 5},
+    "fast": {"repeats": 2},
+}
+
+N_ROWS = 10_000
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ------------------------------------------------------------------ #
+# workloads
+# ------------------------------------------------------------------ #
+def _join_workload(rng: np.random.Generator):
+    build = [
+        rng.integers(0, N_ROWS // 2, size=N_ROWS),
+        rng.integers(0, 50, size=N_ROWS),
+    ]
+    probe = [
+        rng.integers(0, N_ROWS // 2, size=N_ROWS),
+        rng.integers(0, 50, size=N_ROWS),
+    ]
+    return build, probe
+
+
+def _distinct_workload(rng: np.random.Generator):
+    labels = np.asarray([f"v{i}" for i in range(64)], dtype=object)
+    return [
+        rng.integers(0, 200, size=N_ROWS),
+        labels[rng.integers(0, len(labels), size=N_ROWS)],
+    ]
+
+
+def _group_workload(rng: np.random.Generator):
+    return [
+        rng.integers(0, 500, size=N_ROWS),
+        rng.integers(0, 8, size=N_ROWS),
+    ]
+
+
+def _coverage_fixture(rng: np.random.Generator):
+    """Synthetic provenance requirements plus seeded add/remove batches.
+
+    The id space is deliberately much smaller than the requirement count:
+    exploratory workloads share hot provenance tuples across queries (that
+    overlap is why approximation sets work at all), so a realistic tracker
+    workload has each key appearing in several queries' requirement rows.
+    """
+    tables = ["t0", "t1", "t2", "t3"]
+    n_ids = 600
+    coverages = []
+    for q in range(200):
+        requirements = []
+        for _ in range(50):
+            width = int(rng.integers(1, 4))
+            requirement = tuple(
+                (tables[int(rng.integers(0, len(tables)))], int(rng.integers(0, n_ids)))
+                for _ in range(width)
+            )
+            requirements.append(requirement)
+        coverages.append(
+            QueryCoverage(
+                name=f"q{q}",
+                weight=float(rng.uniform(0.5, 2.0)),
+                denominator=50,
+                requirements=requirements,
+            )
+        )
+    universe = [
+        (table, int(i)) for table in tables for i in rng.integers(0, n_ids, size=400)
+    ]
+    # Environment-step-sized add/remove batches (one action group each).
+    batches = []
+    for _ in range(16):
+        picks = rng.integers(0, len(universe), size=500)
+        added = [universe[int(p)] for p in picks]
+        removed = added[: len(added) // 2]
+        batches.append((added, removed))
+    # BRT-sized candidate sets: whole approximation sets of ~k tuples,
+    # probed from scratch (reset + add + score) per combination.
+    candidates = []
+    for _ in range(8):
+        picks = rng.integers(0, len(universe), size=2_000)
+        candidates.append([universe[int(p)] for p in picks])
+    return coverages, batches, candidates
+
+
+def _run_coverage_batches(tracker, batches) -> None:
+    tracker.reset()
+    for added, removed in batches:
+        tracker.add_keys(added)
+        tracker.batch_score()
+        tracker.remove_keys(removed)
+        tracker.batch_score()
+
+
+def _run_coverage_candidate_probes(tracker, candidates) -> None:
+    # Verbatim the BruteForce inner loop: score each candidate set from
+    # an empty tracker (legacy reset() rebuilds the missing-dict from all
+    # requirements; CSR reset() is three array copies).
+    for candidate in candidates:
+        tracker.reset()
+        tracker.add_keys(candidate)
+        tracker.batch_score()
+
+
+def _run_coverage_probes(tracker, batches) -> None:
+    for added, _ in batches:
+        tracker.score_with_keys(added)
+
+
+# ------------------------------------------------------------------ #
+def run_benchmarks(profile: str) -> dict:
+    repeats = PROFILES[profile]["repeats"]
+    record: dict = {"profile": profile, "rows": N_ROWS, "kernels": {}}
+
+    def measure(name: str, reference, vectorized, units: int) -> None:
+        ref_s = _best_of(reference, repeats)
+        vec_s = _best_of(vectorized, repeats)
+        record["kernels"][name] = {
+            "reference_s": ref_s,
+            "vectorized_s": vec_s,
+            "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+            "units_per_s": units / vec_s if vec_s > 0 else float("inf"),
+        }
+
+    rng = np.random.default_rng(7)
+    build, probe = _join_workload(rng)
+    measure(
+        "join_10k",
+        lambda: kernels.reference_join_positions(build, probe),
+        lambda: kernels.join_positions(build, probe),
+        units=len(build[0]) + len(probe[0]),
+    )
+
+    distinct_arrays = _distinct_workload(rng)
+    measure(
+        "distinct_10k",
+        lambda: kernels.reference_distinct_positions(distinct_arrays),
+        lambda: kernels.distinct_positions(distinct_arrays),
+        units=len(distinct_arrays[0]),
+    )
+
+    group_arrays = _group_workload(rng)
+    measure(
+        "group_by_10k",
+        lambda: kernels.reference_group_by_positions(group_arrays),
+        lambda: kernels.group_by_positions(group_arrays),
+        units=len(group_arrays[0]),
+    )
+
+    coverages, batches, candidates = _coverage_fixture(rng)
+    csr = CoverageTracker(coverages)
+    legacy = DictCoverageTracker(coverages)
+    n_batch_keys = sum(len(a) + len(r) for a, r in batches)
+    measure(
+        "coverage_batch",
+        lambda: _run_coverage_batches(legacy, batches),
+        lambda: _run_coverage_batches(csr, batches),
+        units=n_batch_keys,
+    )
+    measure(
+        "coverage_probe",
+        lambda: _run_coverage_candidate_probes(legacy, candidates),
+        lambda: _run_coverage_candidate_probes(csr, candidates),
+        units=sum(len(c) for c in candidates),
+    )
+    csr.reset()
+    legacy.reset()
+    warm = [key for added, _ in batches[:4] for key in added]
+    csr.add_keys(warm)
+    legacy.add_keys(warm)
+    measure(
+        "coverage_score_with_keys",
+        lambda: _run_coverage_probes(legacy, batches),
+        lambda: _run_coverage_probes(csr, batches),
+        units=sum(len(a) for a, _ in batches),
+    )
+    return record
+
+
+def check_regressions(record: dict, baseline_path: Path, max_regression: float) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, entry in record["kernels"].items():
+        base = baseline.get("kernels", {}).get(name)
+        if base is None:
+            continue
+        if entry["vectorized_s"] > max_regression * base["vectorized_s"]:
+            failures.append(
+                f"{name}: {entry['vectorized_s'] * 1e3:.3f} ms vs baseline "
+                f"{base['vectorized_s'] * 1e3:.3f} ms (> {max_regression:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON record here (default: repo-root "
+                             "BENCH_kernels.json; '-' to skip)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline BENCH_kernels.json to compare against")
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks(args.profile)
+
+    width = max(len(name) for name in record["kernels"])
+    print(f"{'kernel'.ljust(width)}  reference    vectorized   speedup")
+    for name, entry in record["kernels"].items():
+        print(
+            f"{name.ljust(width)}  {entry['reference_s'] * 1e3:9.3f} ms"
+            f"  {entry['vectorized_s'] * 1e3:9.3f} ms"
+            f"  {entry['speedup']:6.1f}x"
+        )
+
+    status = 0
+    for name, required in REQUIRED_SPEEDUPS.items():
+        speedup = record["kernels"][name]["speedup"]
+        if speedup < required:
+            print(f"FAIL: {name} speedup {speedup:.1f}x < required {required:.1f}x")
+            status = 1
+
+    if args.check is not None:
+        failures = check_regressions(record, args.check, args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            status = 1
+
+    if args.output is None:
+        args.output = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    if str(args.output) != "-":
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI smoke run of the vectorized-kernel micro-benchmark.
+#
+# Runs benchmarks/bench_kernels.py in the fast profile and fails if any
+# kernel's vectorized timing regressed by more than 2x against the
+# committed BENCH_kernels.json baseline (or if a required speedup over
+# the reference implementations no longer holds).
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python benchmarks/bench_kernels.py \
+  --profile fast \
+  --check BENCH_kernels.json \
+  --max-regression 2.0 \
+  --output -

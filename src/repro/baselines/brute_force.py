@@ -62,6 +62,8 @@ class BruteForce(SubsetSelector):
         while time.perf_counter() - started < budget:
             picks = rng.choice(len(all_keys), size=size, replace=False)
             candidate = [all_keys[p] for p in picks]
+            # reset() is an array copy and add_keys() one vectorized batch
+            # update, so each probed combination costs O(incidence) work.
             tracker.reset()
             tracker.add_keys(candidate)
             value = tracker.batch_score()

@@ -72,10 +72,8 @@ class GreedySelection(SubsetSelector):
                 new_keys = [key for key in requirement if key not in approx]
                 if approx.total_size() + len(new_keys) > k:
                     continue
-                # Probe: add, measure, roll back.
-                tracker.add_keys(requirement)
-                gain = tracker.batch_score() - current_score
-                tracker.remove_keys(requirement)
+                # Probe: batch add, measure, roll back (one CSR round trip).
+                gain = tracker.probe_add_score(requirement) - current_score
                 cost = max(1, len(new_keys))
                 normalized = gain / cost
                 if normalized > best_gain:

@@ -74,6 +74,8 @@ class _BaseTabularEnv(Environment):
         return [int(p) for p in picks]
 
     def _apply_add(self, action: int) -> None:
+        # One batch tracker update per action group (CSR scatter), not one
+        # incidence walk per key.
         self.selected[action] = True
         keys = self.action_space.keys_of(action)
         self.approx.add_keys(keys)

@@ -11,6 +11,19 @@ approximation set for that row to appear in ``q(S)``.
 leave the candidate set, how many result rows of each query are covered,
 and evaluates the Eq. 1 score over any batch of queries in O(1) per query.
 
+The tracker stores the key → result-row incidence as a **CSR structure**:
+all distinct keys are interned to dense ids, the incidence lists are
+flattened into one contiguous ``int64`` array indexed by per-key offsets,
+and the per-row missing counts / per-query covered counts / per-key
+refcounts live in flat numpy arrays. Batch :meth:`add_keys` /
+:meth:`remove_keys` updates are vectorized (``np.unique`` over the batch,
+``np.add.at`` scatter into the missing counts), an episode
+:meth:`reset` is an array copy, and :meth:`score_with_keys` restores the
+prior state from an array snapshot instead of replaying refcounts one key
+at a time. The pre-vectorization dict-of-lists implementation is retained
+below as :class:`DictCoverageTracker` for differential testing and
+benchmarking.
+
 Granularity note: the tracker counts *distinct provenance rows* (one per
 combination of contributing base tuples). Executed scoring
 (:func:`repro.core.metric.score`) counts distinct *projected* result
@@ -23,11 +36,16 @@ remain a close, monotone training proxy otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from .approximation import TupleKey
+
+#: Batches up to this size take the scalar per-key path; the numpy batch
+#: machinery only pays off once a few keys amortize its fixed cost.
+_SCALAR_BATCH_LIMIT = 4
 
 
 @dataclass
@@ -58,7 +76,275 @@ class QueryCoverage:
 
 
 class CoverageTracker:
-    """Incremental covered-row counts for a set of query representatives."""
+    """Incremental covered-row counts for a set of query representatives.
+
+    CSR incidence layout (built once in ``__init__``):
+
+    * ``_key_index`` interns every distinct tuple key to a dense id;
+    * ``_inc_rows[_inc_offsets[k]:_inc_offsets[k + 1]]`` lists the global
+      result-row ids requiring key ``k`` (rows are numbered contiguously
+      across queries; ``_row_query`` maps a row back to its query);
+    * ``_missing[row]`` counts the row's absent required keys,
+      ``_covered[q]`` the rows of query ``q`` with nothing missing, and
+      ``_present[k]`` the refcount of key ``k`` (DRP removes tuples).
+    """
+
+    def __init__(self, coverages: Sequence[QueryCoverage]) -> None:
+        self.coverages = list(coverages)
+        n_queries = len(self.coverages)
+        row_counts = np.asarray(
+            [len(c.requirements) for c in self.coverages], dtype=np.int64
+        )
+        self._row_query = np.repeat(np.arange(n_queries, dtype=np.int64), row_counts)
+        row_offsets = np.concatenate([[0], np.cumsum(row_counts)])
+
+        self._key_index: dict[TupleKey, int] = {}
+        inc_keys: list[int] = []
+        inc_rows: list[int] = []
+        initial_missing = np.zeros(int(row_offsets[-1]), dtype=np.int64)
+        for q, coverage in enumerate(self.coverages):
+            base = int(row_offsets[q])
+            for r, requirement in enumerate(coverage.requirements):
+                distinct = set(requirement)
+                initial_missing[base + r] = len(distinct)
+                for key in distinct:
+                    kid = self._key_index.setdefault(key, len(self._key_index))
+                    inc_keys.append(kid)
+                    inc_rows.append(base + r)
+
+        n_keys = len(self._key_index)
+        inc_key_arr = np.asarray(inc_keys, dtype=np.int64)
+        inc_row_arr = np.asarray(inc_rows, dtype=np.int64)
+        order = np.argsort(inc_key_arr, kind="stable")
+        self._inc_rows = inc_row_arr[order]
+        self._inc_offsets = np.concatenate(
+            [[0], np.cumsum(np.bincount(inc_key_arr, minlength=n_keys))]
+        ).astype(np.int64)
+
+        self._initial_missing = initial_missing
+        self._missing = initial_missing.copy()
+        # Rows with no requirements (shouldn't happen) start covered.
+        self._initial_covered = np.bincount(
+            self._row_query[initial_missing == 0], minlength=n_queries
+        ).astype(np.int64)
+        self._covered = self._initial_covered.copy()
+        self._present = np.zeros(n_keys, dtype=np.int64)
+
+        self._weights = np.asarray([c.weight for c in self.coverages], dtype=np.float64)
+        denoms = np.asarray([c.denominator for c in self.coverages], dtype=np.float64)
+        self._empty = denoms <= 0
+        self._safe_denoms = np.where(self._empty, 1.0, denoms)
+
+    # -------------------------------------------------------------- #
+    @property
+    def n_queries(self) -> int:
+        return len(self.coverages)
+
+    def covered_counts(self) -> np.ndarray:
+        return self._covered.copy()
+
+    def reset(self) -> None:
+        """Remove all present tuples (start of an episode)."""
+        self._present[:] = 0
+        self._missing[:] = self._initial_missing
+        self._covered[:] = self._initial_covered
+
+    # -------------------------------------------------------------- #
+    def _key_id(self, key: TupleKey) -> Optional[int]:
+        return self._key_index.get(key)
+
+    def add_key(self, key: TupleKey) -> None:
+        kid = self._key_index.get(key)
+        if kid is None:
+            return
+        count = self._present[kid]
+        self._present[kid] = count + 1
+        if count > 0:
+            return  # already present; no coverage change
+        missing, covered, row_query = self._missing, self._covered, self._row_query
+        for pos in range(self._inc_offsets[kid], self._inc_offsets[kid + 1]):
+            row = self._inc_rows[pos]
+            missing[row] -= 1
+            if missing[row] == 0:
+                covered[row_query[row]] += 1
+
+    def remove_key(self, key: TupleKey) -> None:
+        kid = self._key_index.get(key)
+        if kid is None:
+            return
+        count = self._present[kid]
+        if count == 0:
+            return
+        self._present[kid] = count - 1
+        if count > 1:
+            return
+        missing, covered, row_query = self._missing, self._covered, self._row_query
+        for pos in range(self._inc_offsets[kid], self._inc_offsets[kid + 1]):
+            row = self._inc_rows[pos]
+            if missing[row] == 0:
+                covered[row_query[row]] -= 1
+            missing[row] += 1
+
+    # -------------------------------------------------------------- #
+    def _batch_key_counts(self, keys: list) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct interned key ids of a batch with their multiplicities.
+
+        Unknown keys are dropped. The C-level ``map(dict.get, keys,
+        repeat(-1))`` avoids a Python frame per key; everything after is
+        sized by the batch, not the key universe.
+        """
+        ids = np.fromiter(
+            map(self._key_index.get, keys, repeat(-1)),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        uniq, counts = np.unique(ids, return_counts=True)
+        if uniq.size and uniq[0] == -1:
+            uniq, counts = uniq[1:], counts[1:]
+        return uniq, counts
+
+    def _incidence_rows(self, key_ids: np.ndarray) -> np.ndarray:
+        """Concatenated incidence rows of a batch of key ids (CSR gather)."""
+        starts = self._inc_offsets[key_ids]
+        counts = self._inc_offsets[key_ids + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        group_starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(group_starts, counts)
+        return self._inc_rows[np.repeat(starts, counts) + within]
+
+    def add_keys(self, keys: Iterable[TupleKey]) -> None:
+        keys = keys if isinstance(keys, list) else list(keys)
+        if len(keys) <= _SCALAR_BATCH_LIMIT:
+            for key in keys:
+                self.add_key(key)
+            return
+        uniq, counts = self._batch_key_counts(keys)
+        if uniq.size == 0:
+            return
+        newly = uniq[self._present[uniq] == 0]
+        self._present[uniq] += counts
+        if newly.size == 0:
+            return
+        rows = self._incidence_rows(newly)
+        if rows.size == 0:
+            return
+        # Several newly-present keys may hit the same row: subtract the
+        # per-row hit counts, then find touched rows that reached zero
+        # (all were > 0 before, since a row requiring an absent key has
+        # missing >= 1). Large batches take the dense bincount path —
+        # ufunc.at's per-element scatter is far slower than full-array ops
+        # once the hit list is a sizeable fraction of the rows.
+        if rows.size * 4 >= self._missing.size:
+            row_hits = np.bincount(rows, minlength=self._missing.size)
+            self._missing -= row_hits
+            became_covered = np.flatnonzero((self._missing == 0) & (row_hits > 0))
+        else:
+            np.subtract.at(self._missing, rows, 1)
+            touched = np.unique(rows)
+            became_covered = touched[self._missing[touched] == 0]
+        if became_covered.size:
+            self._covered += np.bincount(
+                self._row_query[became_covered], minlength=self.n_queries
+            )
+
+    def remove_keys(self, keys: Iterable[TupleKey]) -> None:
+        keys = keys if isinstance(keys, list) else list(keys)
+        if len(keys) <= _SCALAR_BATCH_LIMIT:
+            for key in keys:
+                self.remove_key(key)
+            return
+        uniq, counts = self._batch_key_counts(keys)
+        if uniq.size == 0:
+            return
+        present = self._present[uniq]
+        vanishing = uniq[(present > 0) & (counts >= present)]
+        self._present[uniq] = np.maximum(present - counts, 0)
+        if vanishing.size == 0:
+            return
+        rows = self._incidence_rows(vanishing)
+        if rows.size == 0:
+            return
+        if rows.size * 4 >= self._missing.size:
+            row_hits = np.bincount(rows, minlength=self._missing.size)
+            was_covered = np.flatnonzero((self._missing == 0) & (row_hits > 0))
+            self._missing += row_hits
+        else:
+            touched = np.unique(rows)
+            was_covered = touched[self._missing[touched] == 0]
+            np.add.at(self._missing, rows, 1)
+        if was_covered.size:
+            self._covered -= np.bincount(
+                self._row_query[was_covered], minlength=self.n_queries
+            )
+
+    # -------------------------------------------------------------- #
+    def query_score(self, q: int) -> float:
+        """Eq. 1 term of one query under the current set."""
+        coverage = self.coverages[q]
+        if coverage.is_empty:
+            return 1.0
+        return min(1.0, float(self._covered[q]) / coverage.denominator)
+
+    def batch_score(self, query_indices: Optional[Sequence[int]] = None) -> float:
+        """Weighted Eq. 1 score over a batch (default: all queries).
+
+        Weights are renormalized within the batch so a batch reward is on
+        the same [0, 1] scale as the full score.
+        """
+        if query_indices is None:
+            scores = np.where(
+                self._empty, 1.0, np.minimum(1.0, self._covered / self._safe_denoms)
+            )
+            weight_sum = float(self._weights.sum())
+            total = float(self._weights @ scores)
+        else:
+            idx = np.asarray(query_indices, dtype=np.int64)
+            scores = np.where(
+                self._empty[idx],
+                1.0,
+                np.minimum(1.0, self._covered[idx] / self._safe_denoms[idx]),
+            )
+            weight_sum = float(self._weights[idx].sum())
+            total = float(self._weights[idx] @ scores)
+        return total / weight_sum if weight_sum > 0 else 0.0
+
+    def probe_add_score(self, keys: Iterable[TupleKey]) -> float:
+        """Score after hypothetically adding ``keys``; state is unchanged.
+
+        Used by the greedy baseline's marginal-gain scan: add, score, and
+        roll back in one incidence-bounded round trip (no snapshot copy).
+        """
+        keys = list(keys)
+        self.add_keys(keys)
+        value = self.batch_score()
+        self.remove_keys(keys)
+        return value
+
+    def score_with_keys(self, keys: Iterable[TupleKey]) -> float:
+        """Score of an arbitrary key set without disturbing current state.
+
+        Used by the greedy / brute-force baselines, which probe many
+        candidate sets. The prior state is restored from an O(1)-ops
+        array snapshot rather than replaying every refcount.
+        """
+        snapshot = (self._present.copy(), self._missing.copy(), self._covered.copy())
+        self.reset()
+        self.add_keys(keys)
+        value = self.batch_score()
+        self._present, self._missing, self._covered = snapshot
+        return value
+
+
+class DictCoverageTracker:
+    """Pre-vectorization dict-of-lists tracker (reference implementation).
+
+    Retained verbatim for the differential/property tests in
+    ``tests/test_kernels.py`` and as the baseline side of
+    ``benchmarks/bench_kernels.py``. Semantics are identical to
+    :class:`CoverageTracker`; only the data layout differs.
+    """
 
     def __init__(self, coverages: Sequence[QueryCoverage]) -> None:
         self.coverages = list(coverages)
@@ -78,10 +364,8 @@ class CoverageTracker:
                 for key in distinct:
                     self._incidence.setdefault(key, []).append((q, r))
             self._missing.append(missing)
-            # Rows with no requirements (shouldn't happen) start covered.
             self._covered[q] = int(np.sum(missing == 0))
 
-    # -------------------------------------------------------------- #
     @property
     def n_queries(self) -> int:
         return len(self.coverages)
@@ -90,22 +374,18 @@ class CoverageTracker:
         return self._covered.copy()
 
     def reset(self) -> None:
-        """Remove all present tuples (start of an episode)."""
-        for key in list(self._present):
-            count = self._present.pop(key)
-            del count
+        self._present.clear()
         for q, coverage in enumerate(self.coverages):
             missing = self._missing[q]
             for r, requirement in enumerate(coverage.requirements):
                 missing[r] = len(set(requirement))
             self._covered[q] = int(np.sum(missing == 0))
 
-    # -------------------------------------------------------------- #
     def add_key(self, key: TupleKey) -> None:
         count = self._present.get(key, 0)
         self._present[key] = count + 1
         if count > 0:
-            return  # already present; no coverage change
+            return
         for q, r in self._incidence.get(key, ()):
             missing = self._missing[q]
             missing[r] -= 1
@@ -134,20 +414,13 @@ class CoverageTracker:
         for key in keys:
             self.remove_key(key)
 
-    # -------------------------------------------------------------- #
     def query_score(self, q: int) -> float:
-        """Eq. 1 term of one query under the current set."""
         coverage = self.coverages[q]
         if coverage.is_empty:
             return 1.0
         return min(1.0, float(self._covered[q]) / coverage.denominator)
 
     def batch_score(self, query_indices: Optional[Sequence[int]] = None) -> float:
-        """Weighted Eq. 1 score over a batch (default: all queries).
-
-        Weights are renormalized within the batch so a batch reward is on
-        the same [0, 1] scale as the full score.
-        """
         if query_indices is None:
             query_indices = range(self.n_queries)
         total = 0.0
@@ -159,11 +432,6 @@ class CoverageTracker:
         return total / weight_sum if weight_sum > 0 else 0.0
 
     def score_with_keys(self, keys: Iterable[TupleKey]) -> float:
-        """Score of an arbitrary key set without disturbing current state.
-
-        Used by the greedy / brute-force baselines, which probe many
-        candidate sets.
-        """
         snapshot_present = dict(self._present)
         self.reset()
         self.add_keys(keys)

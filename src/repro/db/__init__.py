@@ -11,6 +11,7 @@ from .executor import (
     AggregateResult,
     ExecutionError,
     ResultSet,
+    TimedExecution,
     execute,
     execute_aggregate,
     timed_execute,
@@ -54,6 +55,8 @@ from .statistics import (
     TableStats,
     compute_database_stats,
     compute_table_stats,
+    estimate_ndv,
+    estimated_join_cardinality,
 )
 from .table import Table, table_from_rows
 
@@ -93,11 +96,14 @@ __all__ = [
     "Table",
     "TableSchema",
     "TableStats",
+    "TimedExecution",
     "TrueExpr",
     "compute_database_stats",
     "compute_table_stats",
     "conjoin",
     "conjuncts",
+    "estimate_ndv",
+    "estimated_join_cardinality",
     "execute",
     "execute_aggregate",
     "sql",

@@ -1,8 +1,10 @@
 """Query execution: filters, hash equi-joins, projection, aggregation.
 
 The executor is deliberately simple but real: predicate pushdown to base
-tables, greedy join ordering over the join graph, vectorized hash joins,
-and hash aggregation. It executes the same :class:`~repro.db.query.SPJQuery`
+tables, statistics-driven join ordering over the join graph, and joins /
+distinct / aggregation running on the shared vectorized kernels in
+:mod:`repro.db.kernels` (multi-column key factorization + sort /
+``searchsorted``). It executes the same :class:`~repro.db.query.SPJQuery`
 objects against the full database and against approximation-set
 sub-databases, which is what Eq. 1 of the paper compares.
 """
@@ -11,13 +13,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import kernels
 from .database import Database
 from .expressions import Expression, TrueExpr, conjoin, conjuncts
 from .query import AggFunc, AggregateQuery, JoinCondition, QueryError, SPJQuery
+from .statistics import estimate_ndv, estimated_join_cardinality
 
 
 @dataclass
@@ -42,6 +46,10 @@ class ResultSet:
         matches = [key for key in self.columns if key.endswith("." + ref)]
         if len(matches) == 1:
             return self.columns[matches[0]]
+        if len(matches) > 1:
+            raise QueryError(
+                f"column reference {ref!r} is ambiguous; matches {sorted(matches)}"
+            )
         raise QueryError(f"result has no column {ref!r}; available: {sorted(self.columns)}")
 
     def take(self, positions: np.ndarray) -> "ResultSet":
@@ -155,21 +163,78 @@ def _pushdown(predicate: Expression, tables: Sequence[str]) -> tuple[dict[str, E
     )
 
 
-def _join_order(tables: Sequence[str], joins: Sequence[JoinCondition]) -> list[str]:
-    """Greedy connected ordering over the join graph (falls back to listed order)."""
+def _join_order(
+    tables: Sequence[str],
+    joins: Sequence[JoinCondition],
+    contexts: Optional[dict[str, "ResultSet"]] = None,
+) -> list[str]:
+    """Statistics-driven greedy connected ordering over the join graph.
+
+    With per-table ``contexts`` (post-pushdown), starts from the smallest
+    input and repeatedly expands to the connected table with the smallest
+    estimated output cardinality (the classic ``|L|·|R| / max(NDV)``
+    equi-join estimate). Without contexts, falls back to the listed-order
+    greedy connected walk.
+    """
     if len(tables) <= 1:
         return list(tables)
     adjacency: dict[str, set[str]] = {t: set() for t in tables}
     for join in joins:
         adjacency[join.left_table].add(join.right_table)
         adjacency[join.right_table].add(join.left_table)
-    order = [tables[0]]
-    remaining = [t for t in tables[1:]]
+
+    if contexts is None:
+        order = [tables[0]]
+        remaining = [t for t in tables[1:]]
+        while remaining:
+            connected = [t for t in remaining if any(n in order for n in adjacency[t])]
+            nxt = connected[0] if connected else remaining[0]
+            order.append(nxt)
+            remaining.remove(nxt)
+        return order
+
+    sizes = {t: len(contexts[t]) for t in tables}
+    ndv_cache: dict[str, int] = {}
+
+    def _ndv(ref: str) -> int:
+        if ref not in ndv_cache:
+            table = ref.split(".", 1)[0]
+            array = contexts[table].columns.get(ref)
+            ndv_cache[ref] = estimate_ndv(array) if array is not None else 1
+        return ndv_cache[ref]
+
+    start = min(tables, key=lambda t: sizes[t])
+    order = [start]
+    joined = {start}
+    remaining = [t for t in tables if t != start]
+    est_rows = float(sizes[start])
     while remaining:
-        connected = [t for t in remaining if any(n in order for n in adjacency[t])]
-        nxt = connected[0] if connected else remaining[0]
-        order.append(nxt)
-        remaining.remove(nxt)
+        best: Optional[str] = None
+        best_est = np.inf
+        for t in remaining:
+            usable = [
+                j
+                for j in joins
+                if (j.left_table == t and j.right_table in joined)
+                or (j.right_table == t and j.left_table in joined)
+            ]
+            if not usable:
+                continue
+            first = usable[0]
+            est = estimated_join_cardinality(
+                est_rows, _ndv(first.left), sizes[t], _ndv(first.right)
+            )
+            for j in usable[1:]:  # extra equi-conditions filter further
+                est /= max(_ndv(j.left), _ndv(j.right), 1)
+            if est < best_est:
+                best, best_est = t, est
+        if best is None:  # disconnected: cheapest cross product
+            best = min(remaining, key=lambda t: sizes[t])
+            best_est = est_rows * max(sizes[best], 1)
+        order.append(best)
+        joined.add(best)
+        remaining.remove(best)
+        est_rows = max(best_est, 1.0)
     return order
 
 
@@ -189,28 +254,14 @@ def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondi
                 f"join condition {cond.to_sql()!r} does not span the two inputs"
             )
 
-    # Build hash table on the smaller side.
+    # Build on the smaller side, probe with the larger (as the per-row
+    # hash join did); the kernel preserves its bucket emission order.
     swap = len(right) < len(left)
     build, probe = (right, left) if swap else (left, right)
     build_keys = right_keys if swap else left_keys
     probe_keys = left_keys if swap else right_keys
 
-    buckets: dict[tuple, list[int]] = {}
-    n_keys = len(conditions)
-    for i in range(len(build)):
-        key = tuple(build_keys[j][i] for j in range(n_keys))
-        buckets.setdefault(key, []).append(i)
-
-    probe_positions: list[int] = []
-    build_positions: list[int] = []
-    for i in range(len(probe)):
-        key = tuple(probe_keys[j][i] for j in range(n_keys))
-        for b in buckets.get(key, ()):
-            probe_positions.append(i)
-            build_positions.append(b)
-
-    probe_idx = np.asarray(probe_positions, dtype=np.int64)
-    build_idx = np.asarray(build_positions, dtype=np.int64)
+    probe_idx, build_idx = kernels.join_positions(build_keys, probe_keys)
     probe_part = probe.take(probe_idx)
     build_part = build.take(build_idx)
     left_part, right_part = (build_part, probe_part) if swap else (probe_part, build_part)
@@ -223,15 +274,8 @@ def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondi
 
 
 def _distinct_positions(result: ResultSet, refs: Sequence[str]) -> np.ndarray:
-    seen: set[tuple] = set()
-    keep: list[int] = []
     arrays = [result.column(ref) for ref in refs]
-    for i in range(len(result)):
-        key = tuple(arr[i] for arr in arrays)
-        if key not in seen:
-            seen.add(key)
-            keep.append(i)
-    return np.asarray(keep, dtype=np.int64)
+    return kernels.distinct_positions(arrays)
 
 
 def execute(db: Database, query: SPJQuery) -> ResultSet:
@@ -252,7 +296,7 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
             context = context.take(np.flatnonzero(mask))
         contexts[table] = context
 
-    order = _join_order(query.tables, query.joins)
+    order = _join_order(query.tables, query.joins, contexts)
     current = contexts[order[0]]
     joined = {order[0]}
     pending = list(query.joins)
@@ -348,20 +392,19 @@ def execute_aggregate(db: Database, query: AggregateQuery) -> AggregateResult:
 
     if group_refs:
         key_arrays = [flat.column(ref) for ref in group_refs]
-        groups: dict[tuple, list[int]] = {}
-        for i in range(len(flat)):
-            key = tuple(arr[i] for arr in key_arrays)
-            groups.setdefault(key, []).append(i)
+        # Positions within each group are ascending, so group[0] is the
+        # first occurrence and yields the representative key values.
+        groups = [
+            (tuple(arr[positions[0]] for arr in key_arrays), positions)
+            for positions in kernels.group_by_positions(key_arrays)
+        ]
     else:
-        groups = {(): list(range(len(flat)))}
-        if not groups[()]:
-            groups = {(): []}
+        groups = [((), np.arange(len(flat), dtype=np.int64))]
 
-    for key, positions in sorted(groups.items(), key=lambda kv: str(kv[0])):
+    for key, idx in sorted(groups, key=lambda kv: str(kv[0])):
         row: dict[str, object] = {
             col: key[j] for j, col in enumerate(query.group_by)
         }
-        idx = np.asarray(positions, dtype=np.int64)
         for spec, name in zip(query.aggregates, agg_names):
             row[name] = _compute_aggregate(flat, spec, idx, query)
         result.rows.append(row)
@@ -402,8 +445,18 @@ def _compute_aggregate(
 # ------------------------------------------------------------------ #
 # timing helper
 # ------------------------------------------------------------------ #
-def timed_execute(db: Database, query: SPJQuery) -> tuple[ResultSet, float]:
-    """Execute and return ``(result, elapsed_seconds)``."""
+class TimedExecution(NamedTuple):
+    """Result of :func:`timed_execute`: rows, latency, and throughput."""
+
+    result: ResultSet
+    seconds: float
+    rows_per_second: float
+
+
+def timed_execute(db: Database, query: SPJQuery) -> TimedExecution:
+    """Execute and return ``(result, elapsed_seconds, rows_per_second)``."""
     start = time.perf_counter()
     result = execute(db, query)
-    return result, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    throughput = result.n_rows / elapsed if elapsed > 0 else 0.0
+    return TimedExecution(result, elapsed, throughput)

@@ -1,0 +1,300 @@
+"""Vectorized execution kernels shared by the relational executor.
+
+The executor's three inner loops — hash-join bucket building/probing,
+stable ``DISTINCT``, and hash-aggregation grouping — all reduce to one
+primitive: *multi-column key factorization*. :func:`factorize_keys`
+encodes a tuple of key columns into bounded dense ``int64`` codes (equal
+row tuples ⇔ equal codes), after which joins become a stable argsort +
+``bincount``-indexed bucket lookup, distinct becomes a
+first-occurrence scan over sorted codes, and grouping becomes a stable
+argsort + split. Integer key columns take a sort-free min/max offset
+path; bounded code ranges let every downstream step use ``bincount``
+instead of hashing or ``searchsorted``.
+
+Every kernel reproduces the row ordering of the original per-row
+implementations exactly:
+
+* joins emit matches in probe-row order, ascending build position within
+  a key group (the dict-of-buckets order);
+* distinct keeps the first occurrence of each key, in input order;
+* group positions are ascending within each group.
+
+Float ``NaN`` keys follow Python hashing semantics of the old per-row
+code — ``NaN`` never equals anything, including itself — so ``NaN`` rows
+never join, are always distinct, and each form their own group.
+
+The pre-vectorization per-row implementations are retained below as
+``reference_*`` functions. They are the ground truth for the
+differential tests (``tests/test_kernels.py``,
+``tests/test_executor_reference.py``) and the baseline side of
+``benchmarks/bench_kernels.py``. :func:`use_reference_kernels` forces the
+executor through them, which lets the tests assert byte-identical
+results end to end.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+_FORCE_REFERENCE = False
+
+
+@contextmanager
+def use_reference_kernels() -> Iterator[None]:
+    """Route all kernel entry points through the per-row reference
+    implementations (for differential testing and benchmarking)."""
+    global _FORCE_REFERENCE
+    previous = _FORCE_REFERENCE
+    _FORCE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _FORCE_REFERENCE = previous
+
+
+# ------------------------------------------------------------------ #
+# key factorization
+# ------------------------------------------------------------------ #
+def _code_limit(n: int) -> int:
+    """Largest code range we allow before re-densifying.
+
+    Bounded ranges keep the ``bincount`` arrays used by the join kernel
+    small; 8 codes per row (min 64k) is cheap in memory and avoids the
+    sort that densification costs.
+    """
+    return max(1 << 16, 8 * n)
+
+
+def _encode_column(values: np.ndarray) -> tuple[np.ndarray, int, np.ndarray | None]:
+    """Encode one key column as bounded non-negative codes.
+
+    Returns ``(codes, n_codes, nan_mask)`` where ``nan_mask`` marks float
+    ``NaN`` entries (``None`` when the dtype cannot hold NaN). NaN rows
+    receive a placeholder code here; :func:`factorize_keys` reassigns
+    them unique never-matching codes at the end.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 1, None
+
+    if values.dtype == object:
+        # First-occurrence interning uses exactly Python's ==/hash like
+        # the old per-row tuples did, and beats sorting object arrays.
+        # The C-level map() assigns the running position as the default,
+        # so repeated values leave holes: n bounds the code range.
+        table: dict = {}
+        codes = np.fromiter(
+            map(table.setdefault, values, _counter()), dtype=np.int64, count=n
+        )
+        return codes, n, None
+
+    if values.dtype == np.bool_:
+        return values.astype(np.int64), 2, None
+
+    nan_mask: np.ndarray | None = None
+    if np.issubdtype(values.dtype, np.floating):
+        isnan = np.isnan(values)
+        if isnan.any():
+            nan_mask = isnan
+    elif np.issubdtype(values.dtype, np.integer):
+        # Sort-free path: offset into the value span when it is dense
+        # enough (the common case for id columns).
+        vmin = int(values.min())
+        vmax = int(values.max())
+        span = vmax - vmin + 1
+        if span <= _code_limit(n):
+            return values.astype(np.int64) - vmin, span, None
+
+    _, inverse = np.unique(values, return_inverse=True)
+    codes = inverse.astype(np.int64, copy=False).reshape(-1)
+    return codes, int(codes.max()) + 1, nan_mask
+
+
+def _counter() -> Iterator[int]:
+    i = 0
+    while True:
+        yield i
+        i += 1
+
+
+def _redensify(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    _, inverse = np.unique(codes, return_inverse=True)
+    codes = inverse.astype(np.int64, copy=False).reshape(-1)
+    return codes, (int(codes.max()) + 1 if len(codes) else 1)
+
+
+def factorize_keys(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Encode a tuple of equal-length key columns into bounded codes.
+
+    Returns ``(codes, n_codes)`` with ``codes`` in ``[0, n_codes)`` and
+    ``n_codes <= max(2**16, 8 * n_rows) + n_nan_rows``. Rows with equal
+    key tuples get equal codes; rows containing a float ``NaN`` get
+    unique codes (NaN != NaN, matching per-row hashing).
+    """
+    arrays = [np.asarray(a) for a in arrays]
+    if not arrays:
+        return np.zeros(0, dtype=np.int64), 1
+    n = len(arrays[0])
+    limit = _code_limit(n)
+    codes = np.zeros(n, dtype=np.int64)
+    radix = 1
+    invalid: np.ndarray | None = None
+    for array in arrays:
+        col_codes, col_n, nan_mask = _encode_column(array)
+        if radix * col_n > limit:
+            codes, radix = _redensify(codes)
+        if radix * col_n > limit:  # still too wide: combine then densify
+            codes = codes * col_n + col_codes
+            codes, radix = _redensify(codes)
+        else:
+            codes = codes * col_n + col_codes
+            radix *= col_n
+        if nan_mask is not None:
+            invalid = nan_mask if invalid is None else (invalid | nan_mask)
+    if invalid is not None:
+        n_invalid = int(invalid.sum())
+        codes[invalid] = radix + np.arange(n_invalid, dtype=np.int64)
+        radix += n_invalid
+    return codes, radix
+
+
+def factorize_key_pair(
+    left_arrays: Sequence[np.ndarray], right_arrays: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Jointly factorize two sides' key columns into comparable codes."""
+    if len(left_arrays) != len(right_arrays):
+        raise ValueError("key column counts differ between sides")
+    n_left = len(left_arrays[0]) if left_arrays else 0
+    merged = [
+        np.concatenate([np.asarray(l), np.asarray(r)])
+        for l, r in zip(left_arrays, right_arrays)
+    ]
+    codes, n_codes = factorize_keys(merged)
+    return codes[:n_left], codes[n_left:], n_codes
+
+
+# ------------------------------------------------------------------ #
+# join
+# ------------------------------------------------------------------ #
+def join_positions(
+    build_keys: Sequence[np.ndarray], probe_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inner equi-join match positions, in bucket-dict emission order.
+
+    Returns ``(probe_idx, build_idx)``: one entry per match, ordered by
+    probe row, then ascending build row within each key group — exactly
+    the order the per-row ``buckets.setdefault(...)`` implementation
+    emits.
+    """
+    if _FORCE_REFERENCE:
+        return reference_join_positions(build_keys, probe_keys)
+    build_codes, probe_codes, n_codes = factorize_key_pair(build_keys, probe_keys)
+    # Bucket layout: build rows stably sorted by code; per-code offsets
+    # come from bincount, so probing is direct indexing (no hashing, no
+    # binary search). Stable radix argsort keeps build rows ascending
+    # within a bucket.
+    code_counts = np.bincount(build_codes, minlength=n_codes)
+    code_starts = np.concatenate(([0], np.cumsum(code_counts[:-1])))
+    order = np.argsort(build_codes, kind="stable")
+
+    counts = code_counts[probe_codes]
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
+    if total == 0:
+        return probe_idx, np.zeros(0, dtype=np.int64)
+    match_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(match_starts, counts)
+    build_idx = order[np.repeat(code_starts[probe_codes], counts) + within]
+    return probe_idx, build_idx.astype(np.int64, copy=False)
+
+
+def reference_join_positions(
+    build_keys: Sequence[np.ndarray], probe_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-vectorization per-row bucket join (ground truth / baseline)."""
+    n_build = len(build_keys[0]) if build_keys else 0
+    n_probe = len(probe_keys[0]) if probe_keys else 0
+    n_cols = len(build_keys)
+    buckets: dict[tuple, list[int]] = {}
+    for i in range(n_build):
+        key = tuple(build_keys[j][i] for j in range(n_cols))
+        buckets.setdefault(key, []).append(i)
+    probe_positions: list[int] = []
+    build_positions: list[int] = []
+    for i in range(n_probe):
+        key = tuple(probe_keys[j][i] for j in range(n_cols))
+        for b in buckets.get(key, ()):
+            probe_positions.append(i)
+            build_positions.append(b)
+    return (
+        np.asarray(probe_positions, dtype=np.int64),
+        np.asarray(build_positions, dtype=np.int64),
+    )
+
+
+# ------------------------------------------------------------------ #
+# distinct
+# ------------------------------------------------------------------ #
+def distinct_positions(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Stable distinct: positions of first occurrences, in input order."""
+    if _FORCE_REFERENCE:
+        return reference_distinct_positions(arrays)
+    codes, _ = factorize_keys(arrays)
+    if len(codes) == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    is_first = np.empty(len(codes), dtype=bool)
+    is_first[0] = True
+    np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=is_first[1:])
+    return np.sort(order[is_first])
+
+
+def reference_distinct_positions(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Pre-vectorization per-row distinct (ground truth / baseline)."""
+    n = len(arrays[0]) if arrays else 0
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    for i in range(n):
+        key = tuple(arr[i] for arr in arrays)
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    return np.asarray(keep, dtype=np.int64)
+
+
+# ------------------------------------------------------------------ #
+# group-by
+# ------------------------------------------------------------------ #
+def group_by_positions(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Group rows by key tuple; each group's positions are ascending.
+
+    Returns one position array per distinct key. Group *enumeration*
+    order is unspecified (the aggregate executor re-sorts groups by
+    their key's string form); positions within a group are ascending,
+    so ``group[0]`` is the first occurrence.
+    """
+    if _FORCE_REFERENCE:
+        return reference_group_by_positions(arrays)
+    n = len(arrays[0]) if arrays else 0
+    if n == 0:
+        return []
+    codes, _ = factorize_keys(arrays)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    return np.split(order, boundaries)
+
+
+def reference_group_by_positions(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Pre-vectorization per-row grouping (ground truth / baseline)."""
+    n = len(arrays[0]) if arrays else 0
+    groups: dict[tuple, list[int]] = {}
+    for i in range(n):
+        key = tuple(arr[i] for arr in arrays)
+        groups.setdefault(key, []).append(i)
+    return [np.asarray(positions, dtype=np.int64) for positions in groups.values()]

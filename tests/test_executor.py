@@ -208,7 +208,15 @@ class TestResultSet:
 
 
 class TestTimedExecute:
-    def test_returns_elapsed(self, mini_db):
-        result, elapsed = timed_execute(mini_db, sql("SELECT * FROM movies"))
+    def test_returns_elapsed_and_throughput(self, mini_db):
+        result, elapsed, rows_per_second = timed_execute(
+            mini_db, sql("SELECT * FROM movies")
+        )
         assert len(result) == 6
         assert elapsed >= 0.0
+        assert rows_per_second == pytest.approx(len(result) / elapsed)
+
+    def test_named_fields(self, mini_db):
+        timing = timed_execute(mini_db, sql("SELECT * FROM movies LIMIT 0"))
+        assert timing.result.n_rows == 0
+        assert timing.rows_per_second == 0.0

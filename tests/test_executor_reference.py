@@ -166,3 +166,77 @@ def test_subset_monotonicity_random(left, right, predicate):
     sub = db.subset({"l": keep_l, "r": keep_r})
     partial = set(execute(sub, query).provenance_keys())
     assert partial <= full
+
+
+# ------------------------------------------------------------------ #
+# byte-identical: vectorized kernels vs per-row reference kernels
+# ------------------------------------------------------------------ #
+
+from repro.db import QueryError, execute_aggregate, sql  # noqa: E402
+from repro.db import kernels  # noqa: E402
+
+
+def _assert_byte_identical(db, query):
+    """The vectorized executor must equal the per-row one exactly:
+    same columns, same row ids, same values, same row *order*."""
+    with kernels.use_reference_kernels():
+        expected = execute(db, query)
+    got = execute(db, query)
+    assert got.n_rows == expected.n_rows
+    assert set(got.columns) == set(expected.columns)
+    for ref in expected.columns:
+        np.testing.assert_array_equal(got.column(ref), expected.column(ref))
+    assert set(got.row_ids) == set(expected.row_ids)
+    for table in expected.row_ids:
+        np.testing.assert_array_equal(got.row_ids[table], expected.row_ids[table])
+
+
+@given(left=_left_rows, right=_right_rows, predicate=_predicates(),
+       distinct=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_vectorized_join_byte_identical(left, right, predicate, distinct):
+    db = _build_db(left, right)
+    query = SPJQuery(
+        tables=("l", "r"),
+        joins=(JoinCondition("l.id", "r.l_id"),),
+        predicate=predicate,
+        distinct=distinct,
+    )
+    _assert_byte_identical(db, query)
+
+
+@given(rows=_left_rows, predicate=_predicates())
+@settings(max_examples=60, deadline=None)
+def test_vectorized_distinct_byte_identical(rows, predicate):
+    db = _build_db(rows, [(0, 0, 0)])
+    query = SPJQuery(
+        tables=("l",),
+        projection=("l.g",),
+        predicate=predicate,
+        distinct=True,
+    )
+    _assert_byte_identical(db, query)
+
+
+@given(left=_left_rows, right=_right_rows)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_aggregate_identical(left, right):
+    db = _build_db(left, right)
+    query = sql(
+        "SELECT l.g, COUNT(*), SUM(r.y) FROM l, r "
+        "WHERE l.id = r.l_id GROUP BY l.g"
+    )
+    with kernels.use_reference_kernels():
+        expected = execute_aggregate(db, query)
+    got = execute_aggregate(db, query)
+    assert got.rows == expected.rows
+
+
+def test_ambiguous_bare_column_raises():
+    db = _build_db([(1, 2, "a")], [(3, 1, 4)])
+    query = SPJQuery(tables=("l", "r"), joins=(JoinCondition("l.id", "r.l_id"),))
+    result = execute(db, query)
+    # both l.id and r.id match the bare name "id"
+    with pytest.raises(QueryError, match="ambiguous"):
+        result.column("id")
+    np.testing.assert_array_equal(result.column("y"), [4])

@@ -1,0 +1,244 @@
+"""Differential tests for the vectorized execution kernels and CSR tracker.
+
+Every kernel in ``repro.db.kernels`` must reproduce the retained per-row
+reference implementation exactly — values *and* ordering — on randomized
+inputs, including NaN keys and mixed dtypes. The CSR
+:class:`~repro.core.reward.CoverageTracker` must agree with the retained
+:class:`~repro.core.reward.DictCoverageTracker` on every observable
+(covered counts and scores) under random add/remove/reset/probe programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reward import CoverageTracker, DictCoverageTracker, QueryCoverage
+from repro.db import kernels
+
+# ------------------------------------------------------------------ #
+# key-column strategies: int / float (with NaN) / string-object / bool
+# ------------------------------------------------------------------ #
+
+
+def _column(draw, kind: str, n: int) -> np.ndarray:
+    if kind == "int":
+        return np.asarray(draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n)))
+    if kind == "big_int":
+        values = st.sampled_from([-(10**9), -7, 0, 3, 10**9, 10**12])
+        return np.asarray(draw(st.lists(values, min_size=n, max_size=n)))
+    if kind == "float":
+        values = st.sampled_from([-1.5, 0.0, 2.25, float("nan")])
+        return np.asarray(draw(st.lists(values, min_size=n, max_size=n)))
+    if kind == "str":
+        values = st.sampled_from(["a", "b", "c", ""])
+        return np.asarray(draw(st.lists(values, min_size=n, max_size=n)), dtype=object)
+    return np.asarray(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+
+
+_KINDS = ["int", "big_int", "float", "str", "bool"]
+
+
+@st.composite
+def _key_arrays(draw, min_rows: int = 0, max_rows: int = 30):
+    n = draw(st.integers(min_rows, max_rows))
+    kinds = draw(st.lists(st.sampled_from(_KINDS), min_size=1, max_size=3))
+    return [_column(draw, kind, n) for kind in kinds]
+
+
+@st.composite
+def _key_array_pair(draw):
+    left = draw(_key_arrays(min_rows=0, max_rows=25))
+    n = draw(st.integers(0, 25))
+    kinds = [str(a.dtype) for a in left]
+    right = []
+    for arr in left:
+        if arr.dtype == object:
+            right.append(_column(draw, "str", n))
+        elif arr.dtype == np.bool_:
+            right.append(_column(draw, "bool", n))
+        elif np.issubdtype(arr.dtype, np.floating):
+            right.append(_column(draw, "float", n))
+        else:
+            right.append(_column(draw, "int", n))
+    assert len(kinds) == len(right)
+    return left, right
+
+
+# ------------------------------------------------------------------ #
+# kernel vs reference
+# ------------------------------------------------------------------ #
+
+
+@given(pair=_key_array_pair())
+@settings(max_examples=150, deadline=None)
+def test_join_positions_match_reference(pair):
+    build, probe = pair
+    ref_probe, ref_build = kernels.reference_join_positions(build, probe)
+    got_probe, got_build = kernels.join_positions(build, probe)
+    np.testing.assert_array_equal(got_probe, ref_probe)
+    np.testing.assert_array_equal(got_build, ref_build)
+
+
+@given(arrays=_key_arrays())
+@settings(max_examples=150, deadline=None)
+def test_distinct_positions_match_reference(arrays):
+    np.testing.assert_array_equal(
+        kernels.distinct_positions(arrays),
+        kernels.reference_distinct_positions(arrays),
+    )
+
+
+@given(arrays=_key_arrays())
+@settings(max_examples=150, deadline=None)
+def test_group_by_positions_match_reference(arrays):
+    got = kernels.group_by_positions(arrays)
+    ref = kernels.reference_group_by_positions(arrays)
+    # Group enumeration order is unspecified; compare as sets of position
+    # tuples (positions within each group are required to be ascending).
+    got_set = {tuple(g.tolist()) for g in got}
+    ref_set = {tuple(g.tolist()) for g in ref}
+    assert got_set == ref_set
+    for group in got:
+        assert np.all(np.diff(group) > 0) or len(group) == 1
+
+
+def test_nan_keys_never_join_and_stay_distinct():
+    keys = [np.asarray([1.0, float("nan"), float("nan"), 1.0])]
+    probe_idx, build_idx = kernels.join_positions(keys, keys)
+    # Only the two 1.0 rows match (each against both), NaN never matches.
+    assert sorted(zip(probe_idx.tolist(), build_idx.tolist())) == [
+        (0, 0), (0, 3), (3, 0), (3, 3)
+    ]
+    np.testing.assert_array_equal(kernels.distinct_positions(keys), [0, 1, 2])
+    assert len(kernels.group_by_positions(keys)) == 3
+
+
+def test_use_reference_kernels_toggles_and_restores():
+    keys = [np.asarray([1, 2, 1])]
+    assert not kernels._FORCE_REFERENCE
+    with kernels.use_reference_kernels():
+        assert kernels._FORCE_REFERENCE
+        np.testing.assert_array_equal(kernels.distinct_positions(keys), [0, 1])
+    assert not kernels._FORCE_REFERENCE
+
+
+def test_factorize_keys_codes_are_bounded():
+    rng = np.random.default_rng(0)
+    arrays = [
+        rng.integers(-(10**12), 10**12, size=200),
+        rng.integers(0, 10**9, size=200),
+        rng.integers(0, 50, size=200),
+    ]
+    codes, n_codes = kernels.factorize_keys(arrays)
+    assert codes.min() >= 0
+    assert codes.max() < n_codes
+    assert n_codes <= kernels._code_limit(200)
+
+
+# ------------------------------------------------------------------ #
+# CSR CoverageTracker vs dict reference
+# ------------------------------------------------------------------ #
+
+_KEYS = [(t, i) for t in ("a", "b") for i in range(6)]
+
+
+@st.composite
+def _coverages(draw):
+    n_queries = draw(st.integers(1, 4))
+    out = []
+    for q in range(n_queries):
+        n_rows = draw(st.integers(0, 5))
+        requirements = []
+        for _ in range(n_rows):
+            width = draw(st.integers(1, 3))
+            requirements.append(
+                tuple(draw(st.sampled_from(_KEYS)) for _ in range(width))
+            )
+        out.append(
+            QueryCoverage(
+                name=f"q{q}",
+                weight=draw(st.floats(0.25, 2.0, allow_nan=False)),
+                denominator=max(n_rows, draw(st.integers(1, 6))),
+                requirements=requirements,
+            )
+        )
+    return out
+
+
+_PROGRAM_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "add_batch", "remove_batch",
+                         "reset", "score_with", "probe"]),
+        st.lists(st.sampled_from(_KEYS + [("zz", 99)]), min_size=0, max_size=12),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _assert_trackers_agree(csr: CoverageTracker, ref: DictCoverageTracker):
+    np.testing.assert_array_equal(csr.covered_counts(), ref.covered_counts())
+    assert csr.batch_score() == pytest.approx(ref.batch_score())
+    for q in range(csr.n_queries):
+        assert csr.query_score(q) == pytest.approx(ref.query_score(q))
+
+
+@given(coverages=_coverages(), program=_PROGRAM_OPS)
+@settings(max_examples=120, deadline=None)
+def test_csr_tracker_matches_dict_tracker(coverages, program):
+    csr = CoverageTracker(coverages)
+    ref = DictCoverageTracker(coverages)
+    for op, keys in program:
+        if op == "add":
+            for key in keys:
+                csr.add_key(key)
+                ref.add_key(key)
+        elif op == "remove":
+            for key in keys:
+                csr.remove_key(key)
+                ref.remove_key(key)
+        elif op == "add_batch":
+            csr.add_keys(keys)
+            ref.add_keys(keys)
+        elif op == "remove_batch":
+            csr.remove_keys(keys)
+            ref.remove_keys(keys)
+        elif op == "reset":
+            csr.reset()
+            ref.reset()
+        elif op == "score_with":
+            assert csr.score_with_keys(keys) == pytest.approx(
+                ref.score_with_keys(keys)
+            )
+        elif op == "probe":
+            before = csr.batch_score()
+            probe = csr.probe_add_score(keys)
+            # probe must not mutate observable state...
+            assert csr.batch_score() == pytest.approx(before)
+            # ...and must equal the add-then-score value of the reference.
+            ref_probe = ref.score_with_keys(
+                list(ref._present.keys()) + list(keys)
+            )
+            assert probe == pytest.approx(ref_probe)
+        _assert_trackers_agree(csr, ref)
+
+
+@given(coverages=_coverages(), batch=st.lists(st.sampled_from(_KEYS), max_size=15))
+@settings(max_examples=80, deadline=None)
+def test_batch_equals_scalar_loop(coverages, batch):
+    """add_keys/remove_keys must equal the per-key scalar loop exactly."""
+    batched = CoverageTracker(coverages)
+    scalar = CoverageTracker(coverages)
+    batched.add_keys(batch)
+    for key in batch:
+        scalar.add_key(key)
+    np.testing.assert_array_equal(batched.covered_counts(), scalar.covered_counts())
+    half = batch[: len(batch) // 2]
+    batched.remove_keys(half)
+    for key in half:
+        scalar.remove_key(key)
+    np.testing.assert_array_equal(batched.covered_counts(), scalar.covered_counts())
+    assert batched.batch_score() == pytest.approx(scalar.batch_score())
