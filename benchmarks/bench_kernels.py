@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.reward import CoverageTracker, DictCoverageTracker, QueryCoverage
 from repro.db import kernels
 
@@ -239,6 +240,75 @@ def run_benchmarks(profile: str) -> dict:
     return record
 
 
+def run_obs_overhead(repeats: int) -> dict:
+    """Measure the cost of *instrumentation* on the vectorized kernels.
+
+    Times each kernel with observability disabled (the default, where an
+    instrumentation site is one flag check) and enabled (spans + metric
+    histograms recording), and reports the per-kernel and median overhead
+    fractions. The disabled numbers are the contract: DESIGN.md promises
+    zero overhead when off, and ``--obs-check`` gates the *median*
+    enabled-vs-disabled overhead (medians absorb single-kernel timing
+    noise that best-of-N repeats cannot).
+    """
+    rng = np.random.default_rng(7)
+    build, probe = _join_workload(rng)
+    distinct_arrays = _distinct_workload(rng)
+    group_arrays = _group_workload(rng)
+    cases = {
+        "join_10k": lambda: kernels.join_positions(build, probe),
+        "distinct_10k": lambda: kernels.distinct_positions(distinct_arrays),
+        "group_by_10k": lambda: kernels.group_by_positions(group_arrays),
+        "factorize_10k": lambda: kernels.factorize_keys(distinct_arrays),
+    }
+    entries: dict = {}
+    overheads = []
+    rounds = max(5 * repeats, 10)
+    batch = 3
+    try:
+        for name, fn in cases.items():
+            # Warm both paths first (the first enabled call allocates the
+            # metric histograms). Each round then times one disabled and
+            # one enabled batch back to back and keeps their ratio: the
+            # paired samples see the same machine state, so slow drift
+            # cancels, and the median over rounds absorbs the jitter that
+            # a best-of floor cannot.
+            obs.disable()
+            fn()
+            obs.enable()
+            fn()
+            ratios = []
+            disabled_best = enabled_best = np.inf
+            for _ in range(rounds):
+                obs.disable()
+                start = time.perf_counter()
+                for _ in range(batch):
+                    fn()
+                disabled_t = time.perf_counter() - start
+                obs.enable()
+                start = time.perf_counter()
+                for _ in range(batch):
+                    fn()
+                enabled_t = time.perf_counter() - start
+                ratios.append(enabled_t / disabled_t)
+                disabled_best = min(disabled_best, disabled_t / batch)
+                enabled_best = min(enabled_best, enabled_t / batch)
+            overhead = float(np.median(ratios)) - 1.0
+            overheads.append(overhead)
+            entries[name] = {
+                "disabled_s": disabled_best,
+                "enabled_s": enabled_best,
+                "overhead_fraction": overhead,
+            }
+    finally:
+        obs.disable()
+        obs.metrics.reset()
+    return {
+        "kernels": entries,
+        "median_overhead_fraction": float(np.median(overheads)),
+    }
+
+
 def check_regressions(record: dict, baseline_path: Path, max_regression: float) -> list[str]:
     baseline = json.loads(baseline_path.read_text())
     failures = []
@@ -263,6 +333,12 @@ def main(argv=None) -> int:
     parser.add_argument("--check", type=Path, default=None,
                         help="baseline BENCH_kernels.json to compare against")
     parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument("--obs-check", action="store_true",
+                        help="also measure instrumentation overhead "
+                             "(enabled vs disabled) and gate the median")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="maximum tolerated median overhead fraction "
+                             "of enabled instrumentation (default 2%%)")
     args = parser.parse_args(argv)
 
     record = run_benchmarks(args.profile)
@@ -288,6 +364,28 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"REGRESSION: {failure}")
         if failures:
+            status = 1
+
+    if args.obs_check:
+        overhead = run_obs_overhead(PROFILES[args.profile]["repeats"])
+        record["observability"] = {
+            **overhead,
+            "tolerance": args.obs_tolerance,
+            "ok": overhead["median_overhead_fraction"] <= args.obs_tolerance,
+        }
+        print(f"\n{'kernel'.ljust(width)}  disabled     enabled      overhead")
+        for name, entry in overhead["kernels"].items():
+            print(
+                f"{name.ljust(width)}  {entry['disabled_s'] * 1e3:9.3f} ms"
+                f"  {entry['enabled_s'] * 1e3:9.3f} ms"
+                f"  {entry['overhead_fraction'] * 100:+7.2f}%"
+            )
+        median = overhead["median_overhead_fraction"]
+        print(f"median instrumentation overhead: {median * 100:+.2f}% "
+              f"(tolerance {args.obs_tolerance * 100:.0f}%)")
+        if not record["observability"]["ok"]:
+            print(f"FAIL: median observability overhead {median * 100:.2f}% "
+                  f"exceeds {args.obs_tolerance * 100:.0f}%")
             status = 1
 
     if args.output is None:

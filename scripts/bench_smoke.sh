@@ -1,14 +1,19 @@
 #!/bin/sh
-# CI smoke run of the vectorized-kernel micro-benchmark.
+# CI smoke run: lint + vectorized-kernel micro-benchmark.
 #
-# Runs benchmarks/bench_kernels.py in the fast profile and fails if any
-# kernel's vectorized timing regressed by more than 2x against the
-# committed BENCH_kernels.json baseline (or if a required speedup over
-# the reference implementations no longer holds).
+# 1. scripts/check_no_print.sh — no bare print() in library code.
+# 2. benchmarks/bench_kernels.py (fast profile) — fails if any kernel's
+#    vectorized timing regressed by more than 2x against the committed
+#    BENCH_kernels.json baseline, if a required speedup over the
+#    reference implementations no longer holds, or if the median
+#    observability-instrumentation overhead (enabled vs disabled)
+#    exceeds 2% (--obs-check).
 set -e
 cd "$(dirname "$0")/.."
+sh scripts/check_no_print.sh
 PYTHONPATH=src python benchmarks/bench_kernels.py \
   --profile fast \
   --check BENCH_kernels.json \
   --max-regression 2.0 \
+  --obs-check \
   --output -

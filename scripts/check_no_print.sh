@@ -1,0 +1,24 @@
+#!/bin/sh
+# Lint: no bare print() in library code under src/repro/.
+#
+# Console output from the library goes through repro.obs.log.console (a
+# sys.stdout wrapper) and structured events through repro.obs telemetry;
+# bare print() in library modules is a smell that bypasses both. The CLI
+# entry point (src/repro/__main__.py) is the designated console surface
+# and is exempt, as is the console implementation itself
+# (src/repro/obs/log.py).
+set -e
+cd "$(dirname "$0")/.."
+
+violations=$(grep -rnE '(^|[^A-Za-z0-9_.])print\(' src/repro --include='*.py' \
+  | grep -v '^src/repro/__main__\.py:' \
+  | grep -v '^src/repro/obs/log\.py:' \
+  || true)
+
+if [ -n "$violations" ]; then
+  echo "bare print() calls found in library code (use repro.obs.log.console"
+  echo "or telemetry instead; see scripts/check_no_print.sh):"
+  echo "$violations"
+  exit 1
+fi
+echo "check_no_print: OK"

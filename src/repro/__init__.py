@@ -14,7 +14,7 @@ Quickstart::
         bundle.db, bundle.workload
     )
     outcome = session.query(bundle.workload.queries[0])
-    print(len(outcome), "rows,", "approx" if outcome.used_approximation else "full DB")
+    rows, src = len(outcome), outcome.used_approximation  # answered from S?
 
 Subpackages
 -----------
@@ -25,6 +25,7 @@ Subpackages
 ``repro.baselines`` — the 12 comparison methods of the paper's §6
 ``repro.datasets``  — synthetic IMDB-JOB / MAS / FLIGHTS bundles
 ``repro.bench``     — experiment harness used by ``benchmarks/``
+``repro.obs``       — tracing spans, metrics registry, telemetry streams
 """
 
 from .core import (

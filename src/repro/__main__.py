@@ -6,18 +6,31 @@ Commands
 ``train``  — train ASQP-RL and save the model directory.
 ``query``  — load a saved model and answer one SQL query.
 ``bench``  — print the location and contents of recorded benchmark tables.
+``stats``  — pretty-print the metrics + telemetry of a recorded run.
+``trace``  — pretty-print the span tree of a recorded run.
+
+``demo``/``train`` accept ``--telemetry DIR`` to record a full
+observability run (trace.json, trace_chrome.json, metrics.json,
+telemetry.jsonl) that ``stats``/``trace`` read back.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
-from . import __version__
+from . import __version__, obs
 from .core import ASQPConfig, ASQPSession, ASQPTrainer, load_model, save_model, score
 from .datasets import load_flights, load_imdb, load_mas
 from .db import sql
+from .obs import telemetry as obs_telemetry
+from .obs import trace as obs_trace
+
+#: Default run directory for --telemetry / stats / trace.
+DEFAULT_OBS_DIR = "obs_run"
 
 _LOADERS = {"imdb": load_imdb, "mas": load_mas, "flights": load_flights}
 
@@ -40,6 +53,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--iterations", type=int, default=25, help="PPO iterations")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--light", action="store_true", help="use ASQP-Light settings")
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record an observability run (trace + metrics + telemetry JSONL) "
+             "into DIR; read it back with `repro stats`/`repro trace`",
+    )
 
 
 def _make_config(args) -> ASQPConfig:
@@ -54,6 +74,8 @@ def _make_config(args) -> ASQPConfig:
 
 
 def cmd_demo(args) -> int:
+    if args.telemetry:
+        obs.start_run(args.telemetry)
     bundle = _load_bundle(args.dataset, args.scale)
     print(f"dataset: {bundle.db}")
     config = _make_config(args)
@@ -72,10 +94,18 @@ def cmd_demo(args) -> int:
         print(f"  {query.to_sql()[:70]}...")
         print(f"    -> {len(outcome)} rows via {source} "
               f"({outcome.elapsed_seconds * 1000:.1f}ms)")
+    if args.telemetry:
+        paths = obs.finish_run(args.telemetry)
+        print(f"observability run recorded in {args.telemetry}/ "
+              f"({', '.join(sorted(os.path.basename(p) for p in paths.values()))})")
+        print(f"inspect with: repro stats --dir {args.telemetry}  |  "
+              f"repro trace --dir {args.telemetry}")
     return 0
 
 
 def cmd_train(args) -> int:
+    if args.telemetry:
+        obs.start_run(args.telemetry)
     bundle = _load_bundle(args.dataset, args.scale)
     config = _make_config(args)
     print(f"training on {bundle.db} ...")
@@ -84,6 +114,9 @@ def cmd_train(args) -> int:
     print(f"model saved to {args.out} "
           f"(setup {model.setup_seconds:.1f}s, "
           f"{len(model.action_space)} actions)")
+    if args.telemetry:
+        obs.finish_run(args.telemetry)
+        print(f"observability run recorded in {args.telemetry}/")
     return 0
 
 
@@ -124,6 +157,90 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Pretty-print metrics.json + telemetry.jsonl of a recorded run."""
+    from .bench.reporting import format_table
+
+    metrics_path = os.path.join(args.dir, obs.METRICS_FILE)
+    telemetry_path = os.path.join(args.dir, obs.TELEMETRY_FILE)
+    if not os.path.exists(metrics_path) and not os.path.exists(telemetry_path):
+        print(f"no observability run under {args.dir}/ — record one with:")
+        print(f"  python -m repro demo --light --telemetry {args.dir}")
+        return 1
+
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as handle:
+            snap = json.load(handle)
+        counters = sorted({**snap.get("counters", {}), **snap.get("gauges", {})}.items())
+        if counters:
+            print(format_table(
+                ["counter/gauge", "value"],
+                [[name, value] for name, value in counters],
+                title=f"Metrics — {metrics_path}",
+            ))
+        histograms = sorted(snap.get("histograms", {}).items())
+        if histograms:
+            print()
+            print(format_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                [
+                    [name, h["count"], h["mean"], h["p50"], h["p95"], h["p99"], h["max"]]
+                    for name, h in histograms
+                ],
+            ))
+
+    if os.path.exists(telemetry_path):
+        records = obs_telemetry.load_jsonl(telemetry_path)
+        updates = [r for r in records if r.get("stream") == "train.update"]
+        if updates:
+            tail = updates[-args.last:]
+            print()
+            print(format_table(
+                ["iter", "reward", "policy", "value", "entropy", "kl",
+                 "clip%", "steps/s"],
+                [
+                    [u["iteration"], u["mean_episode_reward"], u["policy_loss"],
+                     u["value_loss"], u["entropy"], u["kl_divergence"],
+                     100.0 * u["clip_fraction"], u["steps_per_second"]]
+                    for u in tail
+                ],
+                title=f"Training — last {len(tail)} of {len(updates)} updates",
+            ))
+        outcomes = [r for r in records if r.get("stream") == "query"]
+        if outcomes:
+            tail = outcomes[-args.last:]
+            print()
+            print(format_table(
+                ["source", "conf", "realized", "rows", "ms", "drift"],
+                [
+                    ["approx" if o["used_approximation"] else "full",
+                     o["confidence"], o["realized_frame_score"], o["rows"],
+                     1e3 * o["elapsed_seconds"],
+                     "DRIFT" if o.get("drift") else ""]
+                    for o in tail
+                ],
+                title=f"Queries — last {len(tail)} of {len(outcomes)} outcomes",
+            ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Pretty-print the span tree of a recorded run."""
+    trace_path = os.path.join(args.dir, obs.TRACE_FILE)
+    if not os.path.exists(trace_path):
+        print(f"no trace under {args.dir}/ — record one with:")
+        print(f"  python -m repro demo --light --telemetry {args.dir}")
+        return 1
+    with open(trace_path) as handle:
+        nodes = json.load(handle)
+    print(f"trace — {trace_path} ({len(nodes)} root spans)")
+    print(obs_trace.format_tree(nodes, max_depth=args.depth))
+    chrome_path = os.path.join(args.dir, obs.CHROME_TRACE_FILE)
+    if os.path.exists(chrome_path):
+        print(f"\nchrome://tracing / perfetto file: {chrome_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="ASQP-RL reproduction CLI"
@@ -149,6 +266,24 @@ def main(argv=None) -> int:
 
     bench = commands.add_parser("bench", help="show recorded benchmark tables")
     bench.set_defaults(func=cmd_bench)
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a recorded run's metrics + telemetry"
+    )
+    stats.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                       help="run directory written by --telemetry")
+    stats.add_argument("--last", type=int, default=10,
+                       help="how many trailing updates/queries to show")
+    stats.set_defaults(func=cmd_stats)
+
+    trace = commands.add_parser(
+        "trace", help="pretty-print a recorded run's span tree"
+    )
+    trace.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                       help="run directory written by --telemetry")
+    trace.add_argument("--depth", type=int, default=6,
+                       help="maximum span nesting depth to print")
+    trace.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -12,6 +12,8 @@ import os
 import time
 from typing import Optional, Sequence
 
+from ..obs.log import console
+
 
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
@@ -41,9 +43,9 @@ def _cell(value: object) -> str:
 def print_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
 ) -> None:
-    print()
-    print(format_table(headers, rows, title=title))
-    print()
+    console()
+    console(format_table(headers, rows, title=title))
+    console()
 
 
 def results_dir() -> str:
@@ -100,8 +102,8 @@ SWEEP_PROFILE = dict(
 def emit(experiment: str, headers, rows, payload: dict, title: str) -> None:
     """Print a benchmark table and persist JSON + text under bench_results/."""
     text = format_table(headers, rows, title=title)
-    print()
-    print(text)
+    console()
+    console(text)
     save_results(experiment, {**payload, "table": text})
     with open(os.path.join(results_dir(), f"{experiment}.txt"), "w") as handle:
         handle.write(text + "\n")

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..db.database import Database
 from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
+from ..obs import metrics, telemetry, trace
 from ..db.query import AggregateQuery, SPJQuery
 from ..datasets.workloads import Workload
 from .approximation import ApproximationSet
@@ -112,49 +113,93 @@ class ASQPSession:
             variants query the database below predicted score 0.6 / 0.8.
         """
         self.query_log.append(query)
-        estimate = self.estimator.estimate(query)
-        threshold = (
-            confidence_threshold
-            if confidence_threshold is not None
-            else self.config.answerable_threshold
-        )
-        use_approx = (not allow_full_database) or estimate.confidence >= threshold
+        with trace.span("session.query") as sp:
+            estimate = self.estimator.estimate(query)
+            threshold = (
+                confidence_threshold
+                if confidence_threshold is not None
+                else self.config.answerable_threshold
+            )
+            use_approx = (not allow_full_database) or estimate.confidence >= threshold
 
-        start = time.perf_counter()
-        target = self.approx_db if use_approx else self.model.db
-        cache_key = (query.to_sql(), use_approx)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            self.cache_hits += 1
-            result: Union[ResultSet, AggregateResult] = cached  # type: ignore[assignment]
-        elif query.is_aggregate:
-            result = execute_aggregate(target, query)
-        else:
-            result = execute(target, query)
-        if (
-            cached is None
-            and self._result_cache_size
-            and len(self._result_cache) < self._result_cache_size
-        ):
-            self._result_cache[cache_key] = result
-        elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            target = self.approx_db if use_approx else self.model.db
+            cache_key = (query.to_sql(), use_approx)
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                self.cache_hits += 1
+                metrics.add("session.result_cache.hits")
+                result: Union[ResultSet, AggregateResult] = cached  # type: ignore[assignment]
+            elif query.is_aggregate:
+                result = execute_aggregate(target, query)
+            else:
+                result = execute(target, query)
+            if (
+                cached is None
+                and self._result_cache_size
+                and len(self._result_cache) < self._result_cache_size
+            ):
+                self._result_cache[cache_key] = result
+            elapsed = time.perf_counter() - start
 
-        drift_event = self.drift_detector.observe(
-            query, self.estimator.deviation_confidence(query)
-        )
-        fine_tuned = False
-        if drift_event is not None and self.auto_fine_tune:
-            self.fine_tune(drift_event.queries)
-            fine_tuned = True
+            drift_event = self.drift_detector.observe(
+                query, self.estimator.deviation_confidence(query)
+            )
+            fine_tuned = False
+            if drift_event is not None and self.auto_fine_tune:
+                with trace.span("session.fine_tune"):
+                    self.fine_tune(drift_event.queries)
+                fine_tuned = True
 
-        return QueryOutcome(
-            result=result,
-            used_approximation=use_approx,
-            estimate=estimate,
-            elapsed_seconds=elapsed,
-            drift_event=drift_event,
-            fine_tuned=fine_tuned,
+            outcome = QueryOutcome(
+                result=result,
+                used_approximation=use_approx,
+                estimate=estimate,
+                elapsed_seconds=elapsed,
+                drift_event=drift_event,
+                fine_tuned=fine_tuned,
+            )
+            if sp:
+                sp.set(source="approx" if use_approx else "full")
+                sp.count("rows_out", len(result))
+                self._log_outcome(query, outcome, cached is not None)
+        return outcome
+
+    def _log_outcome(
+        self, query: QueryLike, outcome: QueryOutcome, cache_hit: bool
+    ) -> None:
+        """One ``query`` telemetry row: estimate vs. realized outcome.
+
+        ``realized_frame_score`` is the frame term of Eq. 1 the answer
+        actually delivered — ``min(1, rows / F)`` — the live counterpart
+        of the estimator's predicted answerability, so the two columns of
+        the JSONL line quantify estimator calibration over a session.
+        """
+        estimate = outcome.estimate
+        realized = min(1.0, len(outcome.result) / max(1, self.config.frame_size))
+        telemetry.emit(
+            "query",
+            sql=query.to_sql()[:200],
+            used_approximation=outcome.used_approximation,
+            confidence=estimate.confidence,
+            familiarity=estimate.familiarity,
+            competence=estimate.competence,
+            answerable=estimate.answerable,
+            rows=len(outcome.result),
+            realized_frame_score=realized,
+            elapsed_seconds=outcome.elapsed_seconds,
+            drift=outcome.drift_event is not None,
+            fine_tuned=outcome.fine_tuned,
+            cache_hit=cache_hit,
         )
+        metrics.add("session.queries")
+        metrics.add(
+            "session.approx_answers" if outcome.used_approximation
+            else "session.full_db_answers"
+        )
+        metrics.observe("session.query.seconds", outcome.elapsed_seconds)
+        metrics.observe("session.confidence", estimate.confidence)
+        metrics.observe("session.realized_frame_score", realized)
 
     # -------------------------------------------------------------- #
     def fine_tune(self, queries: list[QueryLike]) -> None:

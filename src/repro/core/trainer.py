@@ -19,6 +19,7 @@ import numpy as np
 
 from ..db.database import Database
 from ..db.query import AggregateQuery, SPJQuery
+from ..obs import metrics, telemetry, trace
 from ..db.sampling import variational_subsample
 from ..datasets.workloads import Workload
 from ..rl.parallel import MultiActorCollector, make_actor_specs
@@ -41,7 +42,15 @@ from .reward import QueryCoverage
 
 @dataclass
 class IterationRecord:
-    """Diagnostics of one outer training iteration."""
+    """Diagnostics of one outer training iteration.
+
+    Carries every :class:`~repro.rl.ppo.UpdateStats` field plus the
+    iteration's timing split, so ``model.history`` is the single source
+    of truth for both the ``train.update`` telemetry stream and any
+    after-the-fact analysis (persistence round-trips it; the timing
+    fields default to zero when loading models saved before they
+    existed).
+    """
 
     iteration: int
     mean_episode_reward: float
@@ -50,6 +59,26 @@ class IterationRecord:
     entropy: float
     kl_divergence: float
     clip_fraction: float
+    n_samples: int = 0
+    rollout_seconds: float = 0.0
+    update_seconds: float = 0.0
+    steps_per_second: float = 0.0
+
+    def telemetry_fields(self) -> dict:
+        """The flat dict emitted as one ``train.update`` telemetry row."""
+        return {
+            "iteration": self.iteration,
+            "mean_episode_reward": self.mean_episode_reward,
+            "policy_loss": self.policy_loss,
+            "value_loss": self.value_loss,
+            "entropy": self.entropy,
+            "kl_divergence": self.kl_divergence,
+            "clip_fraction": self.clip_fraction,
+            "n_samples": self.n_samples,
+            "rollout_seconds": self.rollout_seconds,
+            "update_seconds": self.update_seconds,
+            "steps_per_second": self.steps_per_second,
+        }
 
 
 @dataclass
@@ -247,12 +276,17 @@ def run_training_loop(
     n_iterations: int,
     rng: np.random.Generator,
     bias_queries: Optional[Sequence[int]] = None,
-) -> None:
+) -> list[IterationRecord]:
     """Collect/update iterations with early stopping (Alg. 1 lines 5-10).
 
     ``bias_queries`` (fine-tuning) forces every other episode batch to be
     drawn from those query indices, aligning the reward with the drifted
     interest while retaining the original workload.
+
+    Every iteration's :class:`UpdateStats` lands in an
+    :class:`IterationRecord` appended to ``model.history`` — and, when
+    observability is enabled, on the ``train.update`` telemetry stream —
+    and the records of *this* call are returned.
     """
     config = model.config
     coverages = model.coverages
@@ -293,13 +327,24 @@ def run_training_loop(
     best_reward = -np.inf
     stale = 0
     start_iteration = len(model.history)
-    for iteration in range(n_iterations):
-        buffer = RolloutBuffer(gamma=config.gamma, lam=config.gae_lambda)
-        mean_reward = collector.collect(config.episodes_per_actor, buffer)
-        batch = buffer.build(use_critic=config.use_actor_critic)
-        stats = model.agent.updater.update(batch)
-        model.history.append(
-            IterationRecord(
+    records: list[IterationRecord] = []
+    with trace.span("train.loop") as loop_span:
+        if loop_span:
+            loop_span.set(
+                n_iterations=n_iterations, fine_tuning=bool(bias_queries)
+            )
+        for iteration in range(n_iterations):
+            buffer = RolloutBuffer(gamma=config.gamma, lam=config.gae_lambda)
+            rollout_start = time.perf_counter()
+            with trace.span("train.rollout"):
+                mean_reward = collector.collect(config.episodes_per_actor, buffer)
+                batch = buffer.build(use_critic=config.use_actor_critic)
+            rollout_seconds = time.perf_counter() - rollout_start
+            update_start = time.perf_counter()
+            with trace.span("train.update"):
+                stats = model.agent.updater.update(batch)
+            update_seconds = time.perf_counter() - update_start
+            record = IterationRecord(
                 iteration=start_iteration + iteration,
                 mean_episode_reward=mean_reward,
                 policy_loss=stats.policy_loss,
@@ -307,16 +352,30 @@ def run_training_loop(
                 entropy=stats.entropy,
                 kl_divergence=stats.kl_divergence,
                 clip_fraction=stats.clip_fraction,
+                n_samples=stats.n_samples,
+                rollout_seconds=rollout_seconds,
+                update_seconds=update_seconds,
+                steps_per_second=(
+                    stats.n_samples / rollout_seconds if rollout_seconds > 0 else 0.0
+                ),
             )
-        )
-        # Early stopping (Alg. 1 line 9) on reward plateau.
-        if mean_reward > best_reward + config.early_stopping_min_delta:
-            best_reward = mean_reward
-            stale = 0
-        else:
-            stale += 1
-            if stale >= config.early_stopping_patience:
-                break
+            model.history.append(record)
+            records.append(record)
+            telemetry.emit("train.update", **record.telemetry_fields())
+            metrics.set_gauge("train.mean_episode_reward", mean_reward)
+            metrics.add("train.iterations")
+            metrics.add("train.samples", stats.n_samples)
+            metrics.observe("train.rollout.seconds", rollout_seconds)
+            metrics.observe("train.update.seconds", update_seconds)
+            # Early stopping (Alg. 1 line 9) on reward plateau.
+            if mean_reward > best_reward + config.early_stopping_min_delta:
+                best_reward = mean_reward
+                stale = 0
+            else:
+                stale += 1
+                if stale >= config.early_stopping_patience:
+                    break
+    return records
 
 
 class ASQPTrainer:
@@ -336,16 +395,24 @@ class ASQPTrainer:
         """Pre-process, train, and return the model handle."""
         start = time.perf_counter()
         rng = np.random.default_rng(self.config.seed)
-        prep = preprocess(self.db, self.workload, self.config, rng)
-        agent = ASQPAgent(len(prep.action_space), self.config, rng)
-        model = TrainedModel(
-            db=self.db,
-            config=self.config,
-            agent=agent,
-            preprocessed=prep,
-            coverages=list(prep.coverages),
-            action_space=prep.action_space,
-        )
-        run_training_loop(model, self.config.n_iterations, rng)
-        model.setup_seconds = time.perf_counter() - start
+        with trace.span("train") as sp:
+            with trace.span("train.preprocess"):
+                prep = preprocess(self.db, self.workload, self.config, rng)
+            agent = ASQPAgent(len(prep.action_space), self.config, rng)
+            model = TrainedModel(
+                db=self.db,
+                config=self.config,
+                agent=agent,
+                preprocessed=prep,
+                coverages=list(prep.coverages),
+                action_space=prep.action_space,
+            )
+            run_training_loop(model, self.config.n_iterations, rng)
+            model.setup_seconds = time.perf_counter() - start
+            if sp:
+                sp.set(
+                    iterations=len(model.history),
+                    actions=len(model.action_space),
+                    setup_seconds=round(model.setup_seconds, 4),
+                )
         return model

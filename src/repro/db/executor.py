@@ -18,6 +18,9 @@ from typing import NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from . import kernels
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.runtime import STATE as _OBS
 from .database import Database
 from .expressions import Expression, TrueExpr, conjoin, conjuncts
 from .query import AggFunc, AggregateQuery, JoinCondition, QueryError, SPJQuery
@@ -240,6 +243,19 @@ def _join_order(
 
 def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondition]) -> ResultSet:
     """Inner equi-join of two contexts on one or more conditions."""
+    with _trace.span("execute.hash_join") as sp:
+        if sp:
+            sp.set(conditions=[c.to_sql() for c in conditions])
+            sp.count("rows_in", len(left) + len(right))
+        out = _hash_join_impl(left, right, conditions)
+        if sp:
+            sp.count("rows_out", len(out))
+            _metrics.registry().add("executor.join.rows_in", len(left) + len(right))
+            _metrics.registry().add("executor.join.rows_out", len(out))
+    return out
+
+
+def _hash_join_impl(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondition]) -> ResultSet:
     left_keys = []
     right_keys = []
     for cond in conditions:
@@ -280,23 +296,47 @@ def _distinct_positions(result: ResultSet, refs: Sequence[str]) -> np.ndarray:
 
 def execute(db: Database, query: SPJQuery) -> ResultSet:
     """Execute an SPJ query against a database."""
+    if not _OBS.enabled:
+        return _execute_impl(db, query)
+    with _trace.span("execute") as sp:
+        sp.set(tables=list(query.tables))
+        start = time.perf_counter()
+        result = _execute_impl(db, query)
+        sp.count("rows_out", result.n_rows)
+        registry = _metrics.registry()
+        registry.add("executor.queries")
+        registry.add("executor.rows_out", result.n_rows)
+        registry.observe("executor.query.seconds", time.perf_counter() - start)
+    return result
+
+
+def _execute_impl(db: Database, query: SPJQuery) -> ResultSet:
     for table in query.tables:
         if not db.has_table(table):
             raise ExecutionError(
                 f"query references unknown table {table!r}; database has {db.table_names}"
             )
 
-    per_table, residual = _pushdown(query.predicate, query.tables)
-    contexts: dict[str, ResultSet] = {}
-    for table in query.tables:
-        context = _base_context(db, table)
-        predicate = per_table.get(table, TrueExpr())
-        if not isinstance(predicate, TrueExpr):
-            mask = predicate.evaluate(context.columns)
-            context = context.take(np.flatnonzero(mask))
-        contexts[table] = context
+    with _trace.span("execute.pushdown") as sp:
+        per_table, residual = _pushdown(query.predicate, query.tables)
+        contexts: dict[str, ResultSet] = {}
+        rows_in = 0
+        for table in query.tables:
+            context = _base_context(db, table)
+            rows_in += len(context)
+            predicate = per_table.get(table, TrueExpr())
+            if not isinstance(predicate, TrueExpr):
+                mask = predicate.evaluate(context.columns)
+                context = context.take(np.flatnonzero(mask))
+            contexts[table] = context
+        if sp:
+            sp.count("rows_in", rows_in)
+            sp.count("rows_out", sum(len(c) for c in contexts.values()))
 
-    order = _join_order(query.tables, query.joins, contexts)
+    with _trace.span("execute.join_order") as sp:
+        order = _join_order(query.tables, query.joins, contexts)
+        if sp:
+            sp.set(order=list(order))
     current = contexts[order[0]]
     joined = {order[0]}
     pending = list(query.joins)
@@ -326,8 +366,13 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
             pending.remove(j)
 
     if not isinstance(residual, TrueExpr):
-        mask = residual.evaluate(current.columns)
-        current = current.take(np.flatnonzero(mask))
+        with _trace.span("execute.residual_filter") as sp:
+            if sp:
+                sp.count("rows_in", len(current))
+            mask = residual.evaluate(current.columns)
+            current = current.take(np.flatnonzero(mask))
+            if sp:
+                sp.count("rows_out", len(current))
 
     # Sort on the full context (ORDER BY may reference non-projected
     # columns), then project, then dedupe (stable, keeps sort order).
@@ -349,8 +394,13 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
         )
 
     if query.distinct:
-        refs = list(current.columns)
-        current = current.take(_distinct_positions(current, refs))
+        with _trace.span("execute.distinct") as sp:
+            if sp:
+                sp.count("rows_in", len(current))
+            refs = list(current.columns)
+            current = current.take(_distinct_positions(current, refs))
+            if sp:
+                sp.count("rows_out", len(current))
 
     if query.limit is not None:
         current = current.take(np.arange(min(query.limit, len(current))))
@@ -383,6 +433,16 @@ def _cross_join(left: ResultSet, right: ResultSet) -> ResultSet:
 # ------------------------------------------------------------------ #
 def execute_aggregate(db: Database, query: AggregateQuery) -> AggregateResult:
     """Execute an aggregate query (hash aggregation over the SPJ core)."""
+    if not _OBS.enabled:
+        return _execute_aggregate_impl(db, query)
+    with _trace.span("execute.aggregate") as sp:
+        result = _execute_aggregate_impl(db, query)
+        sp.count("groups_out", len(result))
+        _metrics.registry().add("executor.aggregate_queries")
+    return result
+
+
+def _execute_aggregate_impl(db: Database, query: AggregateQuery) -> AggregateResult:
     core = SPJQuery(tables=query.tables, predicate=query.predicate, joins=query.joins)
     flat = execute(db, core)
 

@@ -1,0 +1,98 @@
+"""Observability: tracing spans, a metrics registry, and telemetry streams.
+
+Dependency-free instrumentation substrate for the whole system
+(DESIGN.md §Observability):
+
+* :mod:`repro.obs.trace`     — nestable spans with a thread-local stack,
+  exported as a JSON tree or a Chrome-trace file;
+* :mod:`repro.obs.metrics`   — process-global counters / gauges /
+  fixed-bucket histograms (p50/p95/p99) with snapshot/reset and JSONL
+  export;
+* :mod:`repro.obs.telemetry` — structured JSONL event streams
+  (``train.update`` rows from PPO, per-query ``query`` outcomes);
+* :mod:`repro.obs.log`       — the sanctioned console/structured-log
+  channels for library code.
+
+Everything is off by default and *zero-overhead when disabled*: each
+instrumentation site checks one module-level flag before allocating
+anything (``benchmarks/bench_kernels.py --obs-check`` gates this).
+
+Typical use::
+
+    from repro import obs
+
+    obs.start_run("obs_run")            # enable + telemetry sink
+    ...  # train, query
+    obs.finish_run("obs_run")           # trace.json, trace_chrome.json,
+                                        # metrics.json next to telemetry.jsonl
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import log, metrics, telemetry, trace
+from .runtime import STATE, disable, enable, is_enabled, observed
+
+#: File names written into a run directory by :func:`finish_run`.
+TELEMETRY_FILE = "telemetry.jsonl"
+TRACE_FILE = "trace.json"
+CHROME_TRACE_FILE = "trace_chrome.json"
+METRICS_FILE = "metrics.json"
+
+__all__ = [
+    "STATE",
+    "disable",
+    "enable",
+    "is_enabled",
+    "observed",
+    "log",
+    "metrics",
+    "telemetry",
+    "trace",
+    "span",
+    "start_run",
+    "finish_run",
+    "TELEMETRY_FILE",
+    "TRACE_FILE",
+    "CHROME_TRACE_FILE",
+    "METRICS_FILE",
+]
+
+#: Re-export of the most-used entry point.
+span = trace.span
+
+
+def start_run(directory: str) -> str:
+    """Enable observability with a JSONL telemetry sink under ``directory``.
+
+    Clears any state left from a previous run so the directory captures
+    exactly one run. Returns the directory path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    trace.reset()
+    metrics.reset()
+    telemetry.reset()
+    telemetry.configure(os.path.join(directory, TELEMETRY_FILE))
+    enable()
+    return directory
+
+
+def finish_run(directory: str) -> dict[str, str]:
+    """Flush trace/metrics artifacts into ``directory`` and disable.
+
+    Returns a name → path map of everything written (the telemetry JSONL
+    has been streaming there since :func:`start_run`).
+    """
+    paths = {
+        "telemetry": os.path.join(directory, TELEMETRY_FILE),
+        "trace": os.path.join(directory, TRACE_FILE),
+        "chrome_trace": os.path.join(directory, CHROME_TRACE_FILE),
+        "metrics": os.path.join(directory, METRICS_FILE),
+    }
+    trace.write_trace(paths["trace"])
+    trace.write_chrome_trace(paths["chrome_trace"])
+    metrics.write_json(paths["metrics"])
+    disable()
+    telemetry.configure(None)
+    return paths

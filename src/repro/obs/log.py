@@ -1,0 +1,31 @@
+"""Console output and structured logging for library code.
+
+Library modules must not call bare ``print`` (enforced by
+``scripts/check_no_print.sh``); the two sanctioned channels are:
+
+* :func:`console` — human-facing console output (benchmark tables, CLI
+  helpers). A thin ``sys.stdout`` wrapper, so ``capsys``/redirection
+  behave exactly as with ``print``.
+* :func:`log` — structured events. Routed onto the ``"log"`` telemetry
+  stream when observability is enabled, dropped otherwise; library code
+  can therefore log unconditionally without spamming stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+from . import telemetry
+from .runtime import STATE
+
+
+def console(message: object = "") -> None:
+    """Write one line to stdout (the only sanctioned console channel)."""
+    sys.stdout.write(f"{message}\n")
+
+
+def log(event: str, **fields: Any) -> None:
+    """Emit a structured log event onto the telemetry stream."""
+    if STATE.enabled:
+        telemetry.emit("log", event=event, **fields)

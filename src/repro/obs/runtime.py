@@ -1,0 +1,55 @@
+"""Shared on/off switch for the observability subsystem.
+
+Every instrumentation site in the library funnels through one flag:
+``STATE.enabled``. The contract (DESIGN.md §Observability) is that when
+the flag is off, instrumented code performs *one attribute check and
+nothing else* — no span objects, no metric lookups, no string
+formatting — so the hot kernels benchmarked in ``BENCH_kernels.json``
+pay effectively nothing for being observable.
+
+This module owns only the flag (plus enable/disable helpers) so that
+``obs.trace``, ``obs.metrics``, and ``obs.telemetry`` can share it
+without import cycles through the package ``__init__``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ObservabilityState:
+    """Mutable process-global switch (attribute reads stay live)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = ObservabilityState()
+
+
+def is_enabled() -> bool:
+    return STATE.enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide."""
+    STATE.enabled = False
+
+
+@contextmanager
+def observed(on: bool = True) -> Iterator[None]:
+    """Temporarily enable (or disable) observability, restoring on exit."""
+    previous = STATE.enabled
+    STATE.enabled = on
+    try:
+        yield
+    finally:
+        STATE.enabled = previous

@@ -1,0 +1,92 @@
+"""Structured event streams (JSONL): training updates and query outcomes.
+
+A telemetry *record* is one flat JSON object tagged with its ``stream``
+(``"train.update"``, ``"query"``, ``"log"``, …) and a monotonically
+increasing sequence number. Records always land in a bounded in-memory
+ring (so tests and the CLI can inspect a run without touching disk) and,
+when a sink path is configured, are appended to a JSONL file as they
+happen — the format ``repro stats`` reads back.
+
+Emission is a no-op while observability is disabled, matching the rest
+of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Optional
+
+from .runtime import STATE
+
+#: Cap on in-memory records (oldest dropped first).
+MAX_RECORDS = 10_000
+
+_LOCK = threading.Lock()
+_RECORDS: list[dict[str, Any]] = []
+_SINK_PATH: Optional[str] = None
+_SEQUENCE = 0
+
+
+def configure(path: Optional[str]) -> None:
+    """Set (or clear, with None) the JSONL sink file; truncates the file."""
+    global _SINK_PATH
+    with _LOCK:
+        _SINK_PATH = path
+        if path is not None:
+            with open(path, "w"):
+                pass
+
+
+def emit(stream: str, **fields: Any) -> None:
+    """Record one event iff observability is enabled."""
+    if not STATE.enabled:
+        return
+    global _SEQUENCE
+    with _LOCK:
+        _SEQUENCE += 1
+        record = {"stream": stream, "seq": _SEQUENCE, "ts": time.time(), **fields}
+        _RECORDS.append(record)
+        if len(_RECORDS) > MAX_RECORDS:
+            del _RECORDS[: len(_RECORDS) - MAX_RECORDS]
+        if _SINK_PATH is not None:
+            with open(_SINK_PATH, "a") as handle:
+                handle.write(json.dumps(record, default=str) + "\n")
+
+
+def records(stream: Optional[str] = None) -> list[dict[str, Any]]:
+    """In-memory records, optionally filtered to one stream."""
+    with _LOCK:
+        out = list(_RECORDS)
+    if stream is not None:
+        out = [record for record in out if record.get("stream") == stream]
+    return out
+
+
+def reset() -> None:
+    """Drop in-memory records and restart the sequence (sink unchanged)."""
+    global _SEQUENCE
+    with _LOCK:
+        _RECORDS.clear()
+        _SEQUENCE = 0
+
+
+def write_jsonl(path: str) -> None:
+    """Dump the in-memory records to ``path`` (one JSON object per line)."""
+    with _LOCK:
+        out = list(_RECORDS)
+    with open(path, "w") as handle:
+        for record in out:
+            handle.write(json.dumps(record, default=str) + "\n")
+
+
+def load_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file back into records."""
+    out: list[dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from .nn import Adam, masked_log_softmax
 from .policy import ActorNetwork, CriticNetwork
 from .rollout import RolloutBatch
@@ -126,6 +127,11 @@ class PPOUpdater:
             stats.entropy /= n_updates
             stats.kl_divergence /= n_updates
             stats.clip_fraction /= n_updates
+        _metrics.add("ppo.updates")
+        _metrics.add("ppo.minibatch_updates", n_updates)
+        _metrics.observe("ppo.kl_divergence", stats.kl_divergence)
+        _metrics.observe("ppo.clip_fraction", stats.clip_fraction)
+        _metrics.observe("ppo.entropy", stats.entropy)
         return stats
 
     # -------------------------------------------------------------- #
