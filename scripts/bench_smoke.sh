@@ -1,19 +1,23 @@
 #!/bin/sh
 # CI smoke run: lint + vectorized-kernel micro-benchmark.
 #
-# 1. scripts/check_no_print.sh — no bare print() in library code.
+# 1. repro lint src — the full AST rule pack (subsumes the old
+#    check_no_print grep; scripts/check_no_print.sh remains as a thin
+#    wrapper over the no-bare-print rule).
 # 2. benchmarks/bench_kernels.py (fast profile) — fails if any kernel's
 #    vectorized timing regressed by more than 2x against the committed
 #    BENCH_kernels.json baseline, if a required speedup over the
-#    reference implementations no longer holds, or if the median
+#    reference implementations no longer holds, if the median
 #    observability-instrumentation overhead (enabled vs disabled)
-#    exceeds 2% (--obs-check).
+#    exceeds 2% (--obs-check), or if the disabled strict-mode contract
+#    wrappers cost more than 2% over the raw kernels (--strict-check).
 set -e
 cd "$(dirname "$0")/.."
-sh scripts/check_no_print.sh
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src
 PYTHONPATH=src python benchmarks/bench_kernels.py \
   --profile fast \
   --check BENCH_kernels.json \
   --max-regression 2.0 \
   --obs-check \
+  --strict-check \
   --output -

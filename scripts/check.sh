@@ -1,0 +1,35 @@
+#!/bin/sh
+# Full per-PR check: tests + static analysis + strict-mode smoke.
+#
+# 1. tier-1 pytest           — the repo's own test suite (ROADMAP.md).
+# 2. repro lint src          — the AST rule pack over the whole tree
+#                              (empty committed baseline: any finding is
+#                              new and fails the check; see DESIGN.md
+#                              §"Static analysis & strict mode").
+# 3. strict-mode smoke train — a micro fit+query run with the runtime
+#                              shape/dtype/NaN contracts enabled
+#                              (REPRO_STRICT=1), so a contract that
+#                              would fire on the real pipeline fails CI
+#                              rather than a user.
+#
+# Benchmark gates (kernel regressions, instrumentation + contract
+# overhead) live in scripts/bench_smoke.sh.
+set -e
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 tests"
+python -m pytest -x -q
+
+echo "== repro lint"
+python -m repro lint src --baseline lint_baseline.json
+
+echo "== strict-mode smoke (REPRO_STRICT=1 micro train + queries)"
+REPRO_STRICT=1 python -m repro demo \
+  --dataset flights --scale 0.12 --k 100 --iterations 2 --light --seed 1 \
+  > /dev/null
+echo "strict smoke: OK"
+
+echo "check: OK"

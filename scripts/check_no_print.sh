@@ -1,24 +1,15 @@
 #!/bin/sh
 # Lint: no bare print() in library code under src/repro/.
 #
-# Console output from the library goes through repro.obs.log.console (a
-# sys.stdout wrapper) and structured events through repro.obs telemetry;
-# bare print() in library modules is a smell that bypasses both. The CLI
-# entry point (src/repro/__main__.py) is the designated console surface
-# and is exempt, as is the console implementation itself
-# (src/repro/obs/log.py).
+# Thin compatibility wrapper over the AST-accurate rule so the shell
+# check and the linter cannot drift: the actual logic (including the
+# exemptions for the CLI entry point src/repro/__main__.py and the
+# console implementation src/repro/obs/log.py) lives in
+# src/repro/lint/rules.py (NoBarePrint). Kept under this name because
+# earlier CI and docs refer to scripts/check_no_print.sh.
 set -e
 cd "$(dirname "$0")/.."
 
-violations=$(grep -rnE '(^|[^A-Za-z0-9_.])print\(' src/repro --include='*.py' \
-  | grep -v '^src/repro/__main__\.py:' \
-  | grep -v '^src/repro/obs/log\.py:' \
-  || true)
-
-if [ -n "$violations" ]; then
-  echo "bare print() calls found in library code (use repro.obs.log.console"
-  echo "or telemetry instead; see scripts/check_no_print.sh):"
-  echo "$violations"
-  exit 1
-fi
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+  python -m repro.lint src/repro --rules no-bare-print
 echo "check_no_print: OK"

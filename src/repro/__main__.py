@@ -8,10 +8,15 @@ Commands
 ``bench``  — print the location and contents of recorded benchmark tables.
 ``stats``  — pretty-print the metrics + telemetry of a recorded run.
 ``trace``  — pretty-print the span tree of a recorded run.
+``lint``   — run the AST rule pack over source paths (see repro.lint).
 
 ``demo``/``train`` accept ``--telemetry DIR`` to record a full
 observability run (trace.json, trace_chrome.json, metrics.json,
-telemetry.jsonl) that ``stats``/``trace`` read back.
+telemetry.jsonl) that ``stats``/``trace`` read back, and ``--strict``
+to enable the runtime shape/NaN contracts (same as ``REPRO_STRICT=1``).
+
+Unknown subcommands exit with status 2 and the available-command list
+(argparse's required-subparser behaviour, pinned by ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -20,14 +25,15 @@ import argparse
 import json
 import os
 import sys
-import time
 
-from . import __version__, obs
+from . import __version__, contracts, obs
 from .core import ASQPConfig, ASQPSession, ASQPTrainer, load_model, save_model, score
 from .datasets import load_flights, load_imdb, load_mas
 from .db import sql
+from .lint import cli as lint_cli
 from .obs import telemetry as obs_telemetry
 from .obs import trace as obs_trace
+from .obs.clock import perf_counter
 
 #: Default run directory for --telemetry / stats / trace.
 DEFAULT_OBS_DIR = "obs_run"
@@ -60,6 +66,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="record an observability run (trace + metrics + telemetry JSONL) "
              "into DIR; read it back with `repro stats`/`repro trace`",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="enable runtime shape/dtype/NaN contracts (repro.contracts; "
+             "same as REPRO_STRICT=1)",
+    )
 
 
 def _make_config(args) -> ASQPConfig:
@@ -74,6 +86,8 @@ def _make_config(args) -> ASQPConfig:
 
 
 def cmd_demo(args) -> int:
+    if args.strict:
+        contracts.enable()
     if args.telemetry:
         obs.start_run(args.telemetry)
     bundle = _load_bundle(args.dataset, args.scale)
@@ -81,9 +95,9 @@ def cmd_demo(args) -> int:
     config = _make_config(args)
     print(f"training {'ASQP-Light' if args.light else 'ASQP-RL'} "
           f"(k={config.memory_budget}, F={config.frame_size})...")
-    start = time.perf_counter()
+    start = perf_counter()
     model = ASQPTrainer(bundle.db, bundle.workload, config).train()
-    print(f"trained in {time.perf_counter() - start:.1f}s")
+    print(f"trained in {perf_counter() - start:.1f}s")
     session = ASQPSession(model, auto_fine_tune=False)
     train_quality = score(bundle.db, session.approx_db, bundle.workload,
                           config.frame_size)
@@ -104,6 +118,8 @@ def cmd_demo(args) -> int:
 
 
 def cmd_train(args) -> int:
+    if args.strict:
+        contracts.enable()
     if args.telemetry:
         obs.start_run(args.telemetry)
     bundle = _load_bundle(args.dataset, args.scale)
@@ -241,6 +257,13 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the AST linter (repro.lint); prints the report it returns."""
+    code, text = lint_cli.run_args(args)
+    print(text)
+    return code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="ASQP-RL reproduction CLI"
@@ -284,6 +307,12 @@ def main(argv=None) -> int:
     trace.add_argument("--depth", type=int, default=6,
                        help="maximum span nesting depth to print")
     trace.set_defaults(func=cmd_trace)
+
+    lint = commands.add_parser(
+        "lint", help="run the AST lint rule pack over source paths"
+    )
+    lint_cli.add_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

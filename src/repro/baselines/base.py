@@ -11,12 +11,12 @@ which is why the result carries a database and not just row ids.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..core.preprocess import build_coverage
 from ..core.reward import QueryCoverage
@@ -93,7 +93,7 @@ class SubsetSelector(abc.ABC):
             name=name,
             database=approximation.to_database(db, name=f"{db.name}:{name.lower()}"),
             approximation=approximation,
-            setup_seconds=time.perf_counter() - started,
+            setup_seconds=perf_counter() - started,
             completed=completed,
             extra=dict(extra),
         )

@@ -13,11 +13,11 @@ scaled from 48 hours to a configurable number of seconds.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..core.reward import CoverageTracker
 from ..db.database import Database
@@ -44,7 +44,7 @@ class BruteForce(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         budget = time_budget if time_budget is not None else self.default_time_budget
         coverages = self.workload_coverages(db, workload, frame_size, rng)
         tracker = CoverageTracker(coverages)
@@ -59,7 +59,7 @@ class BruteForce(SubsetSelector):
         best_keys: list = []
         best_score = -1.0
         n_combinations = 0
-        while time.perf_counter() - started < budget:
+        while perf_counter() - started < budget:
             picks = rng.choice(len(all_keys), size=size, replace=False)
             candidate = [all_keys[p] for p in picks]
             # reset() is an array copy and add_keys() one vectorized batch

@@ -10,11 +10,11 @@ into the subset.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.cache import LRUTupleCache
 from ..db.database import Database
@@ -41,7 +41,7 @@ class CacheBaseline(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         coverages = self.workload_coverages(db, workload, frame_size, rng)
         cache = LRUTupleCache(capacity=k)
 

@@ -10,9 +10,9 @@ expressed as a fraction of the data (the paper uses 1%).
 
 from __future__ import annotations
 
-import time
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.metric import aggregate_relative_error
 from ..db.database import Database
 from ..db.query import AggregateQuery
@@ -42,7 +42,7 @@ class GAQPEstimator:
         self.models: dict[str, TabularVAE] = {}
         self.setup_seconds = 0.0
 
-        started = time.perf_counter()
+        started = perf_counter()
         for table in db:
             if len(table) == 0:
                 continue
@@ -58,7 +58,7 @@ class GAQPEstimator:
             )
             vae.train(codec.encode(), epochs=epochs)
             self.models[table.name] = vae
-        self.setup_seconds = time.perf_counter() - started
+        self.setup_seconds = perf_counter() - started
 
     # -------------------------------------------------------------- #
     def _sample_database(self) -> tuple[Database, float]:

@@ -13,11 +13,11 @@ budget on IMDB; with a small time budget the same failure reproduces here
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..core.reward import CoverageTracker
 from ..db.database import Database
@@ -44,7 +44,7 @@ class GreedySelection(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         budget = time_budget if time_budget is not None else self.default_time_budget
         coverages = self.workload_coverages(db, workload, frame_size, rng)
         tracker = CoverageTracker(coverages)
@@ -62,7 +62,7 @@ class GreedySelection(SubsetSelector):
         completed = True
         current_score = tracker.batch_score()
         while approx.total_size() < k and remaining:
-            if time.perf_counter() - started > budget:
+            if perf_counter() - started > budget:
                 completed = False
                 break
             best_unit = -1

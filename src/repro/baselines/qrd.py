@@ -11,11 +11,11 @@ the no-workload experiment (Fig. 6).
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.database import Database
 from ..db.statistics import compute_database_stats
@@ -45,7 +45,7 @@ class QueryResultDiversification(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         stats = compute_database_stats(db)
         embedder = TupleEmbedder(dim=self.embedding_dim, stats=stats)
         total_rows = max(1, db.total_rows())

@@ -11,11 +11,11 @@ uniform sample of its queries' provenance rows.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..core.reward import QueryCoverage
 from ..db.database import Database
@@ -47,7 +47,7 @@ class QuickRBaseline(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         spj = workload.spj_only()
         coverages = self.workload_coverages(db, workload, frame_size, rng)
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.database import Database
 from ..datasets.workloads import Workload
@@ -31,7 +31,7 @@ class RandomSampling(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         keys = self.all_tuple_keys(db)
         size = min(k, len(keys))
         picks = rng.choice(len(keys), size=size, replace=False)

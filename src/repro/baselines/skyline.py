@@ -11,11 +11,11 @@ rest, and so on.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.database import Database
 from ..db.statistics import compute_table_stats
@@ -94,7 +94,7 @@ class SkylineBaseline(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         total_rows = max(1, db.total_rows())
         approx = ApproximationSet()
         for table in db:

@@ -11,11 +11,11 @@ the budget fills.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.database import Database
 from ..datasets.workloads import Workload
@@ -36,7 +36,7 @@ class TopQueriedTuples(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         coverages = self.workload_coverages(db, workload, frame_size, rng)
 
         query_count: dict[tuple[str, int], int] = {}

@@ -16,12 +16,12 @@ never match.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.schema import ColumnType
 from ..db.table import Table
@@ -264,7 +264,7 @@ class VAEBaseline(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         total_rows = max(1, db.total_rows())
         synthetic_tables = []
         self.models.clear()
@@ -296,7 +296,7 @@ class VAEBaseline(SubsetSelector):
             name=self.name,
             database=database,
             approximation=None,
-            setup_seconds=time.perf_counter() - started,
+            setup_seconds=perf_counter() - started,
             completed=True,
             extra={"generative": True},
         )

@@ -11,11 +11,11 @@ fraction is kept so aggregate answers can be Horvitz–Thompson rescaled
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..core.approximation import ApproximationSet
 from ..db.database import Database
 from ..db.sampling import variational_subsample
@@ -55,7 +55,7 @@ class VerdictBaseline(SubsetSelector):
         rng: np.random.Generator,
         time_budget: Optional[float] = None,
     ) -> SelectionResult:
-        started = time.perf_counter()
+        started = perf_counter()
         total_rows = max(1, db.total_rows())
         approx = ApproximationSet()
         fractions: dict[str, float] = {}

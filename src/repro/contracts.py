@@ -1,0 +1,287 @@
+"""Runtime shape/dtype/finiteness contracts — "strict mode".
+
+The static linter (:mod:`repro.lint`) checks what the AST can see; this
+module checks what only the running program can: array shapes flowing
+into the vectorized kernels, dtypes of their outputs, and NaN/inf
+poisoning of PPO training quantities (advantages, ratios, losses).
+
+Strict mode follows the observability on/off pattern
+(:mod:`repro.obs.runtime`): one process-global flag, and every contract
+site is a *single attribute check and nothing else* when disabled — no
+spec interpretation, no array touching, no allocation attributable to
+this module (``tests/test_contracts.py`` asserts this with tracemalloc,
+and ``benchmarks/bench_kernels.py --strict-check`` gates the kernel-path
+overhead). Enable with the ``REPRO_STRICT=1`` environment variable, the
+CLI ``--strict`` flag, or :func:`enable`/:func:`strict`.
+
+Shape specs (bound per decorated parameter)::
+
+    @shape_contract(arrays=[("n",)])          # sequence of 1-D arrays,
+                                              # all the same length n
+    @shape_contract(x=("n", "k"), returns=("n",))
+    @dtype_contract(returns=("i", None))      # tuple: int64-kind, skip
+
+* a tuple is a shape: ints match exactly, ``None`` matches any size, and
+  a string is a dimension variable that must bind consistently across
+  *all* specs of the call (this is how "equal-length key columns" and
+  "probe_idx and build_idx have equal length" are expressed);
+* a one-element list ``[spec]`` matches a sequence whose every element
+  matches ``spec`` (sharing the variable bindings);
+* for :func:`dtype_contract`, a spec string is the set of allowed numpy
+  dtype *kinds* (``"i"`` signed ints, ``"f"`` floats, ``"if"`` either,
+  ``"b"`` bool, ``"O"`` object); ``None`` skips that position.
+
+Violations raise :class:`ContractError` naming the offending argument or
+tensor.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from functools import wraps
+from inspect import signature
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class ContractError(ValueError):
+    """A runtime contract (shape, dtype, or finiteness) was violated."""
+
+
+class StrictState:
+    """Mutable process-global switch (attribute reads stay live)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_STRICT", "") not in ("", "0")
+
+
+STATE = StrictState(_env_default())
+
+
+def is_enabled() -> bool:
+    return STATE.enabled
+
+
+def enable() -> None:
+    """Turn strict-mode contract checking on process-wide."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn strict-mode contract checking off process-wide."""
+    STATE.enabled = False
+
+
+@contextmanager
+def strict(on: bool = True) -> Iterator[None]:
+    """Temporarily enable (or disable) strict mode, restoring on exit."""
+    previous = STATE.enabled
+    STATE.enabled = on
+    try:
+        yield
+    finally:
+        STATE.enabled = previous
+
+
+# ------------------------------------------------------------------ #
+# spec matching
+# ------------------------------------------------------------------ #
+def _check_shape(name: str, value, spec, bindings: dict) -> None:
+    if spec is None:
+        return
+    if isinstance(spec, list):
+        if len(spec) != 1:
+            raise TypeError(f"sequence spec for {name!r} must be [inner]")
+        try:
+            elements = list(value)
+        except TypeError:
+            raise ContractError(
+                f"{name}: expected a sequence of arrays, got "
+                f"{type(value).__name__}"
+            ) from None
+        for i, element in enumerate(elements):
+            _check_shape(f"{name}[{i}]", element, spec[0], bindings)
+        return
+    if isinstance(spec, int):
+        ndim = np.asarray(value).ndim
+        if ndim != spec:
+            raise ContractError(
+                f"{name}: expected a {spec}-D array, got {ndim}-D"
+            )
+        return
+    if isinstance(spec, tuple) and any(
+        isinstance(inner, (tuple, list)) for inner in spec
+    ):
+        # A tuple containing nested specs matches a tuple-valued result
+        # position-by-position (None skips a position); a plain shape
+        # tuple contains only int/str/None dims and falls through below.
+        try:
+            n_items = len(value)
+        except TypeError:
+            raise ContractError(
+                f"{name}: expected a {len(spec)}-tuple, got "
+                f"{type(value).__name__}"
+            ) from None
+        if n_items != len(spec):
+            raise ContractError(
+                f"{name}: expected a {len(spec)}-tuple, got {n_items} items"
+            )
+        for i, (element, inner) in enumerate(zip(value, spec)):
+            _check_shape(f"{name}[{i}]", element, inner, bindings)
+        return
+    if isinstance(spec, tuple):
+        shape = np.asarray(value).shape
+        if len(shape) != len(spec):
+            raise ContractError(
+                f"{name}: expected {len(spec)} dimension(s) {spec}, "
+                f"got shape {shape}"
+            )
+        for axis, (dim, expected) in enumerate(zip(shape, spec)):
+            if expected is None:
+                continue
+            if isinstance(expected, str):
+                bound = bindings.setdefault(expected, (dim, name, axis))
+                if bound[0] != dim:
+                    raise ContractError(
+                        f"{name}: axis {axis} has size {dim} but dimension "
+                        f"{expected!r} was bound to {bound[0]} by "
+                        f"{bound[1]} axis {bound[2]}"
+                    )
+            elif dim != expected:
+                raise ContractError(
+                    f"{name}: axis {axis} has size {dim}, expected {expected}"
+                )
+        return
+    raise TypeError(f"unsupported shape spec for {name!r}: {spec!r}")
+
+
+def _check_dtype(name: str, value, spec) -> None:
+    if spec is None:
+        return
+    if isinstance(spec, list):
+        if len(spec) != 1:
+            raise TypeError(f"sequence spec for {name!r} must be [inner]")
+        for i, element in enumerate(value):
+            _check_dtype(f"{name}[{i}]", element, spec[0])
+        return
+    if isinstance(spec, tuple):
+        if len(value) != len(spec):
+            raise ContractError(
+                f"{name}: expected a {len(spec)}-tuple, got {len(value)} items"
+            )
+        for i, (element, inner) in enumerate(zip(value, spec)):
+            _check_dtype(f"{name}[{i}]", element, inner)
+        return
+    if isinstance(spec, str):
+        kind = np.asarray(value).dtype.kind
+        if kind not in spec:
+            raise ContractError(
+                f"{name}: dtype kind {kind!r} not in allowed kinds {spec!r}"
+            )
+        return
+    dtype = np.asarray(value).dtype
+    if dtype != np.dtype(spec):
+        raise ContractError(
+            f"{name}: dtype {dtype} does not match required {np.dtype(spec)}"
+        )
+
+
+def _contract_decorator(specs: dict, check, contract_name: str):
+    returns_spec = specs.pop("returns", None)
+
+    def wrap(fn):
+        params = signature(fn).parameters
+        unknown = set(specs) - set(params)
+        if unknown:
+            raise TypeError(
+                f"{contract_name} on {fn.__name__}: unknown parameter(s) "
+                f"{sorted(unknown)}"
+            )
+        sig = signature(fn)
+
+        @wraps(fn)
+        def inner(*args, **kwargs):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            bindings: dict = {}
+            bound = sig.bind(*args, **kwargs)
+            for name, spec in specs.items():
+                if name in bound.arguments:
+                    check(
+                        f"{fn.__name__}({name})",
+                        bound.arguments[name],
+                        spec,
+                        bindings,
+                    )
+            out = fn(*args, **kwargs)
+            if returns_spec is not None:
+                check(f"{fn.__name__}(returns)", out, returns_spec, bindings)
+            return out
+
+        return inner
+
+    return wrap
+
+
+def shape_contract(**specs):
+    """Check argument/return shapes when strict mode is on.
+
+    Keyword arguments map parameter names to shape specs (see module
+    docstring); ``returns=`` checks the return value. Dimension
+    variables bind across every spec of one call.
+    """
+    return _contract_decorator(specs, _check_shape, "shape_contract")
+
+
+def dtype_contract(**specs):
+    """Check argument/return dtype kinds when strict mode is on."""
+
+    def check(name, value, spec, _bindings):
+        _check_dtype(name, value, spec)
+
+    return _contract_decorator(specs, check, "dtype_contract")
+
+
+# ------------------------------------------------------------------ #
+# finiteness guards
+# ------------------------------------------------------------------ #
+def assert_finite(_context: Optional[str] = None, **tensors) -> None:
+    """Raise :class:`ContractError` if any named tensor has NaN/inf.
+
+    Call sites gate on ``STATE.enabled`` themselves so the disabled cost
+    is one attribute check (building the kwargs dict is already more
+    work than the contract allows)::
+
+        if _STRICT.enabled:
+            assert_finite("ppo.update", advantages=batch.advantages)
+
+    ``_context`` prefixes the error message; scalars and arrays both
+    work. The error names the first offending tensor and where the first
+    bad element sits.
+    """
+    for name, tensor in tensors.items():
+        array = np.asarray(tensor)
+        if array.dtype.kind not in "fc":
+            continue
+        finite = np.isfinite(array)
+        if finite.all():
+            continue
+        bad = array.size - int(finite.sum())
+        label = f"{_context}: {name}" if _context else name
+        if array.ndim == 0:
+            raise ContractError(
+                f"non-finite value in '{label}': {array[()]!r}"
+            )
+        first = int(np.flatnonzero(~finite.ravel())[0])
+        raise ContractError(
+            f"non-finite values in '{label}' ({bad} of {array.size} "
+            f"elements, first at flat index {first})"
+        )

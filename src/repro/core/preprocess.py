@@ -17,12 +17,12 @@ near-miss tuples beyond the known workload).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.executor import execute
 from ..db.query import SPJQuery
@@ -151,12 +151,12 @@ def preprocess(
     rng = rng or np.random.default_rng(config.seed)
     timings: dict[str, float] = {}
 
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     stats = compute_database_stats(db)
-    timings["stats"] = time.perf_counter() - t0
+    timings["stats"] = perf_counter() - t0
 
     # --- query pre-processing ------------------------------------- #
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     spj = workload.spj_only()
     n_train = max(2, int(round(len(spj.queries) * config.training_fraction)))
     order = rng.permutation(len(spj.queries))
@@ -191,15 +191,15 @@ def preprocess(
     # the relaxed embeddings above are only for clustering.
     rep_embeddings = embedder.embed_workload(representatives)
     training_embeddings = embedder.embed_workload(training_queries)
-    timings["query_preprocessing"] = time.perf_counter() - t0
+    timings["query_preprocessing"] = perf_counter() - t0
 
     # --- reward structures (original-semantics representatives) ---- #
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     coverages = [
         build_coverage(db, query, float(rep_weights[q]), config.frame_size, rng)
         for q, query in enumerate(representatives)
     ]
-    timings["coverage"] = time.perf_counter() - t0
+    timings["coverage"] = perf_counter() - t0
 
     # --- data pre-processing --------------------------------------- #
     # The candidate pool splits into *exact* rows (the representatives'
@@ -207,7 +207,7 @@ def preprocess(
     # *extension* rows that only the relaxed queries return (the
     # generalization reserve for future, unseen queries — challenge C4).
     # Exact rows get the larger share of the subsample budget.
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     exact_rows: list[tuple[TupleKey, ...]] = []
     exact_sources: list[int] = []
     extension_rows: list[tuple[TupleKey, ...]] = []
@@ -221,9 +221,9 @@ def preprocess(
             if row not in exact_set:
                 extension_rows.append(row)
                 extension_sources.append(q)
-    timings["execute_relaxed"] = time.perf_counter() - t0
+    timings["execute_relaxed"] = perf_counter() - t0
 
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     target_rows = config.action_space_target * config.group_size
     exact_target = int(round(target_rows * config.exact_row_share))
     exact_sample = variational_subsample(exact_sources, exact_target, rng)
@@ -250,7 +250,7 @@ def preprocess(
     tuple_embedder = TupleEmbedder(dim=config.embedding_dim, stats=stats)
     action_vectors = embed_actions(db, actions, tuple_embedder)
     action_space = ActionSpace(actions, action_vectors)
-    timings["build_action_space"] = time.perf_counter() - t0
+    timings["build_action_space"] = perf_counter() - t0
 
     return PreprocessResult(
         representatives=representatives,

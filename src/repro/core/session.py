@@ -11,12 +11,12 @@ when the drift trigger fires (§4.4).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
 from ..obs import metrics, telemetry, trace
@@ -122,7 +122,7 @@ class ASQPSession:
             )
             use_approx = (not allow_full_database) or estimate.confidence >= threshold
 
-            start = time.perf_counter()
+            start = perf_counter()
             target = self.approx_db if use_approx else self.model.db
             cache_key = (query.to_sql(), use_approx)
             cached = self._result_cache.get(cache_key)
@@ -140,7 +140,7 @@ class ASQPSession:
                 and len(self._result_cache) < self._result_cache_size
             ):
                 self._result_cache[cache_key] = result
-            elapsed = time.perf_counter() - start
+            elapsed = perf_counter() - start
 
             drift_event = self.drift_detector.observe(
                 query, self.estimator.deviation_confidence(query)
@@ -278,9 +278,9 @@ class ASQPSystem:
             ),
             seed=self.config.seed,
         )
-        probe_start = time.perf_counter()
+        probe_start = perf_counter()
         ASQPTrainer(db, workload, probe_config).train()
-        probe_seconds = time.perf_counter() - probe_start
+        probe_seconds = perf_counter() - probe_start
 
         # The full configuration costs roughly `cost_ratio` probes: more
         # iterations, more actors/episodes, and a larger action space.

@@ -11,12 +11,14 @@ biased toward the new queries.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs.clock import perf_counter
+from ..contracts import STATE as _STRICT
+from ..contracts import assert_finite
 from ..db.database import Database
 from ..db.query import AggregateQuery, SPJQuery
 from ..obs import metrics, telemetry, trace
@@ -335,15 +337,24 @@ def run_training_loop(
             )
         for iteration in range(n_iterations):
             buffer = RolloutBuffer(gamma=config.gamma, lam=config.gae_lambda)
-            rollout_start = time.perf_counter()
+            rollout_start = perf_counter()
             with trace.span("train.rollout"):
                 mean_reward = collector.collect(config.episodes_per_actor, buffer)
                 batch = buffer.build(use_critic=config.use_actor_critic)
-            rollout_seconds = time.perf_counter() - rollout_start
-            update_start = time.perf_counter()
+            rollout_seconds = perf_counter() - rollout_start
+            update_start = perf_counter()
             with trace.span("train.update"):
                 stats = model.agent.updater.update(batch)
-            update_seconds = time.perf_counter() - update_start
+            update_seconds = perf_counter() - update_start
+            if _STRICT.enabled:
+                assert_finite(
+                    "train.iteration",
+                    mean_episode_reward=mean_reward,
+                    policy_loss=stats.policy_loss,
+                    value_loss=stats.value_loss,
+                    entropy=stats.entropy,
+                    kl_divergence=stats.kl_divergence,
+                )
             record = IterationRecord(
                 iteration=start_iteration + iteration,
                 mean_episode_reward=mean_reward,
@@ -393,7 +404,7 @@ class ASQPTrainer:
 
     def train(self) -> TrainedModel:
         """Pre-process, train, and return the model handle."""
-        start = time.perf_counter()
+        start = perf_counter()
         rng = np.random.default_rng(self.config.seed)
         with trace.span("train") as sp:
             with trace.span("train.preprocess"):
@@ -408,7 +419,7 @@ class ASQPTrainer:
                 action_space=prep.action_space,
             )
             run_training_loop(model, self.config.n_iterations, rng)
-            model.setup_seconds = time.perf_counter() - start
+            model.setup_seconds = perf_counter() - start
             if sp:
                 sp.set(
                     iterations=len(model.history),

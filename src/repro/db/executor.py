@@ -11,12 +11,12 @@ sub-databases, which is what Eq. 1 of the paper compares.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.clock import perf_counter
 from . import kernels
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -300,13 +300,13 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
         return _execute_impl(db, query)
     with _trace.span("execute") as sp:
         sp.set(tables=list(query.tables))
-        start = time.perf_counter()
+        start = perf_counter()
         result = _execute_impl(db, query)
         sp.count("rows_out", result.n_rows)
         registry = _metrics.registry()
         registry.add("executor.queries")
         registry.add("executor.rows_out", result.n_rows)
-        registry.observe("executor.query.seconds", time.perf_counter() - start)
+        registry.observe("executor.query.seconds", perf_counter() - start)
     return result
 
 
@@ -515,8 +515,8 @@ class TimedExecution(NamedTuple):
 
 def timed_execute(db: Database, query: SPJQuery) -> TimedExecution:
     """Execute and return ``(result, elapsed_seconds, rows_per_second)``."""
-    start = time.perf_counter()
+    start = perf_counter()
     result = execute(db, query)
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter() - start
     throughput = result.n_rows / elapsed if elapsed > 0 else 0.0
     return TimedExecution(result, elapsed, throughput)

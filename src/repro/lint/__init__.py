@@ -1,0 +1,44 @@
+"""AST-based project linter (``repro lint``).
+
+Machine-checks the repo invariants that the reproduction's correctness
+rests on — seeded randomness, the closed dependency surface, structured
+output/timing, surfaced failures — instead of trusting convention. See
+DESIGN.md §"Static analysis & strict mode" for each rule's rationale and
+:mod:`repro.lint.rules` for the implementations.
+
+Public API::
+
+    from repro.lint import run_lint, Finding, RULES
+
+    report = run_lint(["src"])          # full rule pack, no baseline
+    report.findings                     # list[Finding], file/line/rule/message
+    report.exit_code                    # 0 clean, 1 new findings
+
+Suppress a single line with ``# lint: disable=<rule>[,<rule>]`` (or
+``# lint: disable`` for all rules); grandfather whole findings with a
+``lint_baseline.json`` written by ``repro lint --write-baseline``.
+"""
+
+from .engine import (
+    DEFAULT_BASELINE,
+    Finding,
+    LintReport,
+    lint_file,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .rules import RULES, Rule, UnknownRuleError
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "UnknownRuleError",
+    "lint_file",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

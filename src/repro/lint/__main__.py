@@ -1,0 +1,26 @@
+"""Standalone entry point: ``python -m repro.lint [PATHS...]``.
+
+Equivalent to ``python -m repro lint`` but importable without the rest
+of the CLI — scripts (``scripts/check_no_print.sh``) use this form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import cli
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint", description="ASQP-RL repo linter"
+    )
+    cli.add_arguments(parser)
+    code, text = cli.run_args(parser.parse_args(argv))
+    print(text)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

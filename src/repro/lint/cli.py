@@ -1,0 +1,111 @@
+"""Argument wiring and rendering for ``repro lint``.
+
+The functions here *return* text instead of printing it: the package's
+own ``no-bare-print`` rule applies to this package too, so the only
+print sites are the designated console surfaces (``repro/__main__.py``
+and ``repro/lint/__main__.py``), which print what :func:`run` returns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Optional, Sequence
+
+from . import engine
+from .engine import DEFAULT_BASELINE
+from .rules import RULES, UnknownRuleError
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report instead of file:line text",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="RULES",
+        help="comma-separated subset of rules to run "
+             f"(available: {', '.join(sorted(RULES))})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules with their rationale and exit",
+    )
+
+
+def _list_rules_text() -> str:
+    width = max(len(name) for name in RULES)
+    return "\n".join(
+        f"{name.ljust(width)}  {rule.rationale}"
+        for name, rule in sorted(RULES.items())
+    )
+
+
+def run(
+    paths: Sequence[str],
+    rules: Optional[str] = None,
+    baseline: Optional[str] = None,
+    as_json: bool = False,
+    write_baseline: bool = False,
+    list_rules: bool = False,
+) -> tuple[int, str]:
+    """Run the linter; returns ``(exit_code, text_to_print)``.
+
+    Exit codes: 0 clean, 1 new findings, 2 usage error (unknown rule,
+    unreadable baseline).
+    """
+    if list_rules:
+        return 0, _list_rules_text()
+
+    rule_names = None
+    if rules is not None:
+        rule_names = [name.strip() for name in rules.split(",") if name.strip()]
+
+    if baseline is None and os.path.exists(DEFAULT_BASELINE):
+        baseline = DEFAULT_BASELINE
+
+    baseline_for_run = None if write_baseline else baseline
+    try:
+        report = engine.run_lint(paths, rule_names, baseline_for_run)
+    except (UnknownRuleError, engine.BaselineError) as exc:
+        return 2, f"lint: error: {exc}"
+
+    if write_baseline:
+        target = baseline or DEFAULT_BASELINE
+        engine.write_baseline(target, report.findings)
+        return 0, (
+            f"lint: wrote {len(report.findings)} finding(s) to {target}"
+        )
+
+    text = (
+        json.dumps(report.to_json(), indent=2)
+        if as_json
+        else report.format_human()
+    )
+    return report.exit_code, text
+
+
+def run_args(args: argparse.Namespace) -> tuple[int, str]:
+    """Adapter from parsed argparse namespace to :func:`run`."""
+    return run(
+        paths=args.paths,
+        rules=args.rules,
+        baseline=args.baseline,
+        as_json=args.as_json,
+        write_baseline=args.write_baseline,
+        list_rules=args.list_rules,
+    )

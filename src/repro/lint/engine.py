@@ -1,0 +1,286 @@
+"""Core of the project linter: findings, suppressions, baselines, reports.
+
+The engine walks Python files, parses each one once with :mod:`ast`, and
+hands the tree to every active :class:`~repro.lint.rules.Rule`. Three
+layers filter what a rule reports before it becomes a *new* finding:
+
+* per-rule path exemptions (``Rule.exempt``) — e.g. the print rule skips
+  the CLI entry point and the console implementation;
+* inline suppressions — a ``# lint: disable=<rule>[,<rule>...]`` comment
+  on the flagged line (or ``# lint: disable`` for every rule);
+* a committed baseline file of grandfathered findings, matched by
+  ``path:rule:line`` fingerprint (see :func:`load_baseline`).
+
+Everything here is stdlib-only so the linter can never drag the library
+into a dependency it would itself have to flag.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+#: Marker used in the suppression map for "every rule on this line".
+ALL_RULES = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\- ]+))?"
+)
+
+#: Rule id used for files the parser rejects (always severity error).
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching."""
+        return f"{self.path}:{self.rule}:{self.line}"
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+class FileContext:
+    """A parsed source file plus its inline-suppression map."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.suppressions = _parse_suppressions(source)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and (ALL_RULES in rules or rule in rules)
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number → rule names disabled there via comments.
+
+    Comments are read with :mod:`tokenize` so a ``# lint: disable`` inside
+    a string literal is never mistaken for a directive.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            names = match.group("rules")
+            line = token.start[0]
+            bucket = suppressions.setdefault(line, set())
+            if names is None:
+                bucket.add(ALL_RULES)
+            else:
+                bucket.update(
+                    name.strip() for name in names.split(",") if name.strip()
+                )
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return suppressions
+
+
+# ------------------------------------------------------------------ #
+# baseline
+# ------------------------------------------------------------------ #
+#: Default baseline filename looked up next to the lint invocation.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file cannot be read or has a bad shape."""
+
+
+def load_baseline(path: str) -> set[str]:
+    """Read a baseline file into a set of finding fingerprints."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    fingerprints = set()
+    for entry in payload["findings"]:
+        try:
+            fingerprints.add(f"{entry['path']}:{entry['rule']}:{entry['line']}")
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from exc
+    return fingerprints
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new grandfathered baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "line": f.line}
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+# ------------------------------------------------------------------ #
+# running
+# ------------------------------------------------------------------ #
+@dataclass
+class LintReport:
+    """Outcome of one lint run: new findings plus bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: int = 0
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "rules": self.rules,
+            "files_checked": self.files_checked,
+            "baselined": self.baselined,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def format_human(self) -> str:
+        lines = [f.format() for f in self.findings]
+        summary = (
+            f"lint: {len(self.findings)} new finding(s), "
+            f"{self.baselined} baselined, {self.files_checked} file(s) checked"
+            if self.findings or self.baselined
+            else f"lint: OK ({self.files_checked} file(s) checked, "
+            f"{len(self.rules)} rule(s))"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def discover_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return sorted(dict.fromkeys(os.path.normpath(p) for p in found))
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative, forward-slash path used in findings and baselines."""
+    cwd = os.getcwd()
+    absolute = os.path.abspath(path)
+    if absolute.startswith(cwd + os.sep):
+        absolute = absolute[len(cwd) + 1:]
+    return absolute.replace(os.sep, "/")
+
+
+def lint_file(path: str, rules: Sequence) -> list[Finding]:
+    """Lint one file with the given rule instances (no baseline applied)."""
+    display = _display_path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(PARSE_ERROR_RULE, display, 1, 1, f"cannot read file: {exc}")
+        ]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                PARSE_ERROR_RULE,
+                display,
+                exc.lineno or 1,
+                (exc.offset or 1),
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    context = FileContext(display, source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.exempt(display):
+            continue
+        for finding in rule.check(context, tree):
+            if not context.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    rule_names: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the report of *new* findings.
+
+    ``rule_names`` restricts the rule pack (default: every registered
+    rule); unknown names raise :class:`~repro.lint.rules.UnknownRuleError`.
+    ``baseline_path`` filters out grandfathered fingerprints.
+    """
+    from .rules import get_rules
+
+    rules = get_rules(rule_names)
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    report = LintReport(rules=[rule.name for rule in rules])
+    for path in discover_files(paths):
+        report.files_checked += 1
+        for finding in lint_file(path, rules):
+            if finding.fingerprint in baseline:
+                report.baselined += 1
+            else:
+                report.findings.append(finding)
+    return report

@@ -21,6 +21,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..contracts import STATE as _STRICT
+from ..contracts import assert_finite
 from ..obs import metrics as _metrics
 from .nn import Adam, masked_log_softmax
 from .policy import ActorNetwork, CriticNetwork
@@ -103,6 +105,13 @@ class PPOUpdater:
         stats = UpdateStats(n_samples=n)
         if n == 0:
             return stats
+        if _STRICT.enabled:
+            assert_finite(
+                "ppo.update",
+                advantages=batch.advantages,
+                returns=batch.returns,
+                old_log_probs=batch.old_log_probs,
+            )
 
         # Snapshot π_old for ratios and the KL penalty.
         old_actor = self.actor.clone()
@@ -162,6 +171,8 @@ class PPOUpdater:
 
         if config.use_clip:
             ratio = np.exp(log_pi - old_log_probs)
+            if _STRICT.enabled:
+                assert_finite("ppo.minibatch", ratio=ratio)
             clipped = np.clip(ratio, 1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
             surrogate_1 = ratio * advantages
             surrogate_2 = clipped * advantages
@@ -214,6 +225,14 @@ class PPOUpdater:
             assert self.critic_optimizer is not None
             self.critic_optimizer.step(v_gradients)
 
+        if _STRICT.enabled:
+            assert_finite(
+                "ppo.minibatch",
+                policy_loss=policy_loss,
+                value_loss=value_loss,
+                kl_divergence=kl,
+                grad_logits=grad_logits,
+            )
         return UpdateStats(
             policy_loss=policy_loss,
             value_loss=value_loss,

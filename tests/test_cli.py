@@ -1,8 +1,12 @@
 """Tests for the command-line interface (python -m repro)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestCLI:
@@ -47,3 +51,48 @@ class TestCLI:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(directory))
         assert main(["bench"]) == 0
         assert "TABLE CONTENT" in capsys.readouterr().out
+
+    def test_help_lists_every_command_with_description(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("demo", "train", "query", "bench",
+                        "stats", "trace", "lint"):
+            assert command in out
+        assert "run the AST lint rule pack" in out
+        assert "metrics + telemetry" in out
+        assert "span tree" in out
+
+    def test_unknown_subcommand_exits_2_with_command_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for command in ("demo", "train", "query", "bench",
+                        "stats", "trace", "lint"):
+            assert command in err
+
+    def test_lint_subcommand_clean_on_src(self, capsys):
+        code = main([
+            "lint", str(REPO_ROOT / "src"),
+            "--baseline", str(REPO_ROOT / "lint_baseline.json"),
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_lint_subcommand_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("print('x')\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "no-bare-print" in out
+
+    def test_lint_subcommand_json(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import torch\n")
+        assert main(["lint", str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "forbidden-import"

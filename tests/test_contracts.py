@@ -1,0 +1,228 @@
+"""Tests for strict-mode runtime contracts (repro.contracts).
+
+Covers shape/dtype mismatches raising under strict mode, the NaN guard
+tripping on a poisoned PPO batch, and the disabled-mode promise: same
+results, no behavioural change, and no allocations attributable to the
+contracts module.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    ContractError,
+    assert_finite,
+    dtype_contract,
+    shape_contract,
+)
+from repro.db import kernels
+from repro.rl.policy import ActorNetwork, CriticNetwork
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.rl.rollout import RolloutBatch
+
+
+@pytest.fixture(autouse=True)
+def _restore_strict_state():
+    previous = contracts.STATE.enabled
+    yield
+    contracts.STATE.enabled = previous
+
+
+class TestShapeContracts:
+    def test_mismatched_key_lengths_raise_in_kernels(self):
+        with contracts.strict():
+            with pytest.raises(ContractError, match="factorize_keys"):
+                kernels.factorize_keys([np.arange(5), np.arange(6)])
+
+    def test_dimension_variable_binds_across_parameters(self):
+        @shape_contract(a=("n",), b=("n",))
+        def paired(a, b):
+            return a
+
+        with contracts.strict():
+            paired(np.arange(3), np.arange(3))
+            with pytest.raises(ContractError, match="bound to 3"):
+                paired(np.arange(3), np.arange(4))
+
+    def test_exact_and_wildcard_dims(self):
+        @shape_contract(x=(2, None))
+        def f(x):
+            return x
+
+        with contracts.strict():
+            f(np.zeros((2, 7)))
+            with pytest.raises(ContractError, match="axis 0"):
+                f(np.zeros((3, 7)))
+
+    def test_return_spec_checks_tuple_outputs(self):
+        @shape_contract(returns=(("m",), ("m",)))
+        def unequal():
+            return np.arange(2), np.arange(3)
+
+        with contracts.strict():
+            with pytest.raises(ContractError, match="returns"):
+                unequal()
+
+    def test_kernels_pass_on_well_formed_input(self):
+        arrays = [np.array([1, 2, 1, 2]), np.array([0.5, 1.5, 0.5, 2.5])]
+        expected = kernels.distinct_positions(arrays)
+        with contracts.strict():
+            strict_result = kernels.distinct_positions(arrays)
+            kernels.factorize_keys(arrays)
+            kernels.group_by_positions(arrays)
+            kernels.join_positions(arrays, arrays)
+        np.testing.assert_array_equal(strict_result, expected)
+
+
+class TestDtypeContracts:
+    def test_kind_mismatch_raises(self):
+        @dtype_contract(x="i")
+        def ints_only(x):
+            return x
+
+        with contracts.strict():
+            ints_only(np.arange(3))
+            with pytest.raises(ContractError, match="dtype kind"):
+                ints_only(np.linspace(0, 1, 3))
+
+    def test_return_dtype_checked(self):
+        @dtype_contract(returns="i")
+        def leaks_floats():
+            return np.zeros(3)
+
+        with contracts.strict():
+            with pytest.raises(ContractError, match="returns"):
+                leaks_floats()
+
+    def test_multiple_kinds_allowed(self):
+        @dtype_contract(x="if")
+        def numeric(x):
+            return x
+
+        with contracts.strict():
+            numeric(np.arange(3))
+            numeric(np.linspace(0, 1, 3))
+
+
+class TestFiniteGuards:
+    def test_assert_finite_names_offending_tensor(self):
+        with pytest.raises(ContractError, match="advantages"):
+            assert_finite(
+                "ppo.update",
+                returns=np.zeros(3),
+                advantages=np.array([0.0, np.nan, 1.0]),
+            )
+
+    def test_assert_finite_reports_inf_and_scalar(self):
+        with pytest.raises(ContractError, match="policy_loss"):
+            assert_finite(None, policy_loss=float("inf"))
+
+    def test_integer_arrays_are_skipped(self):
+        assert_finite("ctx", actions=np.arange(5))
+
+    def test_poisoned_ppo_batch_raises_under_strict(self):
+        rng = np.random.default_rng(3)
+        n_actions, n = 4, 12
+        actor = ActorNetwork(n_actions, rng, hidden=[8])
+        critic = CriticNetwork(n_actions, rng, hidden=[8])
+        updater = PPOUpdater(
+            actor, critic, PPOConfig(minibatch_size=4, update_epochs=1), rng
+        )
+        advantages = rng.normal(size=n)
+        advantages[5] = np.nan
+        batch = RolloutBatch(
+            states=rng.normal(size=(n, n_actions)),
+            actions=rng.integers(0, n_actions, size=n),
+            old_log_probs=np.full(n, -1.0),
+            returns=rng.normal(size=n),
+            advantages=advantages,
+            masks=np.ones((n, n_actions), dtype=bool),
+        )
+        with contracts.strict():
+            with pytest.raises(ContractError, match="advantages"):
+                updater.update(batch)
+        # Disabled: the same poisoned batch passes through unchecked.
+        contracts.disable()
+        stats = updater.update(batch)
+        assert stats.n_samples == n
+
+    def test_clean_ppo_batch_trains_under_strict(self):
+        rng = np.random.default_rng(4)
+        n_actions, n = 3, 8
+        actor = ActorNetwork(n_actions, rng, hidden=[8])
+        critic = CriticNetwork(n_actions, rng, hidden=[8])
+        updater = PPOUpdater(
+            actor, critic, PPOConfig(minibatch_size=4, update_epochs=1), rng
+        )
+        batch = RolloutBatch(
+            states=rng.normal(size=(n, n_actions)),
+            actions=rng.integers(0, n_actions, size=n),
+            old_log_probs=np.full(n, -1.0),
+            returns=rng.normal(size=n),
+            advantages=rng.normal(size=n),
+            masks=np.ones((n, n_actions), dtype=bool),
+        )
+        with contracts.strict():
+            stats = updater.update(batch)
+        assert np.isfinite(stats.policy_loss)
+
+
+class TestDisabledMode:
+    def test_results_identical_with_contracts_disabled(self):
+        @shape_contract(x=("n",))
+        @dtype_contract(x="i")
+        def double(x):
+            return x * 2
+
+        contracts.disable()
+        x = np.arange(6)
+        np.testing.assert_array_equal(double(x), x * 2)
+
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        assert contracts._env_default() is True
+        monkeypatch.setenv("REPRO_STRICT", "0")
+        assert contracts._env_default() is False
+        monkeypatch.delenv("REPRO_STRICT")
+        assert contracts._env_default() is False
+
+    def test_strict_context_restores_previous_state(self):
+        contracts.disable()
+        with contracts.strict():
+            assert contracts.is_enabled()
+            with contracts.strict(False):
+                assert not contracts.is_enabled()
+            assert contracts.is_enabled()
+        assert not contracts.is_enabled()
+
+    def test_disabled_wrapper_allocates_nothing(self):
+        """The zero-overhead promise: with strict mode off, repeated calls
+        through a contract wrapper leave no live allocations attributable
+        to the contracts module."""
+
+        @shape_contract(x=("n",), returns=("n",))
+        def identity(x):
+            return x
+
+        contracts.disable()
+        x = np.arange(8)
+        identity(x)  # warm any lazy interpreter state
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(200):
+                identity(x)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = after.compare_to(before, "lineno")
+        leaked = [
+            stat
+            for stat in stats
+            if stat.traceback[0].filename == contracts.__file__
+            and stat.size_diff > 0
+        ]
+        assert leaked == []
