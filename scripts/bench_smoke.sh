@@ -5,9 +5,10 @@
 #    check_no_print grep; scripts/check_no_print.sh remains as a thin
 #    wrapper over the no-bare-print rule).
 # 2. benchmarks/bench_kernels.py (fast profile) — fails if any kernel's
-#    vectorized timing regressed by more than 2x against the committed
-#    BENCH_kernels.json baseline, if a required speedup over the
-#    reference implementations no longer holds, if the median
+#    vectorized throughput regressed by more than 25% against the
+#    committed BENCH_kernels.json baseline (override the tolerance with
+#    BENCH_MAX_REGRESSION for noisy CI machines), if a required speedup
+#    over the reference implementations no longer holds, if the median
 #    observability-instrumentation overhead (enabled vs disabled)
 #    exceeds 2% (--obs-check), or if the disabled strict-mode contract
 #    wrappers cost more than 2% over the raw kernels (--strict-check).
@@ -17,7 +18,7 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src
 PYTHONPATH=src python benchmarks/bench_kernels.py \
   --profile fast \
   --check BENCH_kernels.json \
-  --max-regression 2.0 \
+  --max-regression "${BENCH_MAX_REGRESSION:-1.25}" \
   --obs-check \
   --strict-check \
   --output -

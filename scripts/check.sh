@@ -11,6 +11,10 @@
 #                              (REPRO_STRICT=1), so a contract that
 #                              would fire on the real pipeline fails CI
 #                              rather than a user.
+# 4. repro explain --analyze  — the EXPLAIN ANALYZE path on a 3-table
+#                              IMDB join (per-operator est/act/q-error).
+# 5. repro report --smoke     — records a tiny end-to-end run and fuses
+#                              it into the markdown diagnostic artifact.
 #
 # Benchmark gates (kernel regressions, instrumentation + contract
 # overhead) live in scripts/bench_smoke.sh.
@@ -31,5 +35,18 @@ REPRO_STRICT=1 python -m repro demo \
   --dataset flights --scale 0.12 --k 100 --iterations 2 --light --seed 1 \
   > /dev/null
 echo "strict smoke: OK"
+
+echo "== repro explain --analyze (3-table IMDB join)"
+python -m repro explain \
+  "SELECT title.title FROM title, movie_companies, company \
+   WHERE title.id = movie_companies.movie_id \
+   AND movie_companies.company_id = company.id \
+   AND title.production_year > 1990" \
+  --dataset imdb --scale 0.3 --analyze
+
+echo "== repro report --smoke"
+report_dir="$(mktemp -d)"
+python -m repro report --smoke --dir "$report_dir"
+rm -rf "$report_dir"
 
 echo "check: OK"

@@ -5,6 +5,8 @@ Commands
 ``demo``   — train on a bundled dataset and run a short query session.
 ``train``  — train ASQP-RL and save the model directory.
 ``query``  — load a saved model and answer one SQL query.
+``explain`` — print the operator tree of a SQL query (``--analyze`` runs it).
+``report`` — fuse a recorded run + bench trajectory into one artifact.
 ``bench``  — print the location and contents of recorded benchmark tables.
 ``stats``  — pretty-print the metrics + telemetry of a recorded run.
 ``trace``  — pretty-print the span tree of a recorded run.
@@ -29,7 +31,7 @@ import sys
 from . import __version__, contracts, obs
 from .core import ASQPConfig, ASQPSession, ASQPTrainer, load_model, save_model, score
 from .datasets import load_flights, load_imdb, load_mas
-from .db import sql
+from .db import explain as db_explain, split_explain, sql
 from .lint import cli as lint_cli
 from .obs import telemetry as obs_telemetry
 from .obs import trace as obs_trace
@@ -152,6 +154,42 @@ def cmd_query(args) -> int:
     else:
         for row in outcome.result.to_rows()[:10]:
             print(f"  {row}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Print the operator tree (EXPLAIN) of one SQL query."""
+    text, _, prefix_analyze = split_explain(args.sql)
+    analyze = args.analyze or prefix_analyze
+    bundle = _load_bundle(args.dataset, args.scale)
+    query = sql(text)
+    if args.telemetry:
+        obs.start_run(args.telemetry)
+    plan = db_explain(bundle.db, query, analyze=analyze)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, default=str))
+    else:
+        print(plan.format())
+    if args.telemetry:
+        obs.finish_run(args.telemetry)
+        print(f"observability run recorded in {args.telemetry}/")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Build the fused diagnostic report (see repro.obs.report)."""
+    from .obs.report import build_report, run_smoke
+
+    run_dir = args.dir
+    if args.smoke:
+        run_dir = run_smoke(args.dir)
+    path = build_report(
+        run_dir,
+        out_path=args.out,
+        html=args.html,
+        bench_dir=args.bench_dir,
+    )
+    print(f"report written to {path}")
     return 0
 
 
@@ -286,6 +324,36 @@ def main(argv=None) -> int:
     query.add_argument("--scale", type=float, default=0.3)
     query.add_argument("--sql", required=True, help="SQL text to answer")
     query.set_defaults(func=cmd_query)
+
+    explain = commands.add_parser(
+        "explain", help="print the operator tree of a SQL query"
+    )
+    explain.add_argument("sql", help="SQL text (a leading EXPLAIN [ANALYZE] is ok)")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the query and record actual rows / "
+                              "q-error / per-operator time")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the plan as JSON instead of text")
+    explain.add_argument("--dataset", default="imdb")
+    explain.add_argument("--scale", type=float, default=0.3)
+    explain.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="record the plan into an observability run")
+    explain.set_defaults(func=cmd_explain)
+
+    report = commands.add_parser(
+        "report", help="fuse a recorded run into one diagnostic artifact"
+    )
+    report.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                        help="run directory written by --telemetry")
+    report.add_argument("--out", default=None,
+                        help="output path (default: <dir>/report.md|.html)")
+    report.add_argument("--html", action="store_true",
+                        help="render a self-contained HTML artifact")
+    report.add_argument("--bench-dir", default=None,
+                        help="bench_results directory (default: repo layout)")
+    report.add_argument("--smoke", action="store_true",
+                        help="run a tiny end-to-end pipeline first and report it")
+    report.set_defaults(func=cmd_report)
 
     bench = commands.add_parser("bench", help="show recorded benchmark tables")
     bench.set_defaults(func=cmd_bench)

@@ -7,8 +7,10 @@ test output so EXPERIMENTS.md numbers can be traced to a run.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import subprocess
 import time
 from typing import Optional, Sequence
 
@@ -55,11 +57,65 @@ def results_dir() -> str:
     return path
 
 
-def save_results(experiment: str, payload: dict) -> str:
-    """Persist one experiment's results as JSON; returns the file path."""
+def _git_sha() -> str:
+    """Short commit SHA of the working tree, or "unknown" outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def config_hash() -> str:
+    """Stable hash of the default ASQPConfig — changes when defaults do."""
+    from dataclasses import asdict
+
+    from ..core.config import ASQPConfig
+
+    payload = json.dumps(asdict(ASQPConfig()), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+def run_provenance(duration_seconds: Optional[float] = None) -> dict:
+    """Provenance block stamped into every saved bench payload.
+
+    Git SHA + bench scale + default-config hash make trajectory entries
+    comparable across PRs; ``duration_seconds`` is a monotonic-clock
+    measurement supplied by the caller (library code never reads the
+    wall clock — the timestamp in :func:`save_results` is allowed here
+    because ``bench/`` is exempt from that lint rule).
+    """
+    provenance = {
+        "git_sha": _git_sha(),
+        "bench_scale": bench_scale(),
+        "config_hash": config_hash(),
+    }
+    if duration_seconds is not None:
+        provenance["duration_seconds"] = round(float(duration_seconds), 4)
+    return provenance
+
+
+def save_results(
+    experiment: str, payload: dict, duration_seconds: Optional[float] = None
+) -> str:
+    """Persist one experiment's results as JSON; returns the file path.
+
+    Every record carries a ``provenance`` block (git SHA, bench scale,
+    config hash, optional monotonic duration) so ``repro report`` can
+    line up trajectory entries recorded under different commits.
+    """
     record = {
         "experiment": experiment,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "provenance": run_provenance(duration_seconds),
         **payload,
     }
     path = os.path.join(results_dir(), f"{experiment}.json")

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Union
 
 from ..db.query import AggregateQuery, SPJQuery
+from ..obs import metrics as _metrics
+from ..obs import telemetry as _telemetry
 
 QueryLike = Union[SPJQuery, AggregateQuery]
 
@@ -61,6 +63,14 @@ class DriftDetector:
             self._pending.clear()
             self._pending_confidences.clear()
             self.events_fired += 1
+            mean_deviation = sum(event.confidences) / len(event.confidences)
+            _telemetry.emit(
+                "drift",
+                pending_count=len(event.queries),
+                mean_deviation=mean_deviation,
+                events_fired=self.events_fired,
+            )
+            _metrics.add("drift.events")
             return event
         return None
 

@@ -143,3 +143,32 @@ class AnswerabilityEstimator:
         """How confidently the query deviates from the training workload."""
         estimate = self.estimate(query)
         return float(np.clip(1.0 - estimate.familiarity, 0.0, 1.0))
+
+    def calibration_error(self) -> float:
+        """Self-assessed calibration: mean |confidence − training score|.
+
+        Leave-one-out over the representatives: predict each one's
+        answerability from the *other* representatives and compare with
+        the Eq. 1 score the model actually achieved on it. Near 0 means
+        the confidence scale tracks realized quality; the health monitor
+        and ``repro report`` surface it as an estimator-quality gauge.
+        """
+        n = len(self.embeddings)
+        if n < 2:
+            return 0.0
+        sims = self.embeddings @ self.embeddings.T
+        np.fill_diagonal(sims, -np.inf)
+        errors = np.empty(n)
+        for i in range(n):
+            row = sims[i]
+            familiarity = self._normalized_familiarity(
+                float(np.clip(np.max(row), -1.0, 1.0))
+            )
+            logits = row / _SIMILARITY_TEMPERATURE
+            logits = logits - np.max(logits)
+            weights = np.exp(logits)   # self weight is exp(-inf) = 0
+            weights /= weights.sum()
+            competence = float(np.dot(weights, self.scores))
+            confidence = float(np.clip(familiarity * competence, 0.0, 1.0))
+            errors[i] = abs(confidence - self.scores[i])
+        return float(np.mean(errors))

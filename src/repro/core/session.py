@@ -19,7 +19,8 @@ import numpy as np
 from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
-from ..obs import metrics, telemetry, trace
+from ..obs import health, metrics, telemetry, trace
+from ..obs.runtime import STATE as _OBS
 from ..db.query import AggregateQuery, SPJQuery
 from ..datasets.workloads import Workload
 from .approximation import ApproximationSet
@@ -79,13 +80,18 @@ class ASQPSession:
     # -------------------------------------------------------------- #
     def _build_estimator(self) -> AnswerabilityEstimator:
         prep = self.model.preprocessed
-        return AnswerabilityEstimator(
+        estimator = AnswerabilityEstimator(
             embedder=prep.query_embedder,
             representative_embeddings=prep.representative_embeddings,
             training_scores=self.model.training_scores(),
             threshold=self.config.answerable_threshold,
             calibration_embeddings=prep.training_embeddings,
         )
+        if _OBS.enabled:  # leave-one-out pass, so only on recorded runs
+            metrics.set_gauge(
+                "estimator.calibration_error", estimator.calibration_error()
+            )
+        return estimator
 
     def refresh(self) -> None:
         """Regenerate the approximation set and estimator from the model."""
@@ -200,6 +206,17 @@ class ASQPSession:
         metrics.observe("session.query.seconds", outcome.elapsed_seconds)
         metrics.observe("session.confidence", estimate.confidence)
         metrics.observe("session.realized_frame_score", realized)
+        # _log_outcome only runs inside a live span (obs enabled), so the
+        # health monitor sees every calibration pair of a recorded run.
+        monitor = health.active_monitor()
+        monitor.observe_calibration(estimate.confidence, realized)
+        if outcome.drift_event is not None:
+            monitor.observe_drift({
+                "pending_count": len(outcome.drift_event.queries),
+                "mean_deviation": float(
+                    np.mean(outcome.drift_event.confidences)
+                ),
+            })
 
     # -------------------------------------------------------------- #
     def fine_tune(self, queries: list[QueryLike]) -> None:

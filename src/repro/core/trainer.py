@@ -21,7 +21,8 @@ from ..contracts import STATE as _STRICT
 from ..contracts import assert_finite
 from ..db.database import Database
 from ..db.query import AggregateQuery, SPJQuery
-from ..obs import metrics, telemetry, trace
+from ..obs import health, metrics, telemetry, trace
+from ..obs.runtime import STATE as _OBS
 from ..db.sampling import variational_subsample
 from ..datasets.workloads import Workload
 from ..rl.parallel import MultiActorCollector, make_actor_specs
@@ -65,6 +66,8 @@ class IterationRecord:
     rollout_seconds: float = 0.0
     update_seconds: float = 0.0
     steps_per_second: float = 0.0
+    explained_variance: float = 0.0
+    grad_norm: float = 0.0
 
     def telemetry_fields(self) -> dict:
         """The flat dict emitted as one ``train.update`` telemetry row."""
@@ -76,6 +79,8 @@ class IterationRecord:
             "entropy": self.entropy,
             "kl_divergence": self.kl_divergence,
             "clip_fraction": self.clip_fraction,
+            "explained_variance": self.explained_variance,
+            "grad_norm": self.grad_norm,
             "n_samples": self.n_samples,
             "rollout_seconds": self.rollout_seconds,
             "update_seconds": self.update_seconds,
@@ -363,6 +368,8 @@ def run_training_loop(
                 entropy=stats.entropy,
                 kl_divergence=stats.kl_divergence,
                 clip_fraction=stats.clip_fraction,
+                explained_variance=stats.explained_variance,
+                grad_norm=stats.grad_norm,
                 n_samples=stats.n_samples,
                 rollout_seconds=rollout_seconds,
                 update_seconds=update_seconds,
@@ -373,6 +380,8 @@ def run_training_loop(
             model.history.append(record)
             records.append(record)
             telemetry.emit("train.update", **record.telemetry_fields())
+            if _OBS.enabled:
+                health.active_monitor().observe_update(record.telemetry_fields())
             metrics.set_gauge("train.mean_episode_reward", mean_reward)
             metrics.add("train.iterations")
             metrics.add("train.samples", stats.n_samples)

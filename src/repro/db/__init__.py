@@ -14,6 +14,7 @@ from .executor import (
     TimedExecution,
     execute,
     execute_aggregate,
+    explain,
     timed_execute,
 )
 from .expressions import (
@@ -47,8 +48,9 @@ from .sampling import (
     uniform_sample,
     variational_subsample,
 )
+from .plan import PlanNode, QueryPlan, q_error
 from .schema import INT_NULL, Column, ColumnType, ForeignKey, SchemaError, TableSchema
-from .sql import SQLSyntaxError, sql
+from .sql import SQLSyntaxError, split_explain, sql
 from .statistics import (
     CategoricalStats,
     NumericStats,
@@ -56,6 +58,7 @@ from .statistics import (
     compute_database_stats,
     compute_table_stats,
     estimate_ndv,
+    estimate_predicate_selectivity,
     estimated_join_cardinality,
 )
 from .table import Table, table_from_rows
@@ -86,7 +89,9 @@ __all__ = [
     "Not",
     "NumericStats",
     "Or",
+    "PlanNode",
     "Query",
+    "QueryPlan",
     "QueryError",
     "ResultSet",
     "SPJQuery",
@@ -103,9 +108,13 @@ __all__ = [
     "conjoin",
     "conjuncts",
     "estimate_ndv",
+    "estimate_predicate_selectivity",
     "estimated_join_cardinality",
     "execute",
     "execute_aggregate",
+    "explain",
+    "q_error",
+    "split_explain",
     "sql",
     "stratified_table_sample",
     "table_from_rows",

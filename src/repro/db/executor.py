@@ -19,12 +19,26 @@ import numpy as np
 from ..obs.clock import perf_counter
 from . import kernels
 from ..obs import metrics as _metrics
+from ..obs import telemetry as _telemetry
 from ..obs import trace as _trace
 from ..obs.runtime import STATE as _OBS
 from .database import Database
 from .expressions import Expression, TrueExpr, conjoin, conjuncts
-from .query import AggFunc, AggregateQuery, JoinCondition, QueryError, SPJQuery
-from .statistics import estimate_ndv, estimated_join_cardinality
+from .plan import PlanNode, QueryPlan, q_error
+from .query import (
+    AggFunc,
+    AggregateQuery,
+    JoinCondition,
+    QueryError,
+    SPJQuery,
+    joins_between,
+)
+from .statistics import (
+    DEFAULT_CONJUNCT_SELECTIVITY,
+    estimate_ndv,
+    estimate_predicate_selectivity,
+    estimated_join_cardinality,
+)
 
 
 @dataclass
@@ -170,7 +184,8 @@ def _join_order(
     tables: Sequence[str],
     joins: Sequence[JoinCondition],
     contexts: Optional[dict[str, "ResultSet"]] = None,
-) -> list[str]:
+    sizes: Optional[dict[str, float]] = None,
+) -> tuple[list[str], dict[str, float]]:
     """Statistics-driven greedy connected ordering over the join graph.
 
     With per-table ``contexts`` (post-pushdown), starts from the smallest
@@ -178,9 +193,16 @@ def _join_order(
     estimated output cardinality (the classic ``|L|·|R| / max(NDV)``
     equi-join estimate). Without contexts, falls back to the listed-order
     greedy connected walk.
+
+    Returns ``(order, estimates)`` where ``estimates[table]`` is the
+    estimated intermediate cardinality after that table joins — the same
+    numbers the ordering decision used, re-surfaced by EXPLAIN and the
+    passive per-join q-error metric. ``sizes`` overrides the per-table
+    input cardinalities (the estimate-only planner passes estimated
+    post-filter sizes instead of materialized context lengths).
     """
     if len(tables) <= 1:
-        return list(tables)
+        return list(tables), {}
     adjacency: dict[str, set[str]] = {t: set() for t in tables}
     for join in joins:
         adjacency[join.left_table].add(join.right_table)
@@ -194,9 +216,10 @@ def _join_order(
             nxt = connected[0] if connected else remaining[0]
             order.append(nxt)
             remaining.remove(nxt)
-        return order
+        return order, {}
 
-    sizes = {t: len(contexts[t]) for t in tables}
+    if sizes is None:
+        sizes = {t: float(len(contexts[t])) for t in tables}
     ndv_cache: dict[str, int] = {}
 
     def _ndv(ref: str) -> int:
@@ -211,16 +234,12 @@ def _join_order(
     joined = {start}
     remaining = [t for t in tables if t != start]
     est_rows = float(sizes[start])
+    estimates: dict[str, float] = {}
     while remaining:
         best: Optional[str] = None
         best_est = np.inf
         for t in remaining:
-            usable = [
-                j
-                for j in joins
-                if (j.left_table == t and j.right_table in joined)
-                or (j.right_table == t and j.left_table in joined)
-            ]
+            usable = joins_between(joins, t, joined)
             if not usable:
                 continue
             first = usable[0]
@@ -238,7 +257,8 @@ def _join_order(
         joined.add(best)
         remaining.remove(best)
         est_rows = max(best_est, 1.0)
-    return order
+        estimates[best] = est_rows
+    return order, estimates
 
 
 def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondition]) -> ResultSet:
@@ -310,49 +330,110 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
     return result
 
 
-def _execute_impl(db: Database, query: SPJQuery) -> ResultSet:
+class _PlanCapture:
+    """Mutable holder threaded through ``_execute_impl`` in ANALYZE mode.
+
+    When present, every execution stage appends a :class:`PlanNode` with
+    its estimate, actual row count, and wall time; ``root`` ends up as
+    the full operator tree. The normal execution path passes ``None``
+    and pays one ``is None`` check per stage.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self) -> None:
+        self.root: Optional[PlanNode] = None
+
+
+def _execute_impl(
+    db: Database, query: SPJQuery, capture: Optional[_PlanCapture] = None
+) -> ResultSet:
     for table in query.tables:
         if not db.has_table(table):
             raise ExecutionError(
                 f"query references unknown table {table!r}; database has {db.table_names}"
             )
 
+    table_nodes: dict[str, PlanNode] = {}
     with _trace.span("execute.pushdown") as sp:
         per_table, residual = _pushdown(query.predicate, query.tables)
         contexts: dict[str, ResultSet] = {}
         rows_in = 0
         for table in query.tables:
+            stage_start = perf_counter() if capture is not None else 0.0
             context = _base_context(db, table)
-            rows_in += len(context)
+            base_rows = len(context)
+            rows_in += base_rows
             predicate = per_table.get(table, TrueExpr())
+            if capture is not None:
+                node = PlanNode(
+                    op="scan",
+                    label=table,
+                    estimated_rows=float(base_rows),
+                    actual_rows=base_rows,
+                    seconds=perf_counter() - stage_start,
+                )
             if not isinstance(predicate, TrueExpr):
+                if capture is not None:
+                    selectivity = estimate_predicate_selectivity(
+                        predicate, context.columns
+                    )
+                stage_start = perf_counter() if capture is not None else 0.0
                 mask = predicate.evaluate(context.columns)
                 context = context.take(np.flatnonzero(mask))
+                if capture is not None:
+                    node = PlanNode(
+                        op="filter",
+                        label=predicate.to_sql(),
+                        estimated_rows=selectivity * base_rows,
+                        actual_rows=len(context),
+                        seconds=perf_counter() - stage_start,
+                        children=[node],
+                    )
             contexts[table] = context
+            if capture is not None:
+                table_nodes[table] = node
         if sp:
             sp.count("rows_in", rows_in)
             sp.count("rows_out", sum(len(c) for c in contexts.values()))
 
     with _trace.span("execute.join_order") as sp:
-        order = _join_order(query.tables, query.joins, contexts)
+        order, join_estimates = _join_order(query.tables, query.joins, contexts)
         if sp:
             sp.set(order=list(order))
     current = contexts[order[0]]
+    current_node = table_nodes.get(order[0])
     joined = {order[0]}
     pending = list(query.joins)
+    track_joins = capture is not None or _OBS.enabled
     for table in order[1:]:
-        usable = [
-            j
-            for j in pending
-            if (j.left_table == table and j.right_table in joined)
-            or (j.right_table == table and j.left_table in joined)
-        ]
+        usable = joins_between(pending, table, joined)
+        estimate = join_estimates.get(table) if track_joins else None
+        stage_start = perf_counter() if capture is not None else 0.0
         if usable:
             current = _hash_join(current, contexts[table], usable)
             for j in usable:
                 pending.remove(j)
+            op, label = "hash_join", " AND ".join(j.to_sql() for j in usable)
         else:
             current = _cross_join(current, contexts[table])
+            op, label = "cross_join", ""
+        if estimate is not None and _OBS.enabled:
+            # Passive estimator-accuracy tracking: one q-error sample per
+            # executed join, independent of EXPLAIN mode (`repro stats`
+            # surfaces the histogram).
+            _metrics.observe(
+                "executor.join.q_error", q_error(estimate, len(current))
+            )
+        if capture is not None:
+            current_node = PlanNode(
+                op=op,
+                label=label,
+                estimated_rows=estimate,
+                actual_rows=len(current),
+                seconds=perf_counter() - stage_start,
+                children=[n for n in (current_node, table_nodes.get(table)) if n],
+            )
         joined.add(table)
         # Apply any join condition that became fully available.
         newly = [
@@ -361,22 +442,52 @@ def _execute_impl(db: Database, query: SPJQuery) -> ResultSet:
             if j.left_table in joined and j.right_table in joined
         ]
         for j in newly:
+            stage_start = perf_counter() if capture is not None else 0.0
+            rows_before = len(current)
             mask = current.columns[j.left] == current.columns[j.right]
             current = current.take(np.flatnonzero(mask))
             pending.remove(j)
+            if capture is not None:
+                ndv = max(
+                    estimate_ndv(current.columns[j.left]) if len(current) else 1, 1
+                )
+                current_node = PlanNode(
+                    op="join_filter",
+                    label=j.to_sql(),
+                    estimated_rows=rows_before / ndv,
+                    actual_rows=len(current),
+                    seconds=perf_counter() - stage_start,
+                    children=[n for n in (current_node,) if n],
+                )
 
     if not isinstance(residual, TrueExpr):
         with _trace.span("execute.residual_filter") as sp:
             if sp:
                 sp.count("rows_in", len(current))
+            if capture is not None:
+                selectivity = estimate_predicate_selectivity(
+                    residual, current.columns
+                )
+            stage_start = perf_counter() if capture is not None else 0.0
+            rows_before = len(current)
             mask = residual.evaluate(current.columns)
             current = current.take(np.flatnonzero(mask))
+            if capture is not None:
+                current_node = PlanNode(
+                    op="filter",
+                    label=residual.to_sql(),
+                    estimated_rows=selectivity * rows_before,
+                    actual_rows=len(current),
+                    seconds=perf_counter() - stage_start,
+                    children=[n for n in (current_node,) if n],
+                )
             if sp:
                 sp.count("rows_out", len(current))
 
     # Sort on the full context (ORDER BY may reference non-projected
     # columns), then project, then dedupe (stable, keeps sort order).
     if query.order_by:
+        stage_start = perf_counter() if capture is not None else 0.0
         key = current.column(_order_ref(query, current))
         if key.dtype == object:
             key = np.asarray([str(v) for v in key], dtype="U")
@@ -384,28 +495,83 @@ def _execute_impl(db: Database, query: SPJQuery) -> ResultSet:
         if query.descending:
             positions = positions[::-1]
         current = current.take(positions)
+        if capture is not None:
+            current_node = PlanNode(
+                op="sort",
+                label=query.order_by + (" DESC" if query.descending else ""),
+                estimated_rows=float(len(current)),
+                actual_rows=len(current),
+                seconds=perf_counter() - stage_start,
+                children=[n for n in (current_node,) if n],
+            )
 
     projection = query.qualified_projection()
     if projection:
+        stage_start = perf_counter() if capture is not None else 0.0
         current = ResultSet(
             columns={ref: current.column(ref) for ref in projection},
             row_ids=current.row_ids,
             n_rows=len(current),
         )
+        if capture is not None:
+            current_node = PlanNode(
+                op="project",
+                label=", ".join(projection),
+                estimated_rows=float(len(current)),
+                actual_rows=len(current),
+                seconds=perf_counter() - stage_start,
+                children=[n for n in (current_node,) if n],
+            )
 
     if query.distinct:
         with _trace.span("execute.distinct") as sp:
             if sp:
                 sp.count("rows_in", len(current))
             refs = list(current.columns)
+            if capture is not None:
+                estimate = _estimate_distinct(current, refs, len(current))
+            stage_start = perf_counter() if capture is not None else 0.0
             current = current.take(_distinct_positions(current, refs))
+            if capture is not None:
+                current_node = PlanNode(
+                    op="distinct",
+                    label=", ".join(refs),
+                    estimated_rows=estimate,
+                    actual_rows=len(current),
+                    seconds=perf_counter() - stage_start,
+                    children=[n for n in (current_node,) if n],
+                )
             if sp:
                 sp.count("rows_out", len(current))
 
     if query.limit is not None:
+        estimate = min(query.limit, len(current))
         current = current.take(np.arange(min(query.limit, len(current))))
+        if capture is not None:
+            current_node = PlanNode(
+                op="limit",
+                label=str(query.limit),
+                estimated_rows=float(estimate),
+                actual_rows=len(current),
+                children=[n for n in (current_node,) if n],
+            )
 
+    if capture is not None:
+        capture.root = current_node
     return current
+
+
+def _estimate_distinct(
+    result: ResultSet, refs: Sequence[str], rows_in: int
+) -> float:
+    """NDV-product estimate of a distinct output, capped at the input."""
+    product = 1.0
+    for ref in refs:
+        if ref in result.columns:
+            product *= max(estimate_ndv(result.columns[ref]), 1)
+        if product >= rows_in:
+            return float(max(rows_in, 1))
+    return float(max(min(product, rows_in), 1))
 
 
 def _order_ref(query: SPJQuery, result: ResultSet) -> str:
@@ -429,6 +595,219 @@ def _cross_join(left: ResultSet, right: ResultSet) -> ResultSet:
 
 
 # ------------------------------------------------------------------ #
+# EXPLAIN / EXPLAIN ANALYZE
+# ------------------------------------------------------------------ #
+def explain(
+    db: Database,
+    query: "SPJQuery | AggregateQuery",
+    analyze: bool = False,
+) -> QueryPlan:
+    """Build the operator tree for a query (optionally executing it).
+
+    Plain EXPLAIN estimates every operator's cardinality from statistics
+    (sampled filter selectivities, NDV-based join estimates) without
+    running joins or materializing intermediates. EXPLAIN ANALYZE runs
+    the query through the normal execution path while recording each
+    operator's actual row count, q-error, and wall time; the executed
+    result rides along on :attr:`QueryPlan.result`, and one ``plan``
+    telemetry record is emitted when observability is enabled.
+
+    The two modes can pick different join orders on the margin: ANALYZE
+    orders joins from materialized post-pushdown cardinalities (what the
+    executor always does), while estimate-only EXPLAIN substitutes
+    sampled selectivity estimates — the plan the optimizer would commit
+    to before touching any data.
+    """
+    if isinstance(query, AggregateQuery):
+        return _explain_aggregate(db, query, analyze)
+    if not analyze:
+        return QueryPlan(query.to_sql(), _estimate_only_plan(db, query))
+    capture = _PlanCapture()
+    start = perf_counter()
+    with _trace.span("execute.explain_analyze") as sp:
+        result = _execute_impl(db, query, capture)
+        if sp:
+            sp.count("rows_out", result.n_rows)
+    plan = QueryPlan(
+        query.to_sql(),
+        capture.root,
+        analyze=True,
+        total_seconds=perf_counter() - start,
+        result=result,
+    )
+    _emit_plan_telemetry(plan)
+    return plan
+
+
+def _estimate_only_plan(db: Database, query: SPJQuery) -> PlanNode:
+    """The estimated operator tree, built without executing any operator."""
+    for table in query.tables:
+        if not db.has_table(table):
+            raise ExecutionError(
+                f"query references unknown table {table!r}; database has {db.table_names}"
+            )
+    per_table, residual = _pushdown(query.predicate, query.tables)
+    contexts: dict[str, ResultSet] = {}
+    table_nodes: dict[str, PlanNode] = {}
+    est_sizes: dict[str, float] = {}
+    for table in query.tables:
+        context = _base_context(db, table)
+        base_rows = len(context)
+        node = PlanNode("scan", table, estimated_rows=float(base_rows))
+        estimate = float(base_rows)
+        predicate = per_table.get(table, TrueExpr())
+        if not isinstance(predicate, TrueExpr):
+            selectivity = estimate_predicate_selectivity(
+                predicate, context.columns
+            )
+            estimate = selectivity * base_rows
+            node = PlanNode(
+                "filter", predicate.to_sql(), estimated_rows=estimate,
+                children=[node],
+            )
+        contexts[table] = context
+        table_nodes[table] = node
+        est_sizes[table] = max(estimate, 1.0)
+
+    order, estimates = _join_order(
+        query.tables, query.joins, contexts, sizes=est_sizes
+    )
+    current_node = table_nodes[order[0]]
+    est_rows = est_sizes[order[0]]
+    joined = {order[0]}
+    pending = list(query.joins)
+    for table in order[1:]:
+        usable = joins_between(pending, table, joined)
+        est_rows = max(estimates.get(table, est_rows * est_sizes[table]), 1.0)
+        if usable:
+            for j in usable:
+                pending.remove(j)
+            op, label = "hash_join", " AND ".join(j.to_sql() for j in usable)
+        else:
+            op, label = "cross_join", ""
+        current_node = PlanNode(
+            op, label, estimated_rows=est_rows,
+            children=[current_node, table_nodes[table]],
+        )
+        joined.add(table)
+        newly = [
+            j for j in pending
+            if j.left_table in joined and j.right_table in joined
+        ]
+        for j in newly:
+            pending.remove(j)
+            ndv = max(
+                estimate_ndv(contexts[j.left_table].columns[j.left]),
+                estimate_ndv(contexts[j.right_table].columns[j.right]),
+                1,
+            )
+            est_rows = max(est_rows / ndv, 1.0)
+            current_node = PlanNode(
+                "join_filter", j.to_sql(), estimated_rows=est_rows,
+                children=[current_node],
+            )
+
+    if not isinstance(residual, TrueExpr):
+        est_rows *= DEFAULT_CONJUNCT_SELECTIVITY ** len(conjuncts(residual))
+        est_rows = max(est_rows, 1.0)
+        current_node = PlanNode(
+            "filter", residual.to_sql(), estimated_rows=est_rows,
+            children=[current_node],
+        )
+    if query.order_by:
+        current_node = PlanNode(
+            "sort",
+            query.order_by + (" DESC" if query.descending else ""),
+            estimated_rows=est_rows,
+            children=[current_node],
+        )
+    projection = query.qualified_projection()
+    if projection:
+        current_node = PlanNode(
+            "project", ", ".join(projection), estimated_rows=est_rows,
+            children=[current_node],
+        )
+    if query.distinct:
+        current_node = PlanNode(
+            "distinct", estimated_rows=est_rows, children=[current_node]
+        )
+    if query.limit is not None:
+        est_rows = min(float(query.limit), est_rows)
+        current_node = PlanNode(
+            "limit", str(query.limit), estimated_rows=est_rows,
+            children=[current_node],
+        )
+    return current_node
+
+
+def _explain_aggregate(
+    db: Database, query: AggregateQuery, analyze: bool
+) -> QueryPlan:
+    core = SPJQuery(
+        tables=query.tables, predicate=query.predicate, joins=query.joins
+    )
+    label = ", ".join(spec.to_sql() for spec in query.aggregates)
+    if query.group_by:
+        label += " GROUP BY " + ", ".join(query.group_by)
+    if not analyze:
+        child = _estimate_only_plan(db, core)
+        cap = child.estimated_rows if child.estimated_rows is not None else np.inf
+        root = PlanNode(
+            "aggregate", label,
+            estimated_rows=_estimate_groups(db, query, cap),
+            children=[child],
+        )
+        return QueryPlan(query.to_sql(), root)
+    capture = _PlanCapture()
+    start = perf_counter()
+    with _trace.span("execute.explain_analyze"):
+        result = _execute_aggregate_impl(db, query, capture)
+    total = perf_counter() - start
+    child = capture.root
+    child_seconds = sum(
+        node.seconds or 0.0 for node in (child.walk() if child else ())
+    )
+    cap = child.actual_rows if child and child.actual_rows is not None else np.inf
+    root = PlanNode(
+        "aggregate", label,
+        estimated_rows=_estimate_groups(db, query, cap),
+        actual_rows=len(result),
+        seconds=max(total - child_seconds, 0.0),
+        children=[child] if child else [],
+    )
+    plan = QueryPlan(
+        query.to_sql(), root, analyze=True, total_seconds=total, result=result
+    )
+    _emit_plan_telemetry(plan)
+    return plan
+
+
+def _estimate_groups(db: Database, query: AggregateQuery, cap: float) -> float:
+    """Estimated group count: NDV product of the grouping columns."""
+    if not query.group_by:
+        return 1.0
+    product = 1.0
+    for ref in query.group_by:
+        qualified = _qualify_ref(ref, query)
+        table, column = qualified.split(".", 1)
+        product *= max(estimate_ndv(db.table(table).column(column)), 1)
+    return float(max(min(product, cap), 1.0))
+
+
+def _emit_plan_telemetry(plan: QueryPlan) -> None:
+    if not _OBS.enabled:
+        return
+    _telemetry.emit(
+        "plan",
+        sql=plan.query_sql[:200],
+        total_seconds=plan.total_seconds,
+        max_q_error=plan.max_q_error(),
+        operators=plan.operator_stats(),
+    )
+    _metrics.add("executor.explain_analyze")
+
+
+# ------------------------------------------------------------------ #
 # aggregation
 # ------------------------------------------------------------------ #
 def execute_aggregate(db: Database, query: AggregateQuery) -> AggregateResult:
@@ -442,9 +821,14 @@ def execute_aggregate(db: Database, query: AggregateQuery) -> AggregateResult:
     return result
 
 
-def _execute_aggregate_impl(db: Database, query: AggregateQuery) -> AggregateResult:
+def _execute_aggregate_impl(
+    db: Database, query: AggregateQuery, capture: Optional[_PlanCapture] = None
+) -> AggregateResult:
     core = SPJQuery(tables=query.tables, predicate=query.predicate, joins=query.joins)
-    flat = execute(db, core)
+    if capture is not None:
+        flat = _execute_impl(db, core, capture)
+    else:
+        flat = execute(db, core)
 
     group_refs = tuple(_qualify_ref(ref, query) for ref in query.group_by)
     agg_names = tuple(spec.output_name() for spec in query.aggregates)

@@ -241,4 +241,21 @@ class AggregateQuery:
         return f"AggregateQuery({label}{self.to_sql()})"
 
 
+def joins_between(
+    joins: Sequence[JoinCondition], table: str, joined: set[str]
+) -> list[JoinCondition]:
+    """Join conditions linking ``table`` to any already-joined table.
+
+    The executor and the planner both expand the join graph one table at
+    a time; this is the shared "which equi-conditions become usable when
+    ``table`` joins the intermediate" predicate.
+    """
+    return [
+        j
+        for j in joins
+        if (j.left_table == table and j.right_table in joined)
+        or (j.right_table == table and j.left_table in joined)
+    ]
+
+
 Query = SPJQuery  # the workload type used throughout the core package

@@ -353,6 +353,22 @@ def _lift_joins(
     return joins, conjoin(rest)
 
 
+_EXPLAIN_RE = re.compile(r"^\s*explain(\s+analyze)?\s+", re.IGNORECASE)
+
+
+def split_explain(text: str) -> tuple[str, bool, bool]:
+    """Strip a leading ``EXPLAIN [ANALYZE]`` prefix from SQL text.
+
+    Returns ``(rest, is_explain, is_analyze)``; the prefix itself is not
+    part of the query grammar — callers route stripped text through
+    :func:`sql` and hand the query to :func:`repro.db.executor.explain`.
+    """
+    match = _EXPLAIN_RE.match(text)
+    if not match:
+        return text, False, False
+    return text[match.end():], True, bool(match.group(1))
+
+
 def sql(text: str) -> Union[SPJQuery, AggregateQuery]:
     """Parse SQL text into an :class:`SPJQuery` or :class:`AggregateQuery`.
 

@@ -154,6 +154,41 @@ def estimated_join_cardinality(
     return (n_left * n_right) / max(ndv_left, ndv_right, 1)
 
 
+#: Above this many rows, predicate selectivity is estimated on a sample.
+_SELECTIVITY_SAMPLE_CAP = 1024
+
+#: Fallback per-conjunct selectivity when no input arrays are available
+#: (e.g. estimating a residual multi-table filter before any join ran).
+DEFAULT_CONJUNCT_SELECTIVITY = 1.0 / 3.0
+
+
+def estimate_predicate_selectivity(
+    predicate,
+    columns: dict,
+    sample_cap: int = _SELECTIVITY_SAMPLE_CAP,
+) -> float:
+    """Estimated fraction of rows a predicate keeps, from a strided sample.
+
+    Evaluates the predicate on up to ``sample_cap`` evenly strided rows of
+    the given column arrays — the planner's selectivity estimate for
+    EXPLAIN's filter nodes. Deterministic, cheap (one vectorized evaluate
+    on <= ``sample_cap`` rows), and clamped away from exactly zero so
+    downstream cardinality estimates never collapse to nothing.
+    """
+    refs = [ref for ref in predicate.columns() if ref in columns]
+    if not refs:
+        return 1.0
+    n = len(columns[refs[0]])
+    if n == 0:
+        return 1.0
+    stride = max(1, -(-n // sample_cap))  # ceil(n / cap)
+    sampled = {ref: array[::stride] for ref, array in columns.items()}
+    mask = predicate.evaluate(sampled)
+    kept = float(np.count_nonzero(mask))
+    total = max(1, len(next(iter(sampled.values()))))
+    return max(kept / total, 0.5 / n)
+
+
 def column_selectivity(table: Table, column_name: str, value) -> float:
     """Fraction of rows of ``table`` where ``column = value``."""
     array = table.column(column_name)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 
-from . import log, metrics, telemetry, trace
+from . import health, log, metrics, telemetry, trace
 from .runtime import STATE, disable, enable, is_enabled, observed
 
 #: File names written into a run directory by :func:`finish_run`.
@@ -46,6 +46,7 @@ __all__ = [
     "enable",
     "is_enabled",
     "observed",
+    "health",
     "log",
     "metrics",
     "telemetry",
@@ -73,6 +74,7 @@ def start_run(directory: str) -> str:
     trace.reset()
     metrics.reset()
     telemetry.reset()
+    health.reset()
     telemetry.configure(os.path.join(directory, TELEMETRY_FILE))
     enable()
     return directory

@@ -1,0 +1,357 @@
+"""Training health monitor: threshold rules over the diagnostic streams.
+
+:class:`HealthMonitor` consumes the same flat dicts the telemetry
+streams carry — per-iteration ``train.update`` fields (KL, entropy, clip
+fraction, explained variance, grad norm, reward), per-query calibration
+pairs (estimator confidence vs realized frame score), and drift events —
+and applies rolling-window threshold rules. Each violation produces a
+structured :class:`Alert` (WARN or CRIT) that is kept in memory,
+emitted on the ``health`` telemetry stream, and counted in the metrics
+registry, so ``repro report`` and tests can interrogate a run's health
+without re-deriving the rules.
+
+The monitor takes plain dicts, not trainer objects: ``repro.obs`` never
+imports ``repro.core``/``repro.rl`` (the dependency points the other
+way), which also lets reports re-run the rules over recorded JSONL.
+
+Rule sizing: CRIT thresholds mark runs that are mathematically broken
+(non-finite losses, KL far beyond any trust region, gradient norms
+orders of magnitude above the run's own median) and stay silent on
+healthy micro-runs; WARN thresholds flag drifts worth a look (entropy
+collapse, sustained useless critic, miscalibrated estimator).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from . import metrics as _metrics
+from . import telemetry as _telemetry
+
+WARN = "WARN"
+CRIT = "CRIT"
+
+
+@dataclass
+class Alert:
+    """One structured health alert."""
+
+    severity: str                 # WARN | CRIT
+    rule: str                     # e.g. "kl_spike", "non_finite"
+    message: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+    iteration: Optional[int] = None
+
+    def telemetry_fields(self) -> dict[str, Any]:
+        fields: dict[str, Any] = {
+            "severity": self.severity,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.value is not None:
+            fields["value"] = self.value
+        if self.threshold is not None:
+            fields["threshold"] = self.threshold
+        if self.iteration is not None:
+            fields["iteration"] = self.iteration
+        return fields
+
+
+@dataclass
+class HealthThresholds:
+    """Tunable rule thresholds (defaults sized for the paper's PPO)."""
+
+    kl_warn: float = 0.5          # healthy PPO-clip KL is ~1e-3..1e-1
+    kl_crit: float = 2.0          # far beyond any trust region
+    clip_fraction_warn: float = 0.5
+    clip_fraction_crit: float = 0.9
+    entropy_collapse_fraction: float = 0.05   # vs the run's initial entropy
+    grad_norm_warn_ratio: float = 10.0        # vs rolling median
+    grad_norm_crit_ratio: float = 100.0
+    explained_variance_warn: float = -0.5     # sustained (window mean)
+    reward_drop_warn_fraction: float = 0.5    # drop vs best, of reward range
+    calibration_warn: float = 0.4             # mean |confidence − realized|
+    min_window: int = 3           # samples needed before relative rules fire
+
+
+#: Keys of ``train.update`` records that must stay finite.
+_FINITE_KEYS = (
+    "mean_episode_reward",
+    "policy_loss",
+    "value_loss",
+    "entropy",
+    "kl_divergence",
+    "grad_norm",
+)
+
+
+class HealthMonitor:
+    """Applies rolling-window health rules and collects alerts."""
+
+    def __init__(
+        self,
+        thresholds: Optional[HealthThresholds] = None,
+        window: int = 10,
+    ) -> None:
+        self.thresholds = thresholds or HealthThresholds()
+        self.window = window
+        self.alerts: list[Alert] = []
+        self._grad_norms: deque[float] = deque(maxlen=window)
+        self._explained: deque[float] = deque(maxlen=window)
+        self._calibration: deque[float] = deque(maxlen=window)
+        self._rewards: deque[float] = deque(maxlen=window)
+        self._initial_entropy: Optional[float] = None
+        self._best_reward = -math.inf
+        self._worst_reward = math.inf
+
+    # -- inputs ------------------------------------------------------ #
+    def observe_update(self, fields: dict[str, Any]) -> list[Alert]:
+        """Check one ``train.update`` record (an IterationRecord dict)."""
+        t = self.thresholds
+        iteration = fields.get("iteration")
+        new: list[Alert] = []
+
+        for key in _FINITE_KEYS:
+            value = fields.get(key)
+            if value is not None and not math.isfinite(float(value)):
+                new.append(Alert(
+                    CRIT, "non_finite",
+                    f"{key} is {value!r} at iteration {iteration}",
+                    iteration=iteration,
+                ))
+
+        kl = float(fields.get("kl_divergence", 0.0) or 0.0)
+        if math.isfinite(kl) and kl > t.kl_crit:
+            new.append(Alert(
+                CRIT, "kl_spike",
+                f"KL divergence {kl:.3f} exceeds {t.kl_crit} — the policy "
+                "jumped far outside the trust region",
+                value=kl, threshold=t.kl_crit, iteration=iteration,
+            ))
+        elif math.isfinite(kl) and kl > t.kl_warn:
+            new.append(Alert(
+                WARN, "kl_spike",
+                f"KL divergence {kl:.3f} exceeds {t.kl_warn}",
+                value=kl, threshold=t.kl_warn, iteration=iteration,
+            ))
+
+        clip = float(fields.get("clip_fraction", 0.0) or 0.0)
+        if clip > t.clip_fraction_crit:
+            new.append(Alert(
+                CRIT, "clip_saturation",
+                f"clip fraction {clip:.2f} — nearly every sample is "
+                "clipped, the surrogate gradient is mostly zeroed",
+                value=clip, threshold=t.clip_fraction_crit,
+                iteration=iteration,
+            ))
+        elif clip > t.clip_fraction_warn:
+            new.append(Alert(
+                WARN, "clip_saturation",
+                f"clip fraction {clip:.2f} exceeds {t.clip_fraction_warn}",
+                value=clip, threshold=t.clip_fraction_warn,
+                iteration=iteration,
+            ))
+
+        entropy = fields.get("entropy")
+        if entropy is not None and math.isfinite(float(entropy)):
+            entropy = float(entropy)
+            if self._initial_entropy is None and entropy > 0:
+                self._initial_entropy = entropy
+            elif (
+                self._initial_entropy
+                and entropy < t.entropy_collapse_fraction * self._initial_entropy
+            ):
+                new.append(Alert(
+                    WARN, "entropy_collapse",
+                    f"entropy {entropy:.4f} fell below "
+                    f"{t.entropy_collapse_fraction:.0%} of the initial "
+                    f"{self._initial_entropy:.4f} — the policy may have "
+                    "collapsed prematurely",
+                    value=entropy,
+                    threshold=t.entropy_collapse_fraction * self._initial_entropy,
+                    iteration=iteration,
+                ))
+
+        grad = fields.get("grad_norm")
+        if grad is not None and math.isfinite(float(grad)):
+            grad = float(grad)
+            if len(self._grad_norms) >= t.min_window:
+                ordered = sorted(self._grad_norms)
+                median = ordered[len(ordered) // 2]
+                if median > 0 and grad > t.grad_norm_crit_ratio * median:
+                    new.append(Alert(
+                        CRIT, "grad_norm_spike",
+                        f"pre-clip gradient norm {grad:.3g} is more than "
+                        f"{t.grad_norm_crit_ratio:.0f}x the rolling median "
+                        f"{median:.3g}",
+                        value=grad,
+                        threshold=t.grad_norm_crit_ratio * median,
+                        iteration=iteration,
+                    ))
+                elif median > 0 and grad > t.grad_norm_warn_ratio * median:
+                    new.append(Alert(
+                        WARN, "grad_norm_spike",
+                        f"pre-clip gradient norm {grad:.3g} is more than "
+                        f"{t.grad_norm_warn_ratio:.0f}x the rolling median "
+                        f"{median:.3g}",
+                        value=grad,
+                        threshold=t.grad_norm_warn_ratio * median,
+                        iteration=iteration,
+                    ))
+            self._grad_norms.append(grad)
+
+        ev = fields.get("explained_variance")
+        if ev is not None and math.isfinite(float(ev)):
+            self._explained.append(float(ev))
+            if len(self._explained) >= t.min_window:
+                mean_ev = sum(self._explained) / len(self._explained)
+                if mean_ev < t.explained_variance_warn:
+                    new.append(Alert(
+                        WARN, "critic_useless",
+                        f"explained variance averaged {mean_ev:.2f} over the "
+                        f"last {len(self._explained)} iterations — the "
+                        "critic is worse than predicting the mean return",
+                        value=mean_ev, threshold=t.explained_variance_warn,
+                        iteration=iteration,
+                    ))
+
+        reward = fields.get("mean_episode_reward")
+        if reward is not None and math.isfinite(float(reward)):
+            reward = float(reward)
+            self._rewards.append(reward)
+            self._best_reward = max(self._best_reward, reward)
+            self._worst_reward = min(self._worst_reward, reward)
+            span = self._best_reward - self._worst_reward
+            if (
+                len(self._rewards) >= t.min_window
+                and span > 1e-9
+                and reward < self._best_reward - t.reward_drop_warn_fraction * span
+            ):
+                new.append(Alert(
+                    WARN, "reward_collapse",
+                    f"mean episode reward {reward:.4f} dropped more than "
+                    f"{t.reward_drop_warn_fraction:.0%} of the observed range "
+                    f"below the best {self._best_reward:.4f}",
+                    value=reward,
+                    threshold=self._best_reward
+                    - t.reward_drop_warn_fraction * span,
+                    iteration=iteration,
+                ))
+
+        return self._publish(new)
+
+    def observe_calibration(
+        self, confidence: float, realized: float
+    ) -> list[Alert]:
+        """Check one estimator calibration pair from a routed query."""
+        t = self.thresholds
+        new: list[Alert] = []
+        error = abs(float(confidence) - float(realized))
+        if math.isfinite(error):
+            self._calibration.append(error)
+            if len(self._calibration) >= t.min_window:
+                mean_error = sum(self._calibration) / len(self._calibration)
+                if mean_error > t.calibration_warn:
+                    new.append(Alert(
+                        WARN, "estimator_miscalibrated",
+                        f"mean |confidence − realized| is {mean_error:.2f} "
+                        f"over the last {len(self._calibration)} queries — "
+                        "the answerability estimator is poorly calibrated",
+                        value=mean_error, threshold=t.calibration_warn,
+                    ))
+        return self._publish(new)
+
+    def observe_drift(self, fields: Optional[dict[str, Any]] = None) -> list[Alert]:
+        """Record an interest-drift event (informational WARN)."""
+        fields = fields or {}
+        message = "interest drift detected"
+        deviation = fields.get("mean_deviation")
+        if deviation is not None:
+            message += (
+                f" after {fields.get('pending_count', '?')} low-confidence "
+                f"queries (mean deviation {float(deviation):.2f})"
+            )
+        alert = Alert(WARN, "interest_drift", message, value=deviation)
+        return self._publish([alert])
+
+    # -- outputs ----------------------------------------------------- #
+    def _publish(self, new: list[Alert]) -> list[Alert]:
+        for alert in new:
+            self.alerts.append(alert)
+            _telemetry.emit("health", **alert.telemetry_fields())
+            _metrics.add(f"health.alerts.{alert.severity.lower()}")
+        return new
+
+    def counts(self) -> dict[str, int]:
+        out = {WARN: 0, CRIT: 0}
+        for alert in self.alerts:
+            out[alert.severity] = out.get(alert.severity, 0) + 1
+        return out
+
+    def worst_severity(self) -> Optional[str]:
+        counts = self.counts()
+        if counts.get(CRIT):
+            return CRIT
+        if counts.get(WARN):
+            return WARN
+        return None
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready view for reports."""
+        return {
+            "counts": self.counts(),
+            "worst": self.worst_severity(),
+            "alerts": [alert.telemetry_fields() for alert in self.alerts],
+        }
+
+
+def replay(
+    records: list[dict[str, Any]],
+    thresholds: Optional[HealthThresholds] = None,
+    window: int = 10,
+) -> HealthMonitor:
+    """Re-run the health rules over recorded telemetry JSONL records.
+
+    Used by ``repro report`` to evaluate runs recorded before the
+    monitor existed (or with it disabled); alerts are collected on the
+    returned monitor but not re-emitted (emission requires an enabled
+    observability run).
+    """
+    monitor = HealthMonitor(thresholds, window=window)
+    for record in records:
+        stream = record.get("stream")
+        if stream == "train.update":
+            monitor.observe_update(record)
+        elif stream == "query":
+            confidence = record.get("confidence")
+            realized = record.get("realized_frame_score")
+            if confidence is not None and realized is not None:
+                monitor.observe_calibration(confidence, realized)
+            if record.get("drift"):
+                monitor.observe_drift(record)
+        elif stream == "drift":
+            monitor.observe_drift(record)
+    return monitor
+
+
+_ACTIVE: list[HealthMonitor] = []
+
+
+def active_monitor() -> HealthMonitor:
+    """The process-wide monitor (created on first use).
+
+    The trainer and the query session feed this shared instance so one
+    ``repro demo --telemetry`` run accumulates a single alert history.
+    """
+    if not _ACTIVE:
+        _ACTIVE.append(HealthMonitor())
+    return _ACTIVE[0]
+
+
+def reset() -> None:
+    """Drop the process-wide monitor (tests / run boundaries)."""
+    _ACTIVE.clear()

@@ -1,0 +1,513 @@
+"""``repro report``: fuse one recorded run into a single diagnostic artifact.
+
+Reads the files an observability run leaves behind (``telemetry.jsonl``,
+``metrics.json``, ``trace.json``) plus the benchmark trajectory
+(``bench_results/*.json`` and the committed ``BENCH_*.json`` baselines)
+and renders one self-contained markdown — or, with inline CSS, HTML —
+document: run summary, health verdict with every alert, training
+trajectory, query-plan statistics, estimator calibration, metrics
+tables, the hottest trace spans, and the bench trajectory with its
+provenance. No network access, no dependencies beyond the stdlib.
+
+Health alerts are *re-derived* by replaying the recorded telemetry
+through :mod:`repro.obs.health`, so reports work on runs recorded
+before the monitor existed and always reflect the current rule pack.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from html import escape
+from typing import Any, Optional, Sequence
+
+from . import CHROME_TRACE_FILE, METRICS_FILE, TELEMETRY_FILE, TRACE_FILE
+from . import health as health_mod
+from . import telemetry as telemetry_mod
+
+#: How many trailing entries the tables show.
+_LAST_UPDATES = 10
+_LAST_PLANS = 3
+_TOP_SPANS = 12
+
+
+# ------------------------------------------------------------------ #
+# markdown building blocks
+# ------------------------------------------------------------------ #
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value).replace("|", "\\|")  # keep pipes out of the grid
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _load_json(path: str) -> Optional[Any]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ------------------------------------------------------------------ #
+# sections
+# ------------------------------------------------------------------ #
+def _section_summary(
+    run_dir: str,
+    records: list[dict],
+    monitor: health_mod.HealthMonitor,
+) -> list[str]:
+    updates = [r for r in records if r.get("stream") == "train.update"]
+    queries = [r for r in records if r.get("stream") == "query"]
+    plans = [r for r in records if r.get("stream") == "plan"]
+    counts = monitor.counts()
+    verdict = monitor.worst_severity() or "HEALTHY"
+    lines = [
+        "## Run summary",
+        "",
+        f"- run directory: `{run_dir}`",
+        f"- health verdict: **{verdict}** "
+        f"({counts.get('CRIT', 0)} CRIT, {counts.get('WARN', 0)} WARN)",
+        f"- telemetry records: {len(records)} "
+        f"({len(updates)} training updates, {len(queries)} queries, "
+        f"{len(plans)} captured plans)",
+    ]
+    present = [
+        name
+        for name in (TELEMETRY_FILE, METRICS_FILE, TRACE_FILE, CHROME_TRACE_FILE)
+        if os.path.exists(os.path.join(run_dir, name))
+    ]
+    lines.append(f"- artifacts read: {', '.join(f'`{p}`' for p in present)}")
+    return lines
+
+
+def _section_health(monitor: health_mod.HealthMonitor) -> list[str]:
+    lines = ["## Health alerts", ""]
+    if not monitor.alerts:
+        lines.append("No alerts — every rule stayed inside its thresholds.")
+        return lines
+    rows = [
+        [
+            alert.severity,
+            alert.rule,
+            "-" if alert.iteration is None else alert.iteration,
+            "-" if alert.value is None else f"{alert.value:.4g}",
+            "-" if alert.threshold is None else f"{alert.threshold:.4g}",
+            alert.message,
+        ]
+        for alert in monitor.alerts
+    ]
+    lines.append(_md_table(
+        ["severity", "rule", "iter", "value", "threshold", "message"], rows
+    ))
+    return lines
+
+
+def _section_training(records: list[dict]) -> list[str]:
+    updates = [r for r in records if r.get("stream") == "train.update"]
+    lines = ["## Training trajectory", ""]
+    if not updates:
+        lines.append("No `train.update` records in this run.")
+        return lines
+    rewards = [float(u.get("mean_episode_reward", 0.0)) for u in updates]
+    if len(rewards) >= 2:
+        from ..bench.reporting import ascii_chart
+
+        lines += [
+            "```",
+            ascii_chart(
+                {"mean_episode_reward": rewards},
+                [u.get("iteration", i) for i, u in enumerate(updates)],
+                title="mean episode reward per iteration",
+            ),
+            "```",
+            "",
+        ]
+    tail = updates[-_LAST_UPDATES:]
+    lines.append(_md_table(
+        ["iter", "reward", "kl", "entropy", "clip%", "expl.var", "grad norm"],
+        [
+            [
+                u.get("iteration"),
+                float(u.get("mean_episode_reward", 0.0)),
+                float(u.get("kl_divergence", 0.0)),
+                float(u.get("entropy", 0.0)),
+                100.0 * float(u.get("clip_fraction", 0.0)),
+                float(u.get("explained_variance", 0.0)),
+                float(u.get("grad_norm", 0.0)),
+            ]
+            for u in tail
+        ],
+    ))
+    return lines
+
+
+def _section_plans(records: list[dict]) -> list[str]:
+    plans = [r for r in records if r.get("stream") == "plan"]
+    lines = ["## Query plans", ""]
+    if not plans:
+        lines.append(
+            "No captured plans — record some with "
+            "`repro explain \"<sql>\" --analyze --telemetry <dir>`."
+        )
+        return lines
+    for record in plans[-_LAST_PLANS:]:
+        max_q = record.get("max_q_error")
+        lines += [
+            f"### `{record.get('sql', '?')}`",
+            "",
+            f"total {1e3 * float(record.get('total_seconds') or 0.0):.2f} ms, "
+            f"max q-error {max_q if max_q is not None else 'n/a'}",
+            "",
+            _md_table(
+                ["operator", "label", "est rows", "act rows", "q-error", "ms"],
+                [
+                    [
+                        op.get("op"),
+                        op.get("label", ""),
+                        op.get("estimated_rows", "-"),
+                        op.get("actual_rows", "-"),
+                        op.get("q_error", "-"),
+                        (
+                            f"{1e3 * float(op['seconds']):.2f}"
+                            if op.get("seconds") is not None
+                            else "-"
+                        ),
+                    ]
+                    for op in record.get("operators", [])
+                ],
+            ),
+            "",
+        ]
+    return lines
+
+
+def _section_queries(records: list[dict]) -> list[str]:
+    queries = [r for r in records if r.get("stream") == "query"]
+    lines = ["## Queries & estimator calibration", ""]
+    if not queries:
+        lines.append("No routed queries in this run.")
+        return lines
+    approx = sum(1 for q in queries if q.get("used_approximation"))
+    errors = [
+        abs(float(q["confidence"]) - float(q["realized_frame_score"]))
+        for q in queries
+        if q.get("confidence") is not None
+        and q.get("realized_frame_score") is not None
+    ]
+    drifts = sum(1 for q in queries if q.get("drift"))
+    lines += [
+        f"- {len(queries)} queries: {approx} answered from the approximation "
+        f"set, {len(queries) - approx} from the full database",
+        f"- mean |confidence − realized frame score|: "
+        f"{(sum(errors) / len(errors)):.3f}" if errors else
+        "- no calibration pairs recorded",
+        f"- drift events observed: {drifts}",
+    ]
+    return lines
+
+
+def _section_metrics(snapshot: Optional[dict]) -> list[str]:
+    lines = ["## Metrics", ""]
+    if not snapshot:
+        lines.append("No `metrics.json` in this run.")
+        return lines
+    scalars = sorted(
+        {**snapshot.get("counters", {}), **snapshot.get("gauges", {})}.items()
+    )
+    if scalars:
+        lines.append(_md_table(["counter / gauge", "value"], scalars))
+        lines.append("")
+    histograms = sorted(snapshot.get("histograms", {}).items())
+    if histograms:
+        lines.append(_md_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            [
+                [
+                    name,
+                    h.get("count"),
+                    h.get("mean"),
+                    h.get("p50"),
+                    h.get("p95"),
+                    h.get("p99"),
+                    h.get("max"),
+                ]
+                for name, h in histograms
+            ],
+        ))
+    return lines
+
+
+def _aggregate_spans(nodes: list[dict]) -> dict[str, tuple[int, float]]:
+    totals: dict[str, tuple[int, float]] = {}
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        count, seconds = totals.get(node.get("name", "?"), (0, 0.0))
+        totals[node.get("name", "?")] = (
+            count + 1,
+            seconds + float(node.get("seconds", 0.0)),
+        )
+        stack.extend(node.get("children", []))
+    return totals
+
+
+def _section_trace(nodes: Optional[list]) -> list[str]:
+    lines = ["## Hottest spans", ""]
+    if not nodes:
+        lines.append("No `trace.json` in this run.")
+        return lines
+    totals = _aggregate_spans(nodes)
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][1])[:_TOP_SPANS]
+    lines.append(_md_table(
+        ["span", "count", "total ms"],
+        [[name, count, 1e3 * seconds] for name, (count, seconds) in ranked],
+    ))
+    return lines
+
+
+def _section_bench(bench_dir: Optional[str]) -> list[str]:
+    from ..bench.reporting import results_dir
+
+    directory = bench_dir or results_dir()
+    lines = ["## Bench trajectory", ""]
+    rows = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
+        record = _load_json(path)
+        if not isinstance(record, dict):
+            continue
+        provenance = record.get("provenance", {})
+        rows.append([
+            record.get("experiment", os.path.basename(path)),
+            record.get("timestamp", "-"),
+            provenance.get("git_sha", "-"),
+            provenance.get("bench_scale", "-"),
+            provenance.get("duration_seconds", "-"),
+        ])
+    if rows:
+        lines.append(_md_table(
+            ["experiment", "timestamp", "git sha", "scale", "duration s"], rows
+        ))
+        lines.append("")
+    else:
+        lines.append(f"No recorded experiments under `{directory}/`.")
+        lines.append("")
+
+    baselines = sorted(glob.glob("BENCH_*.json"))
+    for path in baselines:
+        record = _load_json(path)
+        if not isinstance(record, dict) or "kernels" not in record:
+            continue
+        lines.append(f"### Kernel baseline `{path}`")
+        lines.append("")
+        lines.append(_md_table(
+            ["kernel", "vectorized s", "speedup", "units / s"],
+            [
+                [
+                    name,
+                    entry.get("vectorized_s"),
+                    entry.get("speedup"),
+                    entry.get("units_per_s"),
+                ]
+                for name, entry in sorted(record["kernels"].items())
+            ],
+        ))
+        lines.append("")
+    return lines
+
+
+# ------------------------------------------------------------------ #
+# assembly
+# ------------------------------------------------------------------ #
+def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
+    """The full report as one markdown document."""
+    telemetry_path = os.path.join(run_dir, TELEMETRY_FILE)
+    records: list[dict] = []
+    if os.path.exists(telemetry_path):
+        records = telemetry_mod.load_jsonl(telemetry_path)
+    monitor = health_mod.replay(records)
+    snapshot = _load_json(os.path.join(run_dir, METRICS_FILE))
+    nodes = _load_json(os.path.join(run_dir, TRACE_FILE))
+
+    sections = [
+        ["# repro diagnostic report", ""],
+        _section_summary(run_dir, records, monitor),
+        _section_health(monitor),
+        _section_training(records),
+        _section_plans(records),
+        _section_queries(records),
+        _section_metrics(snapshot),
+        _section_trace(nodes),
+        _section_bench(bench_dir),
+    ]
+    return "\n".join("\n".join(section) + "\n" for section in sections)
+
+
+_HTML_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       max-width: 64rem; margin: 2rem auto; padding: 0 1rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3rem; }
+h2 { border-bottom: 1px solid #c9cad9; padding-bottom: .2rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; font-size: .9rem; }
+th, td { border: 1px solid #c9cad9; padding: .25rem .6rem; text-align: left; }
+th { background: #f2f2f7; }
+code { background: #f2f2f7; padding: .1rem .3rem; border-radius: 3px; }
+pre { background: #f6f8fa; padding: .8rem; overflow-x: auto;
+      border-radius: 6px; line-height: 1.2; }
+pre code { background: none; padding: 0; }
+"""
+
+
+def _inline_html(text: str) -> str:
+    """Escape one markdown text run, rendering `code` spans and **bold**."""
+    out: list[str] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos] == "`":
+            end = text.find("`", pos + 1)
+            if end > pos:
+                out.append(f"<code>{escape(text[pos + 1:end])}</code>")
+                pos = end + 1
+                continue
+        if text.startswith("**", pos):
+            end = text.find("**", pos + 2)
+            if end > pos:
+                out.append(f"<strong>{escape(text[pos + 2:end])}</strong>")
+                pos = end + 2
+                continue
+        out.append(escape(text[pos]))
+        pos += 1
+    return "".join(out)
+
+
+def markdown_to_html(markdown: str, title: str = "repro report") -> str:
+    """A deliberately small markdown → HTML renderer.
+
+    Covers exactly what :func:`render_markdown` emits — headings, pipe
+    tables, fenced code blocks, bullet lists, paragraphs, inline code
+    and bold — so the HTML artifact needs no external converter.
+    """
+    lines = markdown.splitlines()
+    out = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title>",
+        f"<style>{_HTML_CSS}</style>",
+        "</head><body>",
+    ]
+    i = 0
+    in_list = False
+
+    def close_list() -> None:
+        nonlocal in_list
+        if in_list:
+            out.append("</ul>")
+            in_list = False
+
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("```"):
+            close_list()
+            block: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                block.append(lines[i])
+                i += 1
+            out.append("<pre><code>" + escape("\n".join(block)) + "</code></pre>")
+            i += 1
+            continue
+        if line.startswith("|"):
+            close_list()
+            table: list[str] = []
+            while i < len(lines) and lines[i].startswith("|"):
+                table.append(lines[i])
+                i += 1
+            out.append("<table>")
+            for r, row in enumerate(table):
+                if r == 1:  # separator row
+                    continue
+                cells = [
+                    c.strip().replace("\\|", "|")
+                    for c in re.split(r"(?<!\\)\|", row.strip("|"))
+                ]
+                tag = "th" if r == 0 else "td"
+                out.append(
+                    "<tr>"
+                    + "".join(f"<{tag}>{_inline_html(c)}</{tag}>" for c in cells)
+                    + "</tr>"
+                )
+            out.append("</table>")
+            continue
+        if line.startswith("#"):
+            close_list()
+            level = len(line) - len(line.lstrip("#"))
+            out.append(
+                f"<h{level}>{_inline_html(line[level:].strip())}</h{level}>"
+            )
+        elif line.startswith("- "):
+            if not in_list:
+                out.append("<ul>")
+                in_list = True
+            out.append(f"<li>{_inline_html(line[2:])}</li>")
+        elif line.strip():
+            close_list()
+            out.append(f"<p>{_inline_html(line)}</p>")
+        else:
+            close_list()
+        i += 1
+    close_list()
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def build_report(
+    run_dir: str,
+    out_path: Optional[str] = None,
+    html: bool = False,
+    bench_dir: Optional[str] = None,
+) -> str:
+    """Render the report and write it; returns the output path."""
+    markdown = render_markdown(run_dir, bench_dir=bench_dir)
+    if out_path is None:
+        out_path = os.path.join(run_dir, "report.html" if html else "report.md")
+    content = markdown_to_html(markdown) if html else markdown
+    with open(out_path, "w") as handle:
+        handle.write(content)
+    return out_path
+
+
+def run_smoke(directory: str) -> str:
+    """Record a tiny end-to-end run into ``directory`` and return it.
+
+    Micro pipeline — flights at scale 0.12, ASQP-Light, two iterations,
+    a few routed queries, and one EXPLAIN ANALYZE — sized for CI: it
+    exercises every telemetry stream the report renders in seconds.
+    """
+    from .. import obs
+    from ..core import ASQPConfig, ASQPSession, ASQPTrainer
+    from ..datasets import load_flights
+    from ..db import explain
+
+    obs.start_run(directory)
+    bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
+    config = ASQPConfig.light(
+        memory_budget=120, frame_size=20, n_iterations=2,
+        learning_rate=1e-3,  # the CLI's demo/train lr, not light's 0.1
+        seed=0,
+    )
+    model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+    session = ASQPSession(model, auto_fine_tune=False)
+    for query in list(bundle.workload)[:3]:
+        session.query(query)
+    explain(bundle.db, list(bundle.workload)[0], analyze=True)
+    obs.finish_run(directory)
+    return directory

@@ -54,22 +54,36 @@ class PPOConfig:
 
 @dataclass
 class UpdateStats:
-    """Diagnostics from one update call."""
+    """Diagnostics from one update call.
+
+    ``grad_norm`` is the largest *pre-clip* actor gradient norm seen in
+    any minibatch (clipping caps what Adam sees at ``max_grad_norm``, so
+    the raw norm is the one that reveals instability).
+    ``explained_variance`` is the critic's classic
+    ``1 − Var(returns − values) / Var(returns)`` on the whole batch —
+    near 1 when the value function tracks returns, ≤ 0 when it is
+    useless or actively wrong.
+    """
 
     policy_loss: float = 0.0
     value_loss: float = 0.0
     entropy: float = 0.0
     kl_divergence: float = 0.0
     clip_fraction: float = 0.0
+    explained_variance: float = 0.0
+    grad_norm: float = 0.0
     n_samples: int = 0
 
 
-def _clip_gradients(gradients: list[np.ndarray], max_norm: float) -> list[np.ndarray]:
+def _clip_gradients(
+    gradients: list[np.ndarray], max_norm: float
+) -> tuple[list[np.ndarray], float]:
+    """Global-norm clip; returns the clipped list and the pre-clip norm."""
     total = np.sqrt(sum(float(np.sum(g * g)) for g in gradients))
     if total > max_norm > 0:
         scale = max_norm / (total + 1e-12)
-        return [g * scale for g in gradients]
-    return gradients
+        return [g * scale for g in gradients], total
+    return gradients, total
 
 
 class PPOUpdater:
@@ -128,6 +142,7 @@ class PPOUpdater:
                 stats.entropy += mb_stats.entropy
                 stats.kl_divergence += mb_stats.kl_divergence
                 stats.clip_fraction += mb_stats.clip_fraction
+                stats.grad_norm = max(stats.grad_norm, mb_stats.grad_norm)
                 n_updates += 1
 
         if n_updates:
@@ -136,12 +151,25 @@ class PPOUpdater:
             stats.entropy /= n_updates
             stats.kl_divergence /= n_updates
             stats.clip_fraction /= n_updates
+        stats.explained_variance = self._explained_variance(batch)
         _metrics.add("ppo.updates")
         _metrics.add("ppo.minibatch_updates", n_updates)
         _metrics.observe("ppo.kl_divergence", stats.kl_divergence)
         _metrics.observe("ppo.clip_fraction", stats.clip_fraction)
         _metrics.observe("ppo.entropy", stats.entropy)
+        _metrics.observe("ppo.grad_norm", stats.grad_norm)
+        _metrics.observe("ppo.explained_variance", stats.explained_variance)
         return stats
+
+    def _explained_variance(self, batch: RolloutBatch) -> float:
+        """Critic quality after the update: 1 − Var(R − V) / Var(R)."""
+        if self.critic is None or len(batch) == 0:
+            return 0.0
+        values = self.critic.net.forward(batch.states)[0][:, 0]
+        var_returns = float(np.var(batch.returns))
+        if var_returns < 1e-12:
+            return 0.0
+        return float(1.0 - np.var(batch.returns - values) / var_returns)
 
     # -------------------------------------------------------------- #
     def _minibatch_update(
@@ -207,7 +235,9 @@ class PPOUpdater:
 
         grad_logits = np.where(masks, grad_logits, 0.0)
         weight_grads, bias_grads = self.actor.net.backward(cache, grad_logits)
-        gradients = _clip_gradients(weight_grads + bias_grads, config.max_grad_norm)
+        gradients, grad_norm = _clip_gradients(
+            weight_grads + bias_grads, config.max_grad_norm
+        )
         self.actor_optimizer.step(gradients)
 
         value_loss = 0.0
@@ -219,7 +249,7 @@ class PPOUpdater:
             v_weight_grads, v_bias_grads = self.critic.net.backward(
                 value_cache, grad_values
             )
-            v_gradients = _clip_gradients(
+            v_gradients, _ = _clip_gradients(
                 v_weight_grads + v_bias_grads, config.max_grad_norm
             )
             assert self.critic_optimizer is not None
@@ -239,5 +269,6 @@ class PPOUpdater:
             entropy=float(np.mean(entropy)),
             kl_divergence=kl,
             clip_fraction=clip_fraction,
+            grad_norm=grad_norm,
             n_samples=m,
         )

@@ -58,11 +58,13 @@ class TestCLI:
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         for command in ("demo", "train", "query", "bench",
-                        "stats", "trace", "lint"):
+                        "stats", "trace", "lint", "explain", "report"):
             assert command in out
         assert "run the AST lint rule pack" in out
         assert "metrics + telemetry" in out
         assert "span tree" in out
+        assert "operator tree" in out
+        assert "diagnostic artifact" in out
 
     def test_unknown_subcommand_exits_2_with_command_list(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -70,7 +72,7 @@ class TestCLI:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         for command in ("demo", "train", "query", "bench",
-                        "stats", "trace", "lint"):
+                        "stats", "trace", "lint", "explain", "report"):
             assert command in err
 
     def test_lint_subcommand_clean_on_src(self, capsys):
@@ -96,3 +98,66 @@ class TestCLI:
         assert main(["lint", str(bad), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"][0]["rule"] == "forbidden-import"
+
+    def test_explain_estimate_only(self, capsys):
+        code = main([
+            "explain",
+            "SELECT * FROM flights WHERE flights.month BETWEEN 1 AND 3",
+            "--dataset", "flights", "--scale", "0.12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN:")
+        assert "scan flights" in out
+        assert "est=" in out
+        assert "act=" not in out  # nothing was executed
+
+    def test_explain_analyze_prefix_and_flag_agree(self, capsys):
+        code = main([
+            "explain",
+            "EXPLAIN ANALYZE SELECT * FROM flights "
+            "WHERE flights.month BETWEEN 1 AND 3",
+            "--dataset", "flights", "--scale", "0.12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE:")
+        assert "act=" in out and "q=" in out and "ms" in out
+
+    def test_explain_json_output(self, capsys):
+        import json
+
+        code = main([
+            "explain", "SELECT * FROM flights LIMIT 5",
+            "--dataset", "flights", "--scale", "0.12",
+            "--analyze", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyze"] is True
+        assert payload["plan"]["op"] == "limit"
+        assert payload["max_q_error"] >= 1.0
+
+    def test_report_on_empty_run_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        code = main(["report", "--dir", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "report written to" in out
+        report = (run_dir / "report.md").read_text()
+        assert "# repro diagnostic report" in report
+        assert "HEALTHY" in report
+
+    def test_report_html_out_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        out_path = tmp_path / "diag.html"
+        code = main([
+            "report", "--dir", str(run_dir),
+            "--out", str(out_path), "--html",
+        ])
+        assert code == 0
+        assert out_path.read_text().startswith("<!DOCTYPE html>")

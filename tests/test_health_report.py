@@ -1,0 +1,381 @@
+"""Tests for the training health monitor and the fused diagnostic report."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.bench.reporting import config_hash, run_provenance, save_results
+from repro.core import ASQPConfig, ASQPSession, ASQPTrainer
+from repro.obs import metrics, telemetry, trace
+from repro.obs.health import (
+    CRIT,
+    WARN,
+    HealthMonitor,
+    HealthThresholds,
+    active_monitor,
+    replay,
+)
+from repro.obs.report import build_report, markdown_to_html, render_markdown
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    trace.reset()
+    metrics.reset()
+    telemetry.reset()
+    telemetry.configure(None)
+    from repro.obs import health
+
+    health.reset()
+    yield
+    obs.disable()
+    trace.reset()
+    metrics.reset()
+    telemetry.reset()
+    telemetry.configure(None)
+    health.reset()
+
+
+def _update(iteration=0, **overrides):
+    """A healthy train.update record; override fields to trip rules."""
+    record = {
+        "iteration": iteration,
+        "mean_episode_reward": 0.5,
+        "policy_loss": -0.01,
+        "value_loss": 0.2,
+        "entropy": 3.0,
+        "kl_divergence": 0.01,
+        "clip_fraction": 0.1,
+        "explained_variance": 0.3,
+        "grad_norm": 1.0,
+    }
+    record.update(overrides)
+    return record
+
+
+# ------------------------------------------------------------------ #
+# individual rules
+# ------------------------------------------------------------------ #
+class TestHealthRules:
+    def test_healthy_run_stays_quiet(self):
+        monitor = HealthMonitor()
+        for i in range(8):
+            assert monitor.observe_update(_update(i)) == []
+        assert monitor.worst_severity() is None
+
+    def test_non_finite_is_crit(self):
+        monitor = HealthMonitor()
+        alerts = monitor.observe_update(_update(policy_loss=math.nan))
+        assert [a.severity for a in alerts] == [CRIT]
+        assert alerts[0].rule == "non_finite"
+
+    def test_kl_warn_then_crit(self):
+        monitor = HealthMonitor()
+        warn = monitor.observe_update(_update(kl_divergence=0.7))
+        crit = monitor.observe_update(_update(kl_divergence=2.5))
+        assert [a.severity for a in warn] == [WARN]
+        assert [a.severity for a in crit] == [CRIT]
+        assert all(a.rule == "kl_spike" for a in warn + crit)
+
+    def test_clip_saturation_levels(self):
+        monitor = HealthMonitor()
+        assert monitor.observe_update(_update(clip_fraction=0.6))[0].severity == WARN
+        assert monitor.observe_update(_update(clip_fraction=0.95))[0].severity == CRIT
+
+    def test_entropy_collapse_vs_initial(self):
+        monitor = HealthMonitor()
+        assert monitor.observe_update(_update(entropy=4.0)) == []
+        # 1% of the initial entropy → collapse warning.
+        alerts = monitor.observe_update(_update(entropy=0.04))
+        assert [a.rule for a in alerts] == ["entropy_collapse"]
+        assert alerts[0].severity == WARN
+
+    def test_grad_norm_spike_needs_window(self):
+        monitor = HealthMonitor()
+        # Below min_window no relative rule can fire, even for a big jump.
+        assert monitor.observe_update(_update(grad_norm=100.0)) == []
+        monitor = HealthMonitor()
+        for i in range(3):
+            monitor.observe_update(_update(i, grad_norm=1.0))
+        warn = monitor.observe_update(_update(3, grad_norm=20.0))
+        crit = monitor.observe_update(_update(4, grad_norm=500.0))
+        assert [a.rule for a in warn] == ["grad_norm_spike"]
+        assert warn[0].severity == WARN
+        assert any(a.severity == CRIT and a.rule == "grad_norm_spike" for a in crit)
+
+    def test_critic_useless_window_mean(self):
+        monitor = HealthMonitor()
+        alerts = []
+        for i in range(3):
+            alerts += monitor.observe_update(_update(i, explained_variance=-0.9))
+        assert any(a.rule == "critic_useless" for a in alerts)
+
+    def test_reward_collapse(self):
+        monitor = HealthMonitor()
+        for i, reward in enumerate([0.1, 0.9, 1.0]):
+            monitor.observe_update(_update(i, mean_episode_reward=reward))
+        alerts = monitor.observe_update(_update(3, mean_episode_reward=0.2))
+        assert [a.rule for a in alerts] == ["reward_collapse"]
+
+    def test_calibration_warn(self):
+        monitor = HealthMonitor()
+        alerts = []
+        for _ in range(3):
+            alerts += monitor.observe_calibration(0.95, 0.1)
+        assert any(a.rule == "estimator_miscalibrated" for a in alerts)
+        assert all(a.severity == WARN for a in alerts)
+
+    def test_well_calibrated_is_quiet(self):
+        monitor = HealthMonitor()
+        for _ in range(10):
+            assert monitor.observe_calibration(0.8, 0.75) == []
+
+    def test_drift_is_informational_warn(self):
+        monitor = HealthMonitor()
+        alerts = monitor.observe_drift(
+            {"pending_count": 3, "mean_deviation": 0.91}
+        )
+        assert [a.severity for a in alerts] == [WARN]
+        assert "0.91" in alerts[0].message
+
+    def test_counts_and_summary(self):
+        monitor = HealthMonitor()
+        monitor.observe_update(_update(kl_divergence=2.5))
+        monitor.observe_update(_update(kl_divergence=0.7))
+        assert monitor.counts() == {WARN: 1, CRIT: 1}
+        assert monitor.worst_severity() == CRIT
+        summary = monitor.summary()
+        assert summary["worst"] == CRIT
+        assert len(summary["alerts"]) == 2
+        json.dumps(summary)  # JSON-ready
+
+    def test_alerts_land_in_telemetry_and_metrics(self):
+        obs.enable()
+        monitor = HealthMonitor()
+        monitor.observe_update(_update(kl_divergence=2.5))
+        records = telemetry.records("health")
+        assert len(records) == 1
+        assert records[0]["severity"] == CRIT
+        assert records[0]["rule"] == "kl_spike"
+        assert metrics.snapshot()["counters"]["health.alerts.crit"] == 1
+
+    def test_custom_thresholds(self):
+        monitor = HealthMonitor(HealthThresholds(kl_warn=0.001, kl_crit=0.005))
+        assert monitor.observe_update(_update())[0].severity == CRIT
+
+    def test_active_monitor_singleton_reset(self):
+        from repro.obs import health
+
+        first = active_monitor()
+        assert active_monitor() is first
+        health.reset()
+        assert active_monitor() is not first
+
+
+# ------------------------------------------------------------------ #
+# replay over recorded telemetry
+# ------------------------------------------------------------------ #
+class TestReplay:
+    def test_replay_derives_same_alerts(self):
+        records = [
+            {"stream": "train.update", **_update(0, kl_divergence=2.5)},
+            {"stream": "train.update", **_update(1)},
+            {"stream": "log", "event": "noise"},
+            {
+                "stream": "query",
+                "confidence": 0.9,
+                "realized_frame_score": 0.85,
+            },
+            {"stream": "drift", "pending_count": 3, "mean_deviation": 0.9},
+        ]
+        monitor = replay(records)
+        rules = [a.rule for a in monitor.alerts]
+        assert rules == ["kl_spike", "interest_drift"]
+        assert monitor.worst_severity() == CRIT
+
+    def test_replay_flags_drifted_query_rows(self):
+        records = [{
+            "stream": "query",
+            "confidence": 0.5,
+            "realized_frame_score": 0.5,
+            "drift": True,
+        }]
+        monitor = replay(records)
+        assert [a.rule for a in monitor.alerts] == ["interest_drift"]
+
+    def test_replay_empty(self):
+        assert replay([]).worst_severity() is None
+
+
+# ------------------------------------------------------------------ #
+# end to end: destabilized PPO must trip a CRIT alert
+# ------------------------------------------------------------------ #
+class TestTrainingHealthEndToEnd:
+    def _train(self, tmp_path, learning_rate):
+        from repro.datasets import load_flights
+
+        run_dir = str(tmp_path / "run")
+        obs.start_run(run_dir)
+        try:
+            bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
+            config = ASQPConfig.light(
+                memory_budget=120, frame_size=20, n_iterations=3,
+                learning_rate=learning_rate, seed=0,
+            )
+            model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+            monitor = active_monitor()
+            session = ASQPSession(model, auto_fine_tune=False)
+            for query in list(bundle.workload)[:2]:
+                session.query(query)
+        finally:
+            obs.finish_run(run_dir)
+        return run_dir, monitor
+
+    def test_destabilized_run_emits_crit(self, tmp_path):
+        """lr x100 blows up the KL; the monitor must flag the run CRIT."""
+        run_dir, monitor = self._train(tmp_path, learning_rate=1e-3 * 100)
+        assert monitor.worst_severity() == CRIT
+        # The CRIT alerts are on the persisted telemetry stream too.
+        records = telemetry.load_jsonl(f"{run_dir}/telemetry.jsonl")
+        crits = [
+            r for r in records
+            if r["stream"] == "health" and r["severity"] == CRIT
+        ]
+        assert len(crits) >= 1
+        assert any(r["rule"] == "kl_spike" for r in crits)
+
+    def test_stable_run_stays_crit_free(self, tmp_path):
+        _, monitor = self._train(tmp_path, learning_rate=1e-3)
+        assert monitor.counts()[CRIT] == 0
+
+
+# ------------------------------------------------------------------ #
+# the fused report
+# ------------------------------------------------------------------ #
+@pytest.fixture
+def recorded_run(tmp_path):
+    """A synthetic run directory covering every telemetry stream."""
+    run_dir = str(tmp_path / "run")
+    obs.start_run(run_dir)
+    with trace.span("train"):
+        with trace.span("train.update"):
+            pass
+    for i, kl in enumerate([0.01, 2.5, 0.02]):
+        telemetry.emit("train.update", **_update(i, kl_divergence=kl))
+    telemetry.emit(
+        "query",
+        sql="SELECT * FROM t",
+        used_approximation=True,
+        confidence=0.9,
+        realized_frame_score=0.8,
+        rows=12,
+        drift=False,
+    )
+    telemetry.emit(
+        "plan",
+        sql="SELECT a | b FROM t",  # pipe must survive the markdown table
+        total_seconds=0.01,
+        max_q_error=1.5,
+        operators=[
+            {"op": "scan", "label": "t", "estimated_rows": 10,
+             "actual_rows": 8, "q_error": 1.25, "seconds": 0.001},
+        ],
+    )
+    metrics.add("session.queries")
+    metrics.observe("executor.join.q_error", 1.3)
+    obs.finish_run(run_dir)
+    return run_dir
+
+
+class TestReport:
+    def test_markdown_sections(self, recorded_run, tmp_path):
+        bench_dir = str(tmp_path / "bench")
+        markdown = render_markdown(recorded_run, bench_dir=bench_dir)
+        for heading in (
+            "# repro diagnostic report",
+            "## Run summary",
+            "## Health alerts",
+            "## Training trajectory",
+            "## Query plans",
+            "## Queries & estimator calibration",
+            "## Metrics",
+            "## Hottest spans",
+            "## Bench trajectory",
+        ):
+            assert heading in markdown
+        # The replayed monitor found the KL spike in the recorded updates.
+        assert "CRIT" in markdown
+        assert "kl_spike" in markdown
+        assert "executor.join.q_error" in markdown
+
+    def test_build_report_writes_markdown(self, recorded_run):
+        path = build_report(recorded_run)
+        assert path.endswith("report.md")
+        with open(path) as handle:
+            assert "# repro diagnostic report" in handle.read()
+
+    def test_build_report_html_self_contained(self, recorded_run):
+        path = build_report(recorded_run, html=True)
+        assert path.endswith("report.html")
+        with open(path) as handle:
+            html = handle.read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html          # inline CSS, nothing fetched
+        assert "http://" not in html and "https://" not in html
+        assert "<table>" in html
+        # The escaped pipe in the plan SQL renders back as a literal pipe.
+        assert "SELECT a | b FROM t" in html
+
+    def test_report_on_empty_dir(self, tmp_path):
+        empty = str(tmp_path / "nothing")
+        import os
+
+        os.makedirs(empty)
+        markdown = render_markdown(empty, bench_dir=str(tmp_path / "nobench"))
+        assert "No `train.update` records" in markdown
+        assert "HEALTHY" in markdown
+
+    def test_bench_trajectory_includes_provenance(self, recorded_run, tmp_path, monkeypatch):
+        bench_dir = tmp_path / "bench"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(bench_dir))
+        save_results("fig9", {"value": 1.0}, duration_seconds=2.5)
+        markdown = render_markdown(recorded_run, bench_dir=str(bench_dir))
+        assert "fig9" in markdown
+        assert "2.5" in markdown
+
+    def test_markdown_to_html_escapes(self):
+        html = markdown_to_html("## A <b>title\n\n- item `x<1`\n")
+        assert "&lt;b&gt;" in html
+        assert "<code>x&lt;1</code>" in html
+
+
+# ------------------------------------------------------------------ #
+# bench provenance
+# ------------------------------------------------------------------ #
+class TestProvenance:
+    def test_run_provenance_fields(self):
+        provenance = run_provenance(duration_seconds=1.23456)
+        assert set(provenance) == {
+            "git_sha", "bench_scale", "config_hash", "duration_seconds"
+        }
+        assert provenance["duration_seconds"] == 1.2346
+        assert provenance["git_sha"]  # short sha or "unknown", never empty
+        assert len(provenance["config_hash"]) == 12
+
+    def test_duration_optional(self):
+        assert "duration_seconds" not in run_provenance()
+
+    def test_config_hash_stable(self):
+        assert config_hash() == config_hash()
+
+    def test_save_results_embeds_provenance(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_results("exp", {"rows": [1, 2]}, duration_seconds=0.5)
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["experiment"] == "exp"
+        assert record["provenance"]["duration_seconds"] == 0.5
+        assert record["provenance"]["config_hash"] == config_hash()

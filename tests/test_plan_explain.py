@@ -1,0 +1,280 @@
+"""Tests for EXPLAIN / EXPLAIN ANALYZE operator trees (repro.db.plan)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.db import (
+    ExecutionError,
+    PlanNode,
+    execute,
+    execute_aggregate,
+    explain,
+    q_error,
+    split_explain,
+    sql,
+)
+from repro.obs import metrics, telemetry, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    trace.reset()
+    metrics.reset()
+    telemetry.reset()
+    telemetry.configure(None)
+    yield
+    obs.disable()
+    trace.reset()
+    metrics.reset()
+    telemetry.reset()
+    telemetry.configure(None)
+
+
+JOIN_SQL = (
+    "SELECT movies.title FROM movies, cast_info "
+    "WHERE movies.id = cast_info.movie_id AND movies.year > 2000"
+)
+
+
+# ------------------------------------------------------------------ #
+# q-error
+# ------------------------------------------------------------------ #
+class TestQError:
+    def test_exact_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 100) == q_error(100, 10) == pytest.approx(10.0)
+
+    def test_zero_actual_clamped(self):
+        # Empty results clamp to one row instead of producing infinity.
+        assert q_error(50, 0) == pytest.approx(50.0)
+
+    def test_always_at_least_one(self):
+        assert q_error(0.2, 0.4) == 1.0
+
+
+# ------------------------------------------------------------------ #
+# estimate-only EXPLAIN
+# ------------------------------------------------------------------ #
+class TestExplain:
+    def test_does_not_execute(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL))
+        assert plan.analyze is False
+        assert plan.result is None
+        assert plan.total_seconds is None
+        assert all(node.actual_rows is None for node in plan.operators())
+        assert all(node.seconds is None for node in plan.operators())
+
+    def test_operator_shape(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL))
+        ops = [node.op for node in plan.operators()]
+        assert ops.count("scan") == 2
+        assert "hash_join" in ops
+        assert "filter" in ops      # pushdown of movies.year > 2000
+        assert "project" in ops     # movies.title
+        assert plan.root.op == "project"
+
+    def test_every_operator_has_estimate(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL))
+        for node in plan.operators():
+            assert node.estimated_rows is not None
+            assert node.estimated_rows >= 0
+
+    def test_scan_estimate_is_table_size(self, mini_db):
+        plan = explain(mini_db, sql("SELECT * FROM movies"))
+        scans = [n for n in plan.operators() if n.op == "scan"]
+        assert scans[0].estimated_rows == 6.0
+
+    def test_filter_estimate_below_scan(self, mini_db):
+        plan = explain(
+            mini_db, sql("SELECT * FROM movies WHERE movies.year > 2015")
+        )
+        filt = next(n for n in plan.operators() if n.op == "filter")
+        scan = next(n for n in plan.operators() if n.op == "scan")
+        assert filt.estimated_rows < scan.estimated_rows
+
+    def test_limit_caps_estimate(self, mini_db):
+        plan = explain(mini_db, sql("SELECT * FROM movies LIMIT 2"))
+        assert plan.root.op == "limit"
+        assert plan.root.estimated_rows == 2.0
+
+    def test_sort_and_distinct_nodes(self, mini_db):
+        plan = explain(
+            mini_db,
+            sql(
+                "SELECT DISTINCT movies.genre FROM movies "
+                "ORDER BY movies.genre"
+            ),
+        )
+        ops = [node.op for node in plan.operators()]
+        assert "sort" in ops
+        assert "distinct" in ops
+
+    def test_unknown_table_raises(self, mini_db):
+        with pytest.raises(ExecutionError):
+            explain(mini_db, sql("SELECT * FROM bogus"))
+
+    def test_aggregate_root(self, mini_db):
+        plan = explain(
+            mini_db,
+            sql(
+                "SELECT movies.genre, COUNT(*) FROM movies "
+                "GROUP BY movies.genre"
+            ),
+        )
+        assert plan.root.op == "aggregate"
+        # three distinct genres; the NDV estimate is exact on tiny data
+        assert plan.root.estimated_rows == pytest.approx(3.0, rel=0.5)
+
+
+# ------------------------------------------------------------------ #
+# EXPLAIN ANALYZE
+# ------------------------------------------------------------------ #
+class TestExplainAnalyze:
+    def test_actuals_match_execute(self, mini_db):
+        query = sql(JOIN_SQL)
+        plan = explain(mini_db, query, analyze=True)
+        expected = execute(mini_db, query)
+        assert plan.analyze is True
+        assert plan.result is not None
+        assert plan.result.n_rows == expected.n_rows
+        assert plan.root.actual_rows == expected.n_rows
+
+    def test_per_operator_actuals_and_time(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL), analyze=True)
+        for node in plan.operators():
+            assert node.actual_rows is not None
+            assert node.seconds is not None and node.seconds >= 0
+            assert node.q is not None and node.q >= 1.0
+        assert plan.max_q_error() >= 1.0
+        assert plan.total_seconds > 0
+
+    def test_scan_actual_is_table_size(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL), analyze=True)
+        scans = {n.label: n for n in plan.operators() if n.op == "scan"}
+        assert scans["movies"].actual_rows == 6
+        assert scans["cast_info"].actual_rows == 7
+
+    def test_aggregate_analyze(self, mini_db):
+        query = sql(
+            "SELECT movies.genre, COUNT(*) FROM movies GROUP BY movies.genre"
+        )
+        plan = explain(mini_db, query, analyze=True)
+        expected = execute_aggregate(mini_db, query)
+        assert plan.root.op == "aggregate"
+        assert plan.root.actual_rows == len(expected)
+        assert plan.root.seconds is not None and plan.root.seconds >= 0
+
+    def test_three_table_join_imdb(self, tiny_imdb):
+        """Acceptance criterion: per-operator est/act/q/time on a 3-way join."""
+        query = sql(
+            "SELECT title.title FROM title, movie_companies, company "
+            "WHERE title.id = movie_companies.movie_id "
+            "AND movie_companies.company_id = company.id "
+            "AND title.production_year > 1990"
+        )
+        plan = explain(tiny_imdb.db, query, analyze=True)
+        ops = [node.op for node in plan.operators()]
+        assert ops.count("scan") == 3
+        assert ops.count("hash_join") + ops.count("cross_join") == 2
+        for node in plan.operators():
+            assert node.estimated_rows is not None
+            assert node.actual_rows is not None
+            assert node.q >= 1.0
+            assert node.seconds >= 0
+        assert plan.result.n_rows == execute(tiny_imdb.db, query).n_rows
+
+
+# ------------------------------------------------------------------ #
+# rendering and serialization
+# ------------------------------------------------------------------ #
+class TestPlanRendering:
+    def test_format_text(self, mini_db):
+        text = explain(mini_db, sql(JOIN_SQL), analyze=True).format()
+        assert text.startswith("EXPLAIN ANALYZE:")
+        assert "-> " in text
+        assert "est=" in text and "act=" in text and "q=" in text
+        assert text.strip().endswith("ms")
+
+    def test_format_estimate_only(self, mini_db):
+        text = explain(mini_db, sql(JOIN_SQL)).format()
+        assert text.startswith("EXPLAIN:")
+        assert "act=" not in text
+
+    def test_to_dict_json_round_trip(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL), analyze=True)
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["analyze"] is True
+        assert payload["max_q_error"] >= 1.0
+        assert payload["plan"]["op"] == plan.root.op
+
+    def test_operator_stats_flat(self, mini_db):
+        plan = explain(mini_db, sql(JOIN_SQL), analyze=True)
+        rows = plan.operator_stats()
+        assert len(rows) == len(plan.operators())
+        assert all("op" in row and "q_error" in row for row in rows)
+
+    def test_walk_preorder(self):
+        leaf = PlanNode("scan", "t")
+        root = PlanNode("filter", "p", children=[leaf])
+        assert [n.op for n in root.walk()] == ["filter", "scan"]
+
+
+# ------------------------------------------------------------------ #
+# telemetry integration
+# ------------------------------------------------------------------ #
+class TestPlanTelemetry:
+    def test_analyze_emits_plan_record_when_enabled(self, mini_db):
+        obs.enable()
+        explain(mini_db, sql(JOIN_SQL), analyze=True)
+        records = telemetry.records("plan")
+        assert len(records) == 1
+        assert records[0]["max_q_error"] >= 1.0
+        assert records[0]["operators"]
+        assert metrics.snapshot()["counters"]["executor.explain_analyze"] == 1
+
+    def test_no_telemetry_when_disabled(self, mini_db):
+        explain(mini_db, sql(JOIN_SQL), analyze=True)
+        assert telemetry.records("plan") == []
+
+    def test_passive_join_q_error_histogram(self, mini_db):
+        """Every instrumented execute() observes per-join q-error."""
+        obs.enable()
+        execute(mini_db, sql(JOIN_SQL))
+        hist = metrics.snapshot()["histograms"].get("executor.join.q_error")
+        assert hist is not None
+        assert hist["count"] >= 1
+
+    def test_no_passive_q_error_when_disabled(self, mini_db):
+        execute(mini_db, sql(JOIN_SQL))
+        assert metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+# ------------------------------------------------------------------ #
+# SQL prefix parsing
+# ------------------------------------------------------------------ #
+class TestSplitExplain:
+    def test_no_prefix(self):
+        assert split_explain("SELECT 1") == ("SELECT 1", False, False)
+
+    def test_explain_prefix(self):
+        rest, is_explain, analyze = split_explain("EXPLAIN SELECT 1")
+        assert (rest, is_explain, analyze) == ("SELECT 1", True, False)
+
+    def test_explain_analyze_prefix(self):
+        rest, is_explain, analyze = split_explain(
+            "explain analyze SELECT * FROM t"
+        )
+        assert rest == "SELECT * FROM t"
+        assert is_explain and analyze
+
+    def test_leading_whitespace_and_case(self):
+        rest, is_explain, analyze = split_explain("  Explain   Analyze  SELECT 1")
+        assert rest == "SELECT 1"
+        assert is_explain and analyze
