@@ -309,6 +309,67 @@ def run_obs_overhead(repeats: int) -> dict:
     }
 
 
+def run_profile_overhead(repeats: int, hz: float = 100.0) -> dict:
+    """Measure the cost of the *running* sampling profiler on the kernels.
+
+    Same paired-interleaved-batch scheme as :func:`run_obs_overhead`,
+    but the varied condition is the background sampler: each round times
+    one batch with the profiler stopped and one with it running at
+    ``hz``, keeping the per-round ratio. ``--profile-check`` gates the
+    median — a statistical sampler reading ``sys._current_frames()``
+    from another thread should cost well under 5% at 100 hz.
+    """
+    from repro.obs import profiler as obs_profiler
+
+    rng = np.random.default_rng(11)
+    build, probe = _join_workload(rng)
+    distinct_arrays = _distinct_workload(rng)
+    group_arrays = _group_workload(rng)
+    cases = {
+        "join_10k": lambda: kernels.join_positions(build, probe),
+        "distinct_10k": lambda: kernels.distinct_positions(distinct_arrays),
+        "group_by_10k": lambda: kernels.group_by_positions(group_arrays),
+        "factorize_10k": lambda: kernels.factorize_keys(distinct_arrays),
+    }
+    entries: dict = {}
+    overheads = []
+    rounds = max(5 * repeats, 10)
+    batch = 3
+    try:
+        for name, fn in cases.items():
+            fn()  # warm caches once before any timing
+            ratios = []
+            stopped_best = running_best = np.inf
+            for _ in range(rounds):
+                obs_profiler.stop()
+                start = time.perf_counter()
+                for _ in range(batch):
+                    fn()
+                stopped_t = time.perf_counter() - start
+                obs_profiler.start(hz=hz)
+                start = time.perf_counter()
+                for _ in range(batch):
+                    fn()
+                running_t = time.perf_counter() - start
+                ratios.append(running_t / stopped_t)
+                stopped_best = min(stopped_best, stopped_t / batch)
+                running_best = min(running_best, running_t / batch)
+            overhead = float(np.median(ratios)) - 1.0
+            overheads.append(overhead)
+            entries[name] = {
+                "stopped_s": stopped_best,
+                "running_s": running_best,
+                "overhead_fraction": overhead,
+            }
+    finally:
+        obs_profiler.stop()
+    return {
+        "hz": hz,
+        "kernels": entries,
+        "median_overhead_fraction": float(np.median(overheads)),
+    }
+
+
 def _unwrap(fn):
     """Peel decorator layers (``functools.wraps`` chains) off a kernel."""
     while hasattr(fn, "__wrapped__"):
@@ -411,6 +472,12 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-tolerance", type=float, default=0.02,
                         help="maximum tolerated median overhead fraction "
                              "of enabled instrumentation (default 2%%)")
+    parser.add_argument("--profile-check", action="store_true",
+                        help="also measure the running sampling profiler's "
+                             "overhead on the kernels and gate the median")
+    parser.add_argument("--profile-tolerance", type=float, default=0.05,
+                        help="maximum tolerated median overhead fraction "
+                             "of the 100hz sampling profiler (default 5%%)")
     parser.add_argument("--strict-check", action="store_true",
                         help="also measure disabled strict-mode contract "
                              "wrapper overhead (wrapped vs raw kernels) "
@@ -465,6 +532,31 @@ def main(argv=None) -> int:
         if not record["observability"]["ok"]:
             print(f"FAIL: median observability overhead {median * 100:.2f}% "
                   f"exceeds {args.obs_tolerance * 100:.0f}%")
+            status = 1
+
+    if args.profile_check:
+        overhead = run_profile_overhead(PROFILES[args.profile]["repeats"])
+        record["profiler"] = {
+            **overhead,
+            "tolerance": args.profile_tolerance,
+            "ok": overhead["median_overhead_fraction"]
+            <= args.profile_tolerance,
+        }
+        print(f"\n{'kernel'.ljust(width)}  stopped      sampling     overhead")
+        for name, entry in overhead["kernels"].items():
+            print(
+                f"{name.ljust(width)}  {entry['stopped_s']:.6f}s   "
+                f"{entry['running_s']:.6f}s   "
+                f"{entry['overhead_fraction'] * 100:+.2f}%"
+            )
+        median = overhead["median_overhead_fraction"]
+        print(f"median sampling-profiler overhead at {overhead['hz']:.0f}hz: "
+              f"{median * 100:+.2f}% "
+              f"(tolerance {args.profile_tolerance * 100:.0f}%)")
+        if not record["profiler"]["ok"]:
+            print(f"FAIL: median sampling-profiler overhead "
+                  f"{median * 100:.2f}% exceeds "
+                  f"{args.profile_tolerance * 100:.0f}%")
             status = 1
 
     if args.strict_check:

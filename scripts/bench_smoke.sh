@@ -10,8 +10,10 @@
 #    BENCH_MAX_REGRESSION for noisy CI machines), if a required speedup
 #    over the reference implementations no longer holds, if the median
 #    observability-instrumentation overhead (enabled vs disabled)
-#    exceeds 2% (--obs-check), or if the disabled strict-mode contract
-#    wrappers cost more than 2% over the raw kernels (--strict-check).
+#    exceeds 2% (--obs-check), if the disabled strict-mode contract
+#    wrappers cost more than 2% over the raw kernels (--strict-check),
+#    or if the running 100hz sampling profiler costs more than 5% on
+#    the kernels (--profile-check).
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src
@@ -21,4 +23,5 @@ PYTHONPATH=src python benchmarks/bench_kernels.py \
   --max-regression "${BENCH_MAX_REGRESSION:-1.25}" \
   --obs-check \
   --strict-check \
+  --profile-check \
   --output -

@@ -15,6 +15,10 @@
 #                              IMDB join (per-operator est/act/q-error).
 # 5. repro report --smoke     — records a tiny end-to-end run and fuses
 #                              it into the markdown diagnostic artifact.
+# 6. repro profile + top       — profiles a micro demo run (sampling
+#                              profiler + memory tracker + SLOs) and
+#                              renders one frame of the live view from
+#                              the recorded artifacts.
 #
 # Benchmark gates (kernel regressions, instrumentation + contract
 # overhead) live in scripts/bench_smoke.sh.
@@ -48,5 +52,15 @@ echo "== repro report --smoke"
 report_dir="$(mktemp -d)"
 python -m repro report --smoke --dir "$report_dir"
 rm -rf "$report_dir"
+
+echo "== repro profile + top (continuous profiler smoke)"
+profile_dir="$(mktemp -d)"
+python -m repro profile --dir "$profile_dir" demo \
+  --dataset flights --scale 0.12 --k 100 --frame-size 20 \
+  --iterations 2 --light --seed 1 > /dev/null
+test -s "$profile_dir/flamegraph.html"
+test -s "$profile_dir/profile.collapsed.txt"
+python -m repro top --dir "$profile_dir" --once
+rm -rf "$profile_dir"
 
 echo "check: OK"

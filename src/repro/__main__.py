@@ -10,6 +10,11 @@ Commands
 ``bench``  — print the location and contents of recorded benchmark tables.
 ``stats``  — pretty-print the metrics + telemetry of a recorded run.
 ``trace``  — pretty-print the span tree of a recorded run.
+``profile`` — run any other command under the continuous sampling
+profiler + memory tracker + default SLOs (flamegraph, collapsed stacks,
+memory.json, slo.json land in the run directory).
+``top``    — live-refreshing terminal view of a (possibly still running)
+profiled run: SLO burn, hot functions, span attribution, memory.
 ``lint``   — run the AST rule pack over source paths (see repro.lint).
 
 ``demo``/``train`` accept ``--telemetry DIR`` to record a full
@@ -211,6 +216,27 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _missing_run(directory: str) -> int:
+    """Shared exit-1 path for readers pointed at a absent/empty run dir."""
+    print(f"no observability run under {directory}/ — record one with:")
+    print(f"  python -m repro demo --light --telemetry {directory}")
+    print(f"  python -m repro profile --dir {directory} demo --light")
+    return 1
+
+
+def _load_run_json(path: str):
+    """Parse one run artifact; None when absent, SystemExit(1) when corrupt."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (json.JSONDecodeError, OSError) as error:
+        print(f"unreadable run artifact {path}: {error}")
+        print("re-record the run, or delete the directory and retry")
+        raise SystemExit(1)
+
+
 def cmd_stats(args) -> int:
     """Pretty-print metrics.json + telemetry.jsonl of a recorded run."""
     from .bench.reporting import format_table
@@ -218,13 +244,10 @@ def cmd_stats(args) -> int:
     metrics_path = os.path.join(args.dir, obs.METRICS_FILE)
     telemetry_path = os.path.join(args.dir, obs.TELEMETRY_FILE)
     if not os.path.exists(metrics_path) and not os.path.exists(telemetry_path):
-        print(f"no observability run under {args.dir}/ — record one with:")
-        print(f"  python -m repro demo --light --telemetry {args.dir}")
-        return 1
+        return _missing_run(args.dir)
 
-    if os.path.exists(metrics_path):
-        with open(metrics_path) as handle:
-            snap = json.load(handle)
+    snap = _load_run_json(metrics_path)
+    if snap is not None:
         counters = sorted({**snap.get("counters", {}), **snap.get("gauges", {})}.items())
         if counters:
             print(format_table(
@@ -238,13 +261,16 @@ def cmd_stats(args) -> int:
             print(format_table(
                 ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
                 [
-                    [name, h["count"], h["mean"], h["p50"], h["p95"], h["p99"], h["max"]]
+                    [name, h.get("count"), h.get("mean"), h.get("p50"),
+                     h.get("p95"), h.get("p99"), h.get("max")]
                     for name, h in histograms
                 ],
             ))
 
     if os.path.exists(telemetry_path):
-        records = obs_telemetry.load_jsonl(telemetry_path)
+        # load_run reads the whole rotated set (telemetry.1.jsonl, ...),
+        # so long runs that rolled the sink still show every record.
+        records = obs_telemetry.load_run(telemetry_path)
         updates = [r for r in records if r.get("stream") == "train.update"]
         if updates:
             tail = updates[-args.last:]
@@ -253,9 +279,11 @@ def cmd_stats(args) -> int:
                 ["iter", "reward", "policy", "value", "entropy", "kl",
                  "clip%", "steps/s"],
                 [
-                    [u["iteration"], u["mean_episode_reward"], u["policy_loss"],
-                     u["value_loss"], u["entropy"], u["kl_divergence"],
-                     100.0 * u["clip_fraction"], u["steps_per_second"]]
+                    [u.get("iteration"), u.get("mean_episode_reward"),
+                     u.get("policy_loss"), u.get("value_loss"),
+                     u.get("entropy"), u.get("kl_divergence"),
+                     100.0 * float(u.get("clip_fraction") or 0.0),
+                     u.get("steps_per_second")]
                     for u in tail
                 ],
                 title=f"Training — last {len(tail)} of {len(updates)} updates",
@@ -267,9 +295,10 @@ def cmd_stats(args) -> int:
             print(format_table(
                 ["source", "conf", "realized", "rows", "ms", "drift"],
                 [
-                    ["approx" if o["used_approximation"] else "full",
-                     o["confidence"], o["realized_frame_score"], o["rows"],
-                     1e3 * o["elapsed_seconds"],
+                    ["approx" if o.get("used_approximation") else "full",
+                     o.get("confidence"), o.get("realized_frame_score"),
+                     o.get("rows"),
+                     1e3 * float(o.get("elapsed_seconds") or 0.0),
                      "DRIFT" if o.get("drift") else ""]
                     for o in tail
                 ],
@@ -282,17 +311,80 @@ def cmd_trace(args) -> int:
     """Pretty-print the span tree of a recorded run."""
     trace_path = os.path.join(args.dir, obs.TRACE_FILE)
     if not os.path.exists(trace_path):
-        print(f"no trace under {args.dir}/ — record one with:")
-        print(f"  python -m repro demo --light --telemetry {args.dir}")
+        return _missing_run(args.dir)
+    nodes = _load_run_json(trace_path)
+    if not isinstance(nodes, list):
+        print(f"unreadable run artifact {trace_path}: expected a span list")
         return 1
-    with open(trace_path) as handle:
-        nodes = json.load(handle)
     print(f"trace — {trace_path} ({len(nodes)} root spans)")
     print(obs_trace.format_tree(nodes, max_depth=args.depth))
     chrome_path = os.path.join(args.dir, obs.CHROME_TRACE_FILE)
     if os.path.exists(chrome_path):
         print(f"\nchrome://tracing / perfetto file: {chrome_path}")
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Run another CLI command under profiler + memory tracker + SLOs."""
+    from .obs import slo as obs_slo
+
+    rest = [token for token in args.cmd if token != "--"]
+    if not rest:
+        print("usage: repro profile [--dir DIR] [--hz N] <command> [args...]")
+        print("example: repro profile --dir prof_run demo --light --scale 0.15")
+        return 2
+    if rest[0] in ("profile", "top"):
+        print(f"refusing to profile `repro {rest[0]}` (nested run)")
+        return 2
+    objectives = args.slo if args.slo else list(obs_slo.DEFAULT_OBJECTIVES)
+    code = 0
+    with obs.run(
+        args.dir,
+        profile=True,
+        profile_hz=args.hz,
+        memory_tracking=not args.no_memory,
+        slo_objectives=objectives,
+    ):
+        try:
+            code = main(rest)
+        except SystemExit as exit_request:  # argparse errors and friends
+            raised = exit_request.code
+            code = raised if isinstance(raised, int) else 1
+    print(f"\nprofile recorded in {args.dir}/:")
+    for name in (
+        obs.PROFILE_COLLAPSED_FILE, obs.FLAMEGRAPH_FILE,
+        obs.SLO_FILE, obs.MEMORY_FILE, obs.METRICS_FILE,
+    ):
+        path = os.path.join(args.dir, name)
+        if os.path.exists(path):
+            print(f"  {path}")
+    print(f"watch live next time with: repro top --dir {args.dir}")
+    return code
+
+
+def cmd_top(args) -> int:
+    """Live terminal view of a profiled run directory."""
+    import time
+
+    from .obs.report import render_top
+
+    if not os.path.isdir(args.dir):
+        return _missing_run(args.dir)
+    iterations = 1 if args.once else args.iterations
+    remaining = iterations
+    while True:
+        frame = render_top(args.dir)
+        if not args.once:
+            print("\033[2J\033[H", end="")
+        print(frame)
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_lint(args) -> int:
@@ -375,6 +467,44 @@ def main(argv=None) -> int:
     trace.add_argument("--depth", type=int, default=6,
                        help="maximum span nesting depth to print")
     trace.set_defaults(func=cmd_trace)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler",
+        description="Wrap any other repro command in an observability run "
+                    "with the continuous sampling profiler, the tracemalloc "
+                    "memory tracker, and the default latency SLOs enabled. "
+                    "Artifacts (flamegraph.html, profile.collapsed.txt, "
+                    "slo.json, memory.json, ...) land in --dir.",
+    )
+    profile.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                         help="run directory for the recorded artifacts")
+    profile.add_argument("--hz", type=float, default=100.0,
+                         help="profiler sampling frequency (samples/s)")
+    profile.add_argument("--no-memory", action="store_true",
+                         help="skip the tracemalloc memory tracker "
+                              "(it slows allocation-heavy code)")
+    profile.add_argument("--slo", action="append", default=None,
+                         metavar="SPEC",
+                         help="objective like 'query.p95 < 250ms' "
+                              "(repeatable; default: the built-in set)")
+    profile.add_argument("cmd", nargs=argparse.REMAINDER,
+                         help="the repro command to run, e.g. "
+                              "`demo --light --scale 0.15`")
+    profile.set_defaults(func=cmd_profile)
+
+    top = commands.add_parser(
+        "top", help="live terminal view of a profiled run directory"
+    )
+    top.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                     help="run directory being written by `repro profile`")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (CI-friendly)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: until Ctrl-C)")
+    top.set_defaults(func=cmd_top)
 
     lint = commands.add_parser(
         "lint", help="run the AST lint rule pack over source paths"

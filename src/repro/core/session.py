@@ -19,7 +19,7 @@ import numpy as np
 from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
-from ..obs import health, metrics, telemetry, trace
+from ..obs import health, memory, metrics, telemetry, trace
 from ..obs.runtime import STATE as _OBS
 from ..db.query import AggregateQuery, SPJQuery
 from ..datasets.workloads import Workload
@@ -210,6 +210,9 @@ class ASQPSession:
         # health monitor sees every calibration pair of a recorded run.
         monitor = health.active_monitor()
         monitor.observe_calibration(estimate.confidence, realized)
+        # Epoch boundary for the leak check: repeated query answering
+        # should not accumulate traced bytes between queries.
+        memory.mark_epoch("session.query")
         if outcome.drift_event is not None:
             monitor.observe_drift({
                 "pending_count": len(outcome.drift_event.queries),

@@ -21,7 +21,7 @@ from ..contracts import STATE as _STRICT
 from ..contracts import assert_finite
 from ..db.database import Database
 from ..db.query import AggregateQuery, SPJQuery
-from ..obs import health, metrics, telemetry, trace
+from ..obs import health, memory, metrics, telemetry, trace
 from ..obs.runtime import STATE as _OBS
 from ..db.sampling import variational_subsample
 from ..datasets.workloads import Workload
@@ -387,6 +387,9 @@ def run_training_loop(
             metrics.add("train.samples", stats.n_samples)
             metrics.observe("train.rollout.seconds", rollout_seconds)
             metrics.observe("train.update.seconds", update_seconds)
+            # Epoch boundary for the leak check: steady-state training
+            # should show ~zero traced-byte growth between iterations.
+            memory.mark_epoch("train.iteration")
             # Early stopping (Alg. 1 line 9) on reward plateau.
             if mean_reward > best_reward + config.early_stopping_min_delta:
                 best_reward = mean_reward

@@ -34,6 +34,11 @@ from . import telemetry as _telemetry
 WARN = "WARN"
 CRIT = "CRIT"
 
+#: Alert history retained per monitor (ring; severity *counts* keep
+#: accumulating past the cap, so week-long runs stay bounded without
+#: losing the totals).
+MAX_ALERTS = 512
+
 
 @dataclass
 class Alert:
@@ -99,7 +104,8 @@ class HealthMonitor:
     ) -> None:
         self.thresholds = thresholds or HealthThresholds()
         self.window = window
-        self.alerts: list[Alert] = []
+        self.alerts: deque[Alert] = deque(maxlen=MAX_ALERTS)
+        self._severity_counts: dict[str, int] = {}
         self._grad_norms: deque[float] = deque(maxlen=window)
         self._explained: deque[float] = deque(maxlen=window)
         self._calibration: deque[float] = deque(maxlen=window)
@@ -282,15 +288,19 @@ class HealthMonitor:
     def _publish(self, new: list[Alert]) -> list[Alert]:
         for alert in new:
             self.alerts.append(alert)
+            self._severity_counts[alert.severity] = (
+                self._severity_counts.get(alert.severity, 0) + 1
+            )
             _telemetry.emit("health", **alert.telemetry_fields())
             _metrics.add(f"health.alerts.{alert.severity.lower()}")
         return new
 
+    def publish(self, alerts: list[Alert]) -> list[Alert]:
+        """Record externally derived alerts (the SLO tracker's entry point)."""
+        return self._publish(alerts)
+
     def counts(self) -> dict[str, int]:
-        out = {WARN: 0, CRIT: 0}
-        for alert in self.alerts:
-            out[alert.severity] = out.get(alert.severity, 0) + 1
-        return out
+        return {WARN: 0, CRIT: 0, **self._severity_counts}
 
     def worst_severity(self) -> Optional[str]:
         counts = self.counts()

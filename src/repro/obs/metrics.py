@@ -120,6 +120,10 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0.0)
 
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
     def histogram(self, name: str) -> Optional[Histogram]:
         with self._lock:
             return self._histograms.get(name)
@@ -145,10 +149,21 @@ class MetricsRegistry:
 
 _REGISTRY = MetricsRegistry()
 
+#: Optional tap on histogram samples (installed by repro.obs.slo so
+#: latency objectives see every observation); at most one, None when no
+#: SLO tracker is configured.
+_SAMPLE_HOOK = None
+
 
 def registry() -> MetricsRegistry:
     """The process-global registry (always writable, even when disabled)."""
     return _REGISTRY
+
+
+def set_sample_hook(hook) -> None:
+    """Install (or clear, with None) the histogram-sample tap."""
+    global _SAMPLE_HOOK
+    _SAMPLE_HOOK = hook
 
 
 def add(name: str, value: float = 1.0) -> None:
@@ -167,6 +182,9 @@ def observe(name: str, value: float) -> None:
     """Record a histogram sample iff observability is enabled."""
     if STATE.enabled:
         _REGISTRY.observe(name, value)
+        hook = _SAMPLE_HOOK
+        if hook is not None:
+            hook(name, value)
 
 
 def snapshot() -> dict[str, Any]:

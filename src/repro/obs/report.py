@@ -23,8 +23,18 @@ import re
 from html import escape
 from typing import Any, Optional, Sequence
 
-from . import CHROME_TRACE_FILE, METRICS_FILE, TELEMETRY_FILE, TRACE_FILE
+from . import (
+    CHROME_TRACE_FILE,
+    FLAMEGRAPH_FILE,
+    MEMORY_FILE,
+    METRICS_FILE,
+    PROFILE_COLLAPSED_FILE,
+    SLO_FILE,
+    TELEMETRY_FILE,
+    TRACE_FILE,
+)
 from . import health as health_mod
+from . import profiler as profiler_mod
 from . import telemetry as telemetry_mod
 
 #: How many trailing entries the tables show.
@@ -83,9 +93,23 @@ def _section_summary(
     ]
     present = [
         name
-        for name in (TELEMETRY_FILE, METRICS_FILE, TRACE_FILE, CHROME_TRACE_FILE)
+        for name in (
+            TELEMETRY_FILE,
+            METRICS_FILE,
+            TRACE_FILE,
+            CHROME_TRACE_FILE,
+            PROFILE_COLLAPSED_FILE,
+            FLAMEGRAPH_FILE,
+            MEMORY_FILE,
+            SLO_FILE,
+        )
         if os.path.exists(os.path.join(run_dir, name))
     ]
+    rotated = telemetry_mod.rotated_paths(os.path.join(run_dir, TELEMETRY_FILE))
+    if len(rotated) > 1:
+        lines.append(
+            f"- telemetry sink rotated: {len(rotated)} files in the set"
+        )
     lines.append(f"- artifacts read: {', '.join(f'`{p}`' for p in present)}")
     return lines
 
@@ -275,6 +299,132 @@ def _section_trace(nodes: Optional[list]) -> list[str]:
     return lines
 
 
+def _section_slo(slo_doc: Optional[dict]) -> list[str]:
+    lines = ["## Service-level objectives", ""]
+    if not slo_doc or not slo_doc.get("objectives"):
+        lines.append(
+            "No `slo.json` in this run — record one with "
+            "`repro profile <command>` or `obs.run(slo_objectives=...)`."
+        )
+        return lines
+    lines += [
+        f"Windows: {slo_doc.get('window')} samples slow / "
+        f"{slo_doc.get('fast_window')} fast; alert when both burn ≥ "
+        f"{slo_doc.get('warn_burn_rate')}x (WARN) / "
+        f"{slo_doc.get('crit_burn_rate')}x (CRIT).",
+        "",
+    ]
+    rows = []
+    for status in slo_doc["objectives"]:
+        value = status.get("value")
+        rows.append([
+            status.get("spec"),
+            "-" if value is None else f"{value:.4g}",
+            status.get("n_samples", 0),
+            "ok" if status.get("ok") else "VIOLATED",
+            f"{status.get('burn_rate', 0.0):.1f}x"
+            if status.get("kind") != "gauge" else "-",
+            status.get("severity") or "-",
+        ])
+    lines.append(_md_table(
+        ["objective", "value", "samples", "status", "burn", "severity"], rows
+    ))
+    return lines
+
+
+def _section_profile(
+    run_dir: str,
+    counts: Optional[dict],
+    memory_doc: Optional[dict],
+) -> list[str]:
+    lines = ["## CPU & memory profile", ""]
+    if not counts and not memory_doc:
+        lines.append(
+            "No profile in this run — record one with "
+            "`repro profile <command>`."
+        )
+        return lines
+    if counts:
+        total = sum(counts.values())
+        lines.append(
+            f"{total} samples across {len(counts)} unique stacks — "
+            f"interactive view: `{os.path.join(run_dir, FLAMEGRAPH_FILE)}`"
+        )
+        lines.append("")
+        hot = profiler_mod.hot_functions_of(counts, n=_TOP_SPANS)
+        if hot:
+            lines.append("### Hot functions (self time)")
+            lines.append("")
+            lines.append(_md_table(
+                ["frame", "samples", "share"],
+                [
+                    [frame, samples, f"{fraction:.1%}"]
+                    for frame, samples, fraction in hot
+                ],
+            ))
+            lines.append("")
+        spans = sorted(
+            profiler_mod.span_samples_of(counts).items(), key=lambda kv: -kv[1]
+        )
+        if spans:
+            lines.append("### Samples by enclosing span")
+            lines.append("")
+            lines.append(_md_table(
+                ["span", "samples", "share"],
+                [
+                    [name, samples, f"{samples / total:.1%}"]
+                    for name, samples in spans[:_TOP_SPANS]
+                ],
+            ))
+            lines.append("")
+    if memory_doc:
+        lines.append("### Memory (tracemalloc)")
+        lines.append("")
+        lines.append(
+            f"- traced: {memory_doc.get('current_kb', 0.0):.0f} KiB current, "
+            f"{memory_doc.get('peak_kb', 0.0):.0f} KiB peak; "
+            f"RSS {memory_doc.get('rss_kb', 0.0):.0f} KiB"
+        )
+        suspects = [
+            check
+            for check in (memory_doc.get("epochs") or {}).values()
+            if check.get("suspect")
+        ]
+        if suspects:
+            for check in suspects:
+                lines.append(
+                    f"- **leak suspect**: phase `{check['phase']}` grew "
+                    f"monotonically over its trailing epochs "
+                    f"({check.get('growth_bytes', 0)} bytes)"
+                )
+        elif memory_doc.get("epochs"):
+            lines.append(
+                f"- leak check: {len(memory_doc['epochs'])} phases, "
+                "no monotone growth"
+            )
+        top = memory_doc.get("growth_since_start") or memory_doc.get(
+            "top_allocators"
+        )
+        if top:
+            lines.append("")
+            lines.append(_md_table(
+                ["allocation site", "KiB", "blocks"],
+                [
+                    [row.get("site"), row.get("size_kb"), row.get("count")]
+                    for row in top[:10]
+                ],
+            ))
+    return lines
+
+
+def _load_profile_counts(run_dir: str) -> Optional[dict]:
+    path = os.path.join(run_dir, PROFILE_COLLAPSED_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return profiler_mod.parse_collapsed(handle.read())
+
+
 def _section_bench(bench_dir: Optional[str]) -> list[str]:
     from ..bench.reporting import results_dir
 
@@ -328,25 +478,55 @@ def _section_bench(bench_dir: Optional[str]) -> list[str]:
 # ------------------------------------------------------------------ #
 # assembly
 # ------------------------------------------------------------------ #
+def _merge_recorded_slo_alerts(
+    monitor: health_mod.HealthMonitor, records: list[dict]
+) -> None:
+    """Fold recorded SLO alerts into a replayed monitor.
+
+    :func:`health_mod.replay` re-derives the *training/calibration* rules
+    from the raw streams, but burn-rate alerts depend on the rolling
+    sample windows of the live run — they cannot be re-derived, so the
+    recorded ``health`` stream is authoritative for them.
+    """
+    recorded = [
+        health_mod.Alert(
+            severity=str(record.get("severity", health_mod.WARN)),
+            rule=str(record.get("rule", "slo")),
+            message=str(record.get("message", "")),
+            value=record.get("value"),
+            threshold=record.get("threshold"),
+        )
+        for record in records
+        if record.get("stream") == "health"
+        and str(record.get("rule", "")).startswith("slo")
+    ]
+    if recorded:
+        monitor.publish(recorded)
+
+
 def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
     """The full report as one markdown document."""
     telemetry_path = os.path.join(run_dir, TELEMETRY_FILE)
-    records: list[dict] = []
-    if os.path.exists(telemetry_path):
-        records = telemetry_mod.load_jsonl(telemetry_path)
+    records = telemetry_mod.load_run(telemetry_path)
     monitor = health_mod.replay(records)
+    _merge_recorded_slo_alerts(monitor, records)
     snapshot = _load_json(os.path.join(run_dir, METRICS_FILE))
     nodes = _load_json(os.path.join(run_dir, TRACE_FILE))
+    slo_doc = _load_json(os.path.join(run_dir, SLO_FILE))
+    memory_doc = _load_json(os.path.join(run_dir, MEMORY_FILE))
+    profile_counts = _load_profile_counts(run_dir)
 
     sections = [
         ["# repro diagnostic report", ""],
         _section_summary(run_dir, records, monitor),
         _section_health(monitor),
+        _section_slo(slo_doc),
         _section_training(records),
         _section_plans(records),
         _section_queries(records),
         _section_metrics(snapshot),
         _section_trace(nodes),
+        _section_profile(run_dir, profile_counts, memory_doc),
         _section_bench(bench_dir),
     ]
     return "\n".join("\n".join(section) + "\n" for section in sections)
@@ -485,29 +665,120 @@ def build_report(
     return out_path
 
 
+def render_top(run_dir: str, width: int = 78) -> str:
+    """One text frame of the live-run view ``repro top`` refreshes.
+
+    Reads only the artifacts a profiled run flushes periodically
+    (collapsed stacks, ``slo.json``, ``memory.json``, the telemetry
+    JSONL), so it can watch a run owned by another process.
+    """
+
+    def rule(title: str) -> str:
+        return f"── {title} " + "─" * max(0, width - len(title) - 4)
+
+    lines = [f"repro top — {run_dir}"]
+    records = telemetry_mod.load_run(os.path.join(run_dir, TELEMETRY_FILE))
+    health_records = [r for r in records if r.get("stream") == "health"]
+    crit = sum(1 for r in health_records if r.get("severity") == health_mod.CRIT)
+    warn = sum(1 for r in health_records if r.get("severity") == health_mod.WARN)
+    lines.append(
+        f"telemetry: {len(records)} records | health: "
+        f"{crit} CRIT, {warn} WARN"
+    )
+
+    slo_doc = _load_json(os.path.join(run_dir, SLO_FILE))
+    lines.append(rule("SLO burn"))
+    if slo_doc and slo_doc.get("objectives"):
+        for status in slo_doc["objectives"]:
+            value = status.get("value")
+            shown = "-" if value is None else f"{value:.4g}"
+            burn = (
+                f"burn {status.get('burn_rate', 0.0):5.1f}x"
+                if status.get("kind") != "gauge"
+                else "gauge      "
+            )
+            marker = status.get("severity") or (
+                "ok" if status.get("ok") else "!!"
+            )
+            lines.append(
+                f"  {status.get('spec', '?'):<38} {shown:>10}  {burn}  {marker}"
+            )
+    else:
+        lines.append("  (no slo.json yet)")
+
+    counts = _load_profile_counts(run_dir)
+    lines.append(rule("hot functions (self time)"))
+    if counts:
+        for frame, samples, fraction in profiler_mod.hot_functions_of(
+            counts, n=8
+        ):
+            lines.append(f"  {fraction:6.1%} {samples:>6}  {frame}")
+        lines.append(rule("samples by span"))
+        total = sum(counts.values())
+        spans = sorted(
+            profiler_mod.span_samples_of(counts).items(), key=lambda kv: -kv[1]
+        )
+        for name, samples in spans[:6]:
+            lines.append(f"  {samples / total:6.1%} {samples:>6}  {name}")
+    else:
+        lines.append("  (no collapsed stacks yet)")
+
+    memory_doc = _load_json(os.path.join(run_dir, MEMORY_FILE))
+    lines.append(rule("memory"))
+    if memory_doc:
+        lines.append(
+            f"  traced {memory_doc.get('current_kb', 0.0):,.0f} KiB "
+            f"(peak {memory_doc.get('peak_kb', 0.0):,.0f}) | "
+            f"RSS {memory_doc.get('rss_kb', 0.0):,.0f} KiB"
+        )
+        for check in (memory_doc.get("epochs") or {}).values():
+            if check.get("suspect"):
+                lines.append(
+                    f"  LEAK? {check['phase']}: +{check.get('growth_bytes', 0)}"
+                    " bytes over trailing epochs"
+                )
+    else:
+        lines.append("  (no memory.json yet)")
+
+    if records:
+        lines.append(rule("last events"))
+        for record in records[-5:]:
+            lines.append(
+                f"  #{record.get('seq', '?'):>5} {record.get('stream', '?')}"
+            )
+    return "\n".join(lines)
+
+
 def run_smoke(directory: str) -> str:
     """Record a tiny end-to-end run into ``directory`` and return it.
 
     Micro pipeline — flights at scale 0.12, ASQP-Light, two iterations,
     a few routed queries, and one EXPLAIN ANALYZE — sized for CI: it
     exercises every telemetry stream the report renders in seconds.
+    The whole pipeline runs under :func:`repro.obs.run` with the
+    profiler, the memory tracker, and the default SLOs enabled, so the
+    report's profile/SLO sections render from real artifacts.
     """
     from .. import obs
     from ..core import ASQPConfig, ASQPSession, ASQPTrainer
     from ..datasets import load_flights
     from ..db import explain
 
-    obs.start_run(directory)
-    bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
-    config = ASQPConfig.light(
-        memory_budget=120, frame_size=20, n_iterations=2,
-        learning_rate=1e-3,  # the CLI's demo/train lr, not light's 0.1
-        seed=0,
-    )
-    model = ASQPTrainer(bundle.db, bundle.workload, config).train()
-    session = ASQPSession(model, auto_fine_tune=False)
-    for query in list(bundle.workload)[:3]:
-        session.query(query)
-    explain(bundle.db, list(bundle.workload)[0], analyze=True)
-    obs.finish_run(directory)
+    with obs.run(
+        directory,
+        profile=True,
+        memory_tracking=True,
+        slo_objectives=obs.slo.DEFAULT_OBJECTIVES,
+    ):
+        bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
+        config = ASQPConfig.light(
+            memory_budget=120, frame_size=20, n_iterations=2,
+            learning_rate=1e-3,  # the CLI's demo/train lr, not light's 0.1
+            seed=0,
+        )
+        model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+        session = ASQPSession(model, auto_fine_tune=False)
+        for query in list(bundle.workload)[:3]:
+            session.query(query)
+        explain(bundle.db, list(bundle.workload)[0], analyze=True)
     return directory

@@ -1,0 +1,366 @@
+"""Declarative SLOs: latency/answerability objectives with burn-rate alerts.
+
+The paper's contract is *interactive latency* — approximation-set
+answers in seconds instead of minutes — so the reproduction states that
+contract as service-level objectives and watches them like Quickr /
+VerdictDB treat per-query latency budgets. An objective is one line of
+text::
+
+    query.p95 < 250ms              # windowed latency objective
+    executor.p95 < 200ms @ 99.9%   # explicit compliance target
+    estimator.calibration_error < 0.1   # gauge objective
+
+Windowed objectives are evaluated over a rolling window of samples fed
+straight from the metrics registry (``metrics.observe`` forwards every
+histogram sample of a *watched* metric here — one dict lookup on the
+enabled path, nothing when observability is off). Alerting uses the SRE
+multi-window burn rate: with error budget ``1 - target``, the fraction
+of budget-violating samples in the slow (full) and fast (trailing)
+windows is divided by the budget; only when **both** windows burn above
+a threshold does an alert fire — a single slow query cannot page, a
+sustained regression cannot hide. Gauge objectives compare the current
+registry gauge against the threshold at evaluation time.
+
+Alerts feed the existing :mod:`repro.obs.health` WARN/CRIT pipeline
+(``health`` telemetry stream, ``health.alerts.*`` counters), and
+escalation is deduplicated per objective so periodic evaluation during
+a live run does not spam the alert history.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Union
+
+from . import health as _health
+from . import metrics as _metrics
+from . import telemetry as _telemetry
+
+#: Artifact name inside a run directory.
+SLO_FILE = "slo.json"
+
+#: Multi-window burn-rate thresholds (both windows must exceed).
+WARN_BURN_RATE = 2.0
+CRIT_BURN_RATE = 10.0
+
+#: Samples needed in the slow window before burn alerts may fire.
+MIN_SAMPLES = 10
+
+#: Short names usable in objective specs → metric registry names.
+ALIASES = {
+    "query": "session.query.seconds",
+    "executor": "executor.query.seconds",
+    "train.rollout": "train.rollout.seconds",
+    "train.update": "train.update.seconds",
+}
+
+_WINDOW_AGGS = ("p50", "p95", "p99", "mean", "max")
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<metric>[\w.]+)\s*(?P<op><=|>=|<|>)\s*"
+    r"(?P<value>[\d.]+)\s*(?P<unit>us|ms|s|%)?\s*"
+    r"(?:@\s*(?P<target>[\d.]+)\s*%)?\s*$"
+)
+
+_UNIT_SCALE = {None: 1.0, "s": 1.0, "ms": 1e-3, "us": 1e-6, "%": 1e-2}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One parsed objective (see module docstring for the grammar)."""
+
+    spec: str            # original text, for reports
+    name: str            # short name, e.g. "query.p95"
+    metric: str          # metrics-registry name the samples come from
+    agg: str             # p50|p95|p99|mean|max for windows, "value" for gauges
+    op: str              # <, <=, >, >=
+    threshold: float     # in base units (seconds / plain value)
+    target: float = 0.99  # compliance target (fraction of good samples)
+
+    @property
+    def windowed(self) -> bool:
+        return self.agg != "value"
+
+    def complies(self, value: float) -> bool:
+        if self.op == "<":
+            return value < self.threshold
+        if self.op == "<=":
+            return value <= self.threshold
+        if self.op == ">":
+            return value > self.threshold
+        return value >= self.threshold
+
+
+def parse_objective(spec: Union[str, Objective]) -> Objective:
+    """Parse ``"query.p95 < 250ms [@ 99.9%]"`` into an :class:`Objective`."""
+    if isinstance(spec, Objective):
+        return spec
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ValueError(
+            f"unparseable SLO spec {spec!r}; expected "
+            "'<metric>[.p95] < <value>[ms] [@ <target>%]'"
+        )
+    metric = match.group("metric")
+    head, _, tail = metric.rpartition(".")
+    if tail in _WINDOW_AGGS and head:
+        agg, metric_name = tail, head
+    else:
+        agg, metric_name = "value", metric
+    threshold = float(match.group("value")) * _UNIT_SCALE[match.group("unit")]
+    target = float(match.group("target")) / 100.0 if match.group("target") else 0.99
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"SLO target must be in (0%, 100%), got {spec!r}")
+    resolved = ALIASES.get(metric_name, metric_name)
+    return Objective(
+        spec=spec.strip(),
+        name=f"{metric_name}.{agg}" if agg != "value" else metric_name,
+        metric=resolved,
+        agg=agg,
+        op=match.group("op"),
+        threshold=threshold,
+        target=target,
+    )
+
+
+def _aggregate(samples: list[float], agg: str) -> float:
+    if agg == "mean":
+        return sum(samples) / len(samples)
+    if agg == "max":
+        return max(samples)
+    ordered = sorted(samples)
+    q = {"p50": 0.50, "p95": 0.95, "p99": 0.99}[agg]
+    index = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+class SLOTracker:
+    """Rolling windows + burn-rate evaluation over registered objectives."""
+
+    def __init__(self, window: int = 256, fast_window: int = 32) -> None:
+        self.window = window
+        self.fast_window = min(fast_window, window)
+        self.objectives: list[Objective] = []
+        # samples per watched metric (rings: week-long runs stay flat)
+        self._samples: dict[str, deque[float]] = {}
+        # highest severity already published per objective (escalation dedup)
+        self._published: dict[str, Optional[str]] = {}
+
+    # -- configuration ----------------------------------------------- #
+    def add(self, spec: Union[str, Objective]) -> Objective:
+        objective = parse_objective(spec)
+        self.objectives.append(objective)
+        if objective.windowed and objective.metric not in self._samples:
+            self._samples[objective.metric] = deque(maxlen=self.window)
+        return objective
+
+    def watched_metrics(self) -> frozenset[str]:
+        return frozenset(self._samples)
+
+    # -- feed --------------------------------------------------------- #
+    def record(self, metric: str, value: float) -> None:
+        """One histogram sample (wired as the metrics sample hook)."""
+        ring = self._samples.get(metric)
+        if ring is not None:
+            ring.append(float(value))
+
+    # -- evaluation ---------------------------------------------------- #
+    def _evaluate_windowed(self, objective: Objective) -> dict[str, Any]:
+        samples = list(self._samples.get(objective.metric, ()))
+        status: dict[str, Any] = {
+            "name": objective.name,
+            "spec": objective.spec,
+            "kind": "window",
+            "metric": objective.metric,
+            "threshold": objective.threshold,
+            "target": objective.target,
+            "n_samples": len(samples),
+            "value": None,
+            "ok": True,
+            "bad_fraction": 0.0,
+            "fast_bad_fraction": 0.0,
+            "burn_rate": 0.0,
+            "fast_burn_rate": 0.0,
+            "severity": None,
+        }
+        if not samples:
+            return status
+        value = _aggregate(samples, objective.agg)
+        bad = sum(1 for s in samples if not objective.complies(s))
+        fast = samples[-self.fast_window:]
+        fast_bad = sum(1 for s in fast if not objective.complies(s))
+        budget = max(1.0 - objective.target, 1e-9)
+        status["value"] = value
+        status["ok"] = objective.complies(value)
+        status["bad_fraction"] = bad / len(samples)
+        status["fast_bad_fraction"] = fast_bad / len(fast)
+        status["burn_rate"] = status["bad_fraction"] / budget
+        status["fast_burn_rate"] = status["fast_bad_fraction"] / budget
+        if len(samples) >= MIN_SAMPLES:
+            slow_burn = min(status["burn_rate"], status["fast_burn_rate"])
+            if slow_burn >= CRIT_BURN_RATE:
+                status["severity"] = _health.CRIT
+            elif slow_burn >= WARN_BURN_RATE:
+                status["severity"] = _health.WARN
+        return status
+
+    def _evaluate_gauge(self, objective: Objective) -> dict[str, Any]:
+        value = _metrics.registry().gauge(objective.metric)
+        status: dict[str, Any] = {
+            "name": objective.name,
+            "spec": objective.spec,
+            "kind": "gauge",
+            "metric": objective.metric,
+            "threshold": objective.threshold,
+            "target": objective.target,
+            "n_samples": 1 if value is not None else 0,
+            "value": value,
+            "ok": True,
+            "severity": None,
+        }
+        if value is None:
+            return status
+        status["ok"] = objective.complies(value)
+        if not status["ok"]:
+            # Violation is WARN; a 2x miss of the threshold margin is CRIT.
+            factor = (
+                value / objective.threshold
+                if objective.op in ("<", "<=") and objective.threshold > 0
+                else 2.0
+            )
+            status["severity"] = _health.CRIT if factor >= 2.0 else _health.WARN
+        return status
+
+    def evaluate(self) -> list[dict[str, Any]]:
+        """Current status of every objective (no alerts published)."""
+        return [
+            self._evaluate_windowed(objective)
+            if objective.windowed
+            else self._evaluate_gauge(objective)
+            for objective in self.objectives
+        ]
+
+    # -- alerting ----------------------------------------------------- #
+    def publish(
+        self, monitor: Optional[_health.HealthMonitor] = None
+    ) -> list[_health.Alert]:
+        """Evaluate and feed escalations into the health pipeline.
+
+        Each objective publishes only on severity *escalation* (None →
+        WARN → CRIT), so periodic evaluation of a live run keeps the
+        alert history proportional to state changes, not to time.
+        """
+        monitor = monitor or _health.active_monitor()
+        order = {None: 0, _health.WARN: 1, _health.CRIT: 2}
+        alerts: list[_health.Alert] = []
+        for status in self.evaluate():
+            severity = status["severity"]
+            name = status["name"]
+            if order[severity] <= order.get(self._published.get(name), 0):
+                continue
+            self._published[name] = severity
+            if status["kind"] == "window":
+                message = (
+                    f"SLO '{status['spec']}' burning error budget: "
+                    f"{status['bad_fraction']:.0%} of the last "
+                    f"{status['n_samples']} samples violate the threshold "
+                    f"(burn rate {status['burn_rate']:.1f}x slow / "
+                    f"{status['fast_burn_rate']:.1f}x fast, "
+                    f"{name} = {status['value']:.4g} "
+                    f"vs {status['threshold']:.4g})"
+                )
+                rule = "slo_burn"
+            else:
+                message = (
+                    f"SLO '{status['spec']}' violated: "
+                    f"{status['value']:.4g} vs threshold "
+                    f"{status['threshold']:.4g}"
+                )
+                rule = "slo_violation"
+            alerts.append(_health.Alert(
+                severity, rule, message,
+                value=status["value"], threshold=status["threshold"],
+            ))
+            _metrics.set_gauge(
+                f"slo.{name}.burn_rate", status.get("burn_rate", 0.0)
+            )
+        published = monitor.publish(alerts)
+        for status in self.evaluate():
+            _telemetry.emit("slo", **{
+                k: v for k, v in status.items() if k != "kind"
+            })
+        return published
+
+    # -- export -------------------------------------------------------- #
+    def summary(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "fast_window": self.fast_window,
+            "warn_burn_rate": WARN_BURN_RATE,
+            "crit_burn_rate": CRIT_BURN_RATE,
+            "objectives": self.evaluate(),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.summary(), handle, indent=2, default=str)
+
+
+#: Objectives ``repro profile`` / ``repro report --smoke`` install by
+#: default: the paper's interactive-latency pitch plus estimator quality.
+DEFAULT_OBJECTIVES = (
+    "query.p95 < 250ms",
+    "executor.p95 < 200ms",
+    "estimator.calibration_error < 0.1",
+)
+
+
+# ------------------------------------------------------------------ #
+# module-level singleton (one tracker per observability run)
+# ------------------------------------------------------------------ #
+#: Bounded: holds at most the one configured tracker (see `clear`).
+_ACTIVE: list[SLOTracker] = []
+
+
+def configure(
+    objectives: Iterable[Union[str, Objective]],
+    window: int = 256,
+    fast_window: int = 32,
+) -> SLOTracker:
+    """Install a tracker for ``objectives`` and hook it into metrics."""
+    clear()
+    tracker = SLOTracker(window=window, fast_window=fast_window)
+    for spec in objectives:
+        tracker.add(spec)
+    _ACTIVE.append(tracker)
+    _metrics.set_sample_hook(tracker.record)
+    return tracker
+
+
+def active() -> Optional[SLOTracker]:
+    return _ACTIVE[0] if _ACTIVE else None
+
+
+def is_active() -> bool:
+    return bool(_ACTIVE)
+
+
+def clear() -> None:
+    """Drop the tracker and detach the metrics sample hook."""
+    _ACTIVE.clear()
+    _metrics.set_sample_hook(None)
+
+
+def publish() -> list[_health.Alert]:
+    """Publish escalations from the active tracker (no-op when idle)."""
+    if not _ACTIVE:
+        return []
+    return _ACTIVE[0].publish()
+
+
+def write_json(path: str) -> None:
+    if _ACTIVE:
+        _ACTIVE[0].write_json(path)

@@ -1,4 +1,4 @@
-"""Structured event streams (JSONL): training updates and query outcomes.
+"""Structured event streams (JSONL) with bounded retention.
 
 A telemetry *record* is one flat JSON object tagged with its ``stream``
 (``"train.update"``, ``"query"``, ``"log"``, …) and a monotonically
@@ -7,52 +7,132 @@ ring (so tests and the CLI can inspect a run without touching disk) and,
 when a sink path is configured, are appended to a JSONL file as they
 happen — the format ``repro stats`` reads back.
 
+Retention is bounded on both axes so week-long runs stay flat:
+
+* in memory, the ring is a ``deque(maxlen=MAX_RECORDS)``;
+* on disk, the sink rotates — when the active file would exceed
+  ``max_bytes`` (or ``max_lines``), ``telemetry.jsonl`` becomes
+  ``telemetry.1.jsonl``, ``.1`` becomes ``.2``, … and files beyond
+  ``max_files`` are deleted. A record that lands the file *exactly at*
+  the cap stays put; the next record triggers the rotation, and the
+  first record of a fresh file is always written even if it alone
+  exceeds the cap (a record is never split or silently dropped).
+
+:func:`load_run` reads a rotated set back transparently (oldest file
+first), so ``health.replay()`` and ``repro report`` see every retained
+record regardless of how many times the sink rolled.
+
 Emission is a no-op while observability is disabled, matching the rest
 of ``repro.obs``.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import threading
 import time
+from collections import deque
 from typing import Any, Optional
 
 from .runtime import STATE
 
-#: Cap on in-memory records (oldest dropped first).
+#: Cap on in-memory records (ring: oldest dropped first).
 MAX_RECORDS = 10_000
 
+#: Default on-disk rotation: 64 MiB per file, 8 rotated files kept —
+#: a run's telemetry footprint is bounded near 0.5 GiB however long it
+#: lives. ``configure(..., max_bytes=None)`` disables rotation.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_MAX_FILES = 8
+
 _LOCK = threading.Lock()
-_RECORDS: list[dict[str, Any]] = []
+_RECORDS: deque[dict[str, Any]] = deque(maxlen=MAX_RECORDS)
 _SINK_PATH: Optional[str] = None
 _SEQUENCE = 0
+_MAX_BYTES: Optional[int] = None
+_MAX_LINES: Optional[int] = None
+_MAX_FILES: int = DEFAULT_MAX_FILES
+_SINK_BYTES = 0
+_SINK_LINES = 0
 
 
-def configure(path: Optional[str]) -> None:
-    """Set (or clear, with None) the JSONL sink file; truncates the file."""
-    global _SINK_PATH
+def _rotation_path(path: str, index: int) -> str:
+    root, ext = os.path.splitext(path)
+    return f"{root}.{index}{ext}"
+
+
+def configure(
+    path: Optional[str],
+    max_bytes: Optional[int] = None,
+    max_lines: Optional[int] = None,
+    max_files: int = DEFAULT_MAX_FILES,
+) -> None:
+    """Set (or clear, with None) the JSONL sink file; truncates the file.
+
+    Any rotated siblings left by a previous run in the same directory
+    are deleted, so the rotated set always describes exactly one run.
+    """
+    global _SINK_PATH, _MAX_BYTES, _MAX_LINES, _MAX_FILES
+    global _SINK_BYTES, _SINK_LINES
     with _LOCK:
         _SINK_PATH = path
+        _MAX_BYTES = max_bytes
+        _MAX_LINES = max_lines
+        _MAX_FILES = max(1, max_files)
+        _SINK_BYTES = 0
+        _SINK_LINES = 0
         if path is not None:
             with open(path, "w"):
                 pass
+            root, ext = os.path.splitext(path)
+            for stale in glob.glob(f"{root}.*{ext}"):
+                suffix = stale[len(root) + 1: len(stale) - len(ext)]
+                if suffix.isdigit():
+                    os.remove(stale)
+
+
+def _rotate_locked() -> None:
+    """Shift ``path`` → ``.1`` → ``.2`` …, dropping beyond ``_MAX_FILES``."""
+    global _SINK_BYTES, _SINK_LINES
+    assert _SINK_PATH is not None
+    oldest = _rotation_path(_SINK_PATH, _MAX_FILES)
+    if os.path.exists(oldest):
+        os.remove(oldest)
+    for index in range(_MAX_FILES - 1, 0, -1):
+        source = _rotation_path(_SINK_PATH, index)
+        if os.path.exists(source):
+            os.replace(source, _rotation_path(_SINK_PATH, index + 1))
+    if os.path.exists(_SINK_PATH):
+        os.replace(_SINK_PATH, _rotation_path(_SINK_PATH, 1))
+    _SINK_BYTES = 0
+    _SINK_LINES = 0
 
 
 def emit(stream: str, **fields: Any) -> None:
     """Record one event iff observability is enabled."""
     if not STATE.enabled:
         return
-    global _SEQUENCE
+    global _SEQUENCE, _SINK_BYTES, _SINK_LINES
     with _LOCK:
         _SEQUENCE += 1
         record = {"stream": stream, "seq": _SEQUENCE, "ts": time.time(), **fields}
         _RECORDS.append(record)
-        if len(_RECORDS) > MAX_RECORDS:
-            del _RECORDS[: len(_RECORDS) - MAX_RECORDS]
         if _SINK_PATH is not None:
+            data = json.dumps(record, default=str) + "\n"
+            over_bytes = (
+                _MAX_BYTES is not None
+                and _SINK_BYTES > 0
+                and _SINK_BYTES + len(data) > _MAX_BYTES
+            )
+            over_lines = _MAX_LINES is not None and _SINK_LINES >= _MAX_LINES
+            if over_bytes or over_lines:
+                _rotate_locked()
             with open(_SINK_PATH, "a") as handle:
-                handle.write(json.dumps(record, default=str) + "\n")
+                handle.write(data)
+            _SINK_BYTES += len(data)
+            _SINK_LINES += 1
 
 
 def records(stream: Optional[str] = None) -> list[dict[str, Any]]:
@@ -82,11 +162,42 @@ def write_jsonl(path: str) -> None:
 
 
 def load_jsonl(path: str) -> list[dict[str, Any]]:
-    """Parse a telemetry JSONL file back into records."""
+    """Parse one telemetry JSONL file back into records.
+
+    Unparseable lines are skipped rather than fatal: ``repro top``
+    reads files that a live run is still appending to, so the last
+    line may be half-written.
+    """
     out: list[dict[str, Any]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return out
+
+
+def rotated_paths(path: str) -> list[str]:
+    """Existing files of a rotated set, oldest first, active file last."""
+    root, ext = os.path.splitext(path)
+    indexed: list[tuple[int, str]] = []
+    for candidate in glob.glob(f"{root}.*{ext}"):
+        suffix = candidate[len(root) + 1: len(candidate) - len(ext)]
+        if suffix.isdigit():
+            indexed.append((int(suffix), candidate))
+    out = [p for _, p in sorted(indexed, reverse=True)]
+    if os.path.exists(path):
+        out.append(path)
+    return out
+
+
+def load_run(path: str) -> list[dict[str, Any]]:
+    """Records across the whole rotated set of ``path``, oldest first."""
+    out: list[dict[str, Any]] = []
+    for part in rotated_paths(path):
+        out.extend(load_jsonl(part))
     return out

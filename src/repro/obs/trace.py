@@ -143,13 +143,47 @@ _LOCAL = threading.local()
 _ROOTS: list[Span] = []
 _ROOTS_LOCK = threading.Lock()
 
+#: Cross-thread view of every thread's active-span stack, so the
+#: sampling profiler can attribute a sample taken *of* thread T to T's
+#: innermost span without touching T. Keyed by thread ident; entries of
+#: dead threads are purged whenever the table outgrows the live set
+#: (bounded: live threads + a purge slack of MAX_STACK_TABLE).
+MAX_STACK_TABLE = 64
+_THREAD_STACKS: dict[int, list[Span]] = {}
+
 
 def _stack() -> list[Span]:
     stack = getattr(_LOCAL, "stack", None)
     if stack is None:
         stack = []
         _LOCAL.stack = stack
+        _register_stack(stack)
     return stack
+
+
+def _register_stack(stack: list[Span]) -> None:
+    with _ROOTS_LOCK:
+        if len(_THREAD_STACKS) >= MAX_STACK_TABLE:
+            alive = {t.ident for t in threading.enumerate()}
+            for tid in [t for t in _THREAD_STACKS if t not in alive]:
+                del _THREAD_STACKS[tid]
+        _THREAD_STACKS[threading.get_ident()] = stack
+
+
+def active_span_name(tid: int) -> Optional[str]:
+    """Innermost active span name of thread ``tid`` (profiler-facing).
+
+    Lock-free best-effort read: the owning thread may push/pop
+    concurrently, so a sample can land one span early or late — fine
+    for statistical attribution, and never corrupts the stack itself.
+    """
+    stack = _THREAD_STACKS.get(tid)
+    if not stack:
+        return None
+    try:
+        return stack[-1].name
+    except IndexError:
+        return None
 
 
 def _record_root(root: Span) -> None:

@@ -150,6 +150,75 @@ class TestCLI:
         assert "# repro diagnostic report" in report
         assert "HEALTHY" in report
 
+    def test_profile_then_top(self, tmp_path, capsys):
+        run_dir = tmp_path / "prof"
+        code = main([
+            "profile", "--dir", str(run_dir), "demo",
+            "--dataset", "flights", "--scale", "0.12", "--k", "100",
+            "--frame-size", "20", "--iterations", "2", "--light",
+            "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flamegraph" in out
+        assert (run_dir / "flamegraph.html").stat().st_size > 0
+        assert (run_dir / "profile.collapsed.txt").stat().st_size > 0
+        assert (run_dir / "slo.json").stat().st_size > 0
+        assert (run_dir / "memory.json").stat().st_size > 0
+
+        code = main(["top", "--dir", str(run_dir), "--once"])
+        assert code == 0
+        top = capsys.readouterr().out
+        assert "SLO burn" in top
+        assert "hot functions (self time)" in top
+        assert "samples by span" in top
+
+    def test_profile_without_command_exits_2(self, capsys):
+        assert main(["profile"]) == 2
+        assert "usage: repro profile" in capsys.readouterr().out
+
+    def test_profile_refuses_nesting(self, capsys):
+        assert main(["profile", "profile", "demo"]) == 2
+        assert "nested" in capsys.readouterr().out
+
+    def test_stats_missing_run_dir_exits_1(self, tmp_path, capsys):
+        assert main(["stats", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def test_trace_missing_run_dir_exits_1(self, tmp_path, capsys):
+        assert main(["trace", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def test_top_missing_run_dir_exits_1(self, tmp_path, capsys):
+        assert main(["top", "--dir", str(tmp_path / "nope"), "--once"]) == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def test_trace_corrupt_artifact_exits_1_with_message(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "trace.json").write_text("")  # half-written run
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--dir", str(run_dir)])
+        assert excinfo.value.code == 1
+        assert "unreadable run artifact" in capsys.readouterr().out
+
+    def test_trace_wrong_shape_artifact_exits_1(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "trace.json").write_text("{}")
+        assert main(["trace", "--dir", str(run_dir)]) == 1
+        assert "expected a span list" in capsys.readouterr().out
+
+    def test_help_lists_profile_and_top(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert "top" in out
+
     def test_report_html_out_path(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
         run_dir = tmp_path / "run"

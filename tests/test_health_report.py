@@ -218,8 +218,7 @@ class TestTrainingHealthEndToEnd:
         from repro.datasets import load_flights
 
         run_dir = str(tmp_path / "run")
-        obs.start_run(run_dir)
-        try:
+        with obs.run(run_dir):
             bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
             config = ASQPConfig.light(
                 memory_budget=120, frame_size=20, n_iterations=3,
@@ -230,8 +229,6 @@ class TestTrainingHealthEndToEnd:
             session = ASQPSession(model, auto_fine_tune=False)
             for query in list(bundle.workload)[:2]:
                 session.query(query)
-        finally:
-            obs.finish_run(run_dir)
         return run_dir, monitor
 
     def test_destabilized_run_emits_crit(self, tmp_path):
@@ -259,34 +256,33 @@ class TestTrainingHealthEndToEnd:
 def recorded_run(tmp_path):
     """A synthetic run directory covering every telemetry stream."""
     run_dir = str(tmp_path / "run")
-    obs.start_run(run_dir)
-    with trace.span("train"):
-        with trace.span("train.update"):
-            pass
-    for i, kl in enumerate([0.01, 2.5, 0.02]):
-        telemetry.emit("train.update", **_update(i, kl_divergence=kl))
-    telemetry.emit(
-        "query",
-        sql="SELECT * FROM t",
-        used_approximation=True,
-        confidence=0.9,
-        realized_frame_score=0.8,
-        rows=12,
-        drift=False,
-    )
-    telemetry.emit(
-        "plan",
-        sql="SELECT a | b FROM t",  # pipe must survive the markdown table
-        total_seconds=0.01,
-        max_q_error=1.5,
-        operators=[
-            {"op": "scan", "label": "t", "estimated_rows": 10,
-             "actual_rows": 8, "q_error": 1.25, "seconds": 0.001},
-        ],
-    )
-    metrics.add("session.queries")
-    metrics.observe("executor.join.q_error", 1.3)
-    obs.finish_run(run_dir)
+    with obs.run(run_dir):
+        with trace.span("train"):
+            with trace.span("train.update"):
+                pass
+        for i, kl in enumerate([0.01, 2.5, 0.02]):
+            telemetry.emit("train.update", **_update(i, kl_divergence=kl))
+        telemetry.emit(
+            "query",
+            sql="SELECT * FROM t",
+            used_approximation=True,
+            confidence=0.9,
+            realized_frame_score=0.8,
+            rows=12,
+            drift=False,
+        )
+        telemetry.emit(
+            "plan",
+            sql="SELECT a | b FROM t",  # pipe must survive the markdown table
+            total_seconds=0.01,
+            max_q_error=1.5,
+            operators=[
+                {"op": "scan", "label": "t", "estimated_rows": 10,
+                 "actual_rows": 8, "q_error": 1.25, "seconds": 0.001},
+            ],
+        )
+        metrics.add("session.queries")
+        metrics.observe("executor.join.q_error", 1.3)
     return run_dir
 
 

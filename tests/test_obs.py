@@ -213,6 +213,32 @@ class TestMetrics:
         assert h.percentile(50) == 100.0
         assert h.snapshot()["count"] == 1
 
+    def test_histogram_single_sample_percentiles(self):
+        h = metrics.Histogram()
+        h.observe(0.042)
+        # One sample: every percentile is that sample (min==max clamps
+        # the in-bucket interpolation).
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert h.percentile(q) == pytest.approx(0.042)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["mean"] == pytest.approx(0.042)
+        assert snap["p50"] == snap["p99"] == pytest.approx(0.042)
+
+    def test_histogram_all_equal_samples(self):
+        h = metrics.Histogram()
+        for _ in range(100):
+            h.observe(0.25)
+        assert h.min == h.max == 0.25
+        for q in (1.0, 50.0, 99.0):
+            assert h.percentile(q) == pytest.approx(0.25)
+
+    def test_histogram_empty_snapshot_is_all_none(self):
+        snap = metrics.Histogram().snapshot()
+        assert snap["count"] == 0
+        for key in ("min", "max", "mean", "p50", "p95", "p99"):
+            assert snap[key] is None
+
     def test_registry_reset_and_snapshot_shape(self):
         obs.enable()
         metrics.add("c")
@@ -330,16 +356,20 @@ class TestEndToEnd:
             learning_rate=1e-3,
             seed=21,
         )
-        obs.start_run(str(run_dir))
-        try:
+        with obs.run(str(run_dir)) as run_path:
             session = ASQPSystem(config).fit(
                 tiny_flights.db, tiny_flights.workload, auto_fine_tune=False
             )
             for query in list(tiny_flights.workload)[:3]:
                 outcome = session.query(query)
                 assert outcome.elapsed_seconds >= 0
-        finally:
-            paths = obs.finish_run(str(run_dir))
+        paths = {
+            "telemetry": str(run_dir / obs.TELEMETRY_FILE),
+            "trace": str(run_dir / obs.TRACE_FILE),
+            "chrome_trace": str(run_dir / obs.CHROME_TRACE_FILE),
+            "metrics": str(run_dir / obs.METRICS_FILE),
+        }
+        assert run_path == str(run_dir)
 
         # --- trace tree: training root span with nested phases -------- #
         with open(paths["trace"]) as handle:

@@ -1,0 +1,567 @@
+"""Tests for continuous profiling, SLO tracking, and telemetry retention.
+
+Covers the sampling profiler (collapsed stacks, flamegraph HTML, span
+attribution, the unique-stack cap), the tracemalloc memory tracker
+(epoch gauges, leak verdicts, inactive no-ops), the declarative SLO
+layer (spec parsing, burn-rate alerting into the health pipeline,
+escalation dedup), telemetry rotation boundaries (byte cap, exact line
+cap, replay across the rotated set), and the ``obs.run`` context
+manager's flush-on-exception guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    health,
+    memory,
+    metrics,
+    profiler,
+    slo,
+    telemetry,
+    trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends disabled with empty state."""
+
+    def scrub():
+        profiler.stop()
+        memory.stop()
+        slo.clear()
+        obs.disable()
+        trace.reset()
+        metrics.reset()
+        telemetry.reset()
+        telemetry.configure(None)
+        health.reset()
+
+    scrub()
+    yield
+    scrub()
+
+
+def _busy_loop(seconds: float) -> int:
+    from repro.obs.clock import perf_counter
+
+    deadline = perf_counter() + seconds
+    total = 0
+    while perf_counter() < deadline:
+        total += sum(range(128))
+    return total
+
+
+def _shape_a() -> int:
+    return sum(range(256))
+
+
+def _shape_b() -> int:
+    return sum(range(256))
+
+
+def _busy_two_shapes(seconds: float) -> int:
+    """Busy loop whose sampled leaf frame alternates between two shapes."""
+    from repro.obs.clock import perf_counter
+
+    deadline = perf_counter() + seconds
+    total = 0
+    while perf_counter() < deadline:
+        total += _shape_a() + _shape_b()
+    return total
+
+
+# ------------------------------------------------------------------ #
+# sampling profiler
+# ------------------------------------------------------------------ #
+class TestSamplingProfiler:
+    def test_collapsed_stacks_and_artifacts(self, tmp_path):
+        prof = profiler.SamplingProfiler(hz=400)
+        prof.start()
+        _busy_loop(0.3)
+        prof.stop()
+        assert prof.sample_count > 10
+        collapsed = prof.collapsed()
+        assert collapsed
+        # Every line is `frame;frame;... count`.
+        for line in collapsed.splitlines():
+            stack_text, _, count_text = line.rpartition(" ")
+            assert stack_text and count_text.isdigit()
+        # The busy loop's own frame shows up somewhere.
+        assert "_busy_loop" in collapsed
+
+        collapsed_path = tmp_path / "p.txt"
+        flame_path = tmp_path / "f.html"
+        prof.write_collapsed(str(collapsed_path))
+        prof.write_flamegraph(str(flame_path))
+        assert collapsed_path.read_text() == collapsed
+        html = flame_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "const DATA" in html and "_busy_loop" in html
+
+    def test_parse_collapsed_round_trip(self):
+        prof = profiler.SamplingProfiler(hz=400)
+        prof.start()
+        _busy_loop(0.2)
+        prof.stop()
+        parsed = profiler.parse_collapsed(prof.collapsed())
+        assert parsed == prof.stack_counts()
+        # Aggregations over the parsed dict match the live views.
+        assert profiler.span_samples_of(parsed) == prof.span_samples()
+        assert dict(
+            (frame, samples)
+            for frame, samples, _ in profiler.hot_functions_of(parsed)
+        ) == dict(
+            (frame, samples) for frame, samples, _ in prof.hot_functions()
+        )
+
+    def test_samples_attributed_to_active_span(self):
+        obs.enable()
+        prof = profiler.SamplingProfiler(hz=400)
+        prof.start()
+        with trace.span("unit.work"):
+            _busy_loop(0.3)
+        prof.stop()
+        spans = prof.span_samples()
+        assert spans.get("unit.work", 0) > 0
+        # And the collapsed text carries the span frame at stack root.
+        assert "span:unit.work;" in prof.collapsed()
+
+    def test_hot_functions_rank_the_busy_frame(self):
+        prof = profiler.SamplingProfiler(hz=400)
+        prof.start()
+        _busy_loop(0.3)
+        prof.stop()
+        hot = prof.hot_functions(n=5)
+        assert hot
+        frames = [frame for frame, _, _ in hot]
+        assert any("_busy_loop" in frame or "sum" in frame for frame in frames)
+        fractions = [fraction for _, _, fraction in hot]
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_unique_stack_cap_aggregates_overflow(self):
+        prof = profiler.SamplingProfiler(hz=500, max_unique_stacks=1)
+        prof.start()
+        # The two leaf shapes guarantee >1 distinct sampled stack, so
+        # everything past the first shape must fold into (overflow).
+        _busy_two_shapes(0.4)
+        prof.stop()
+        counts = prof.stack_counts()
+        assert len(counts) <= prof.max_unique_stacks + 1
+        assert prof.dropped_stacks > 0
+        assert counts.get((profiler.OVERFLOW_FRAME,), 0) == prof.dropped_stacks
+
+    def test_module_singleton_start_stop(self):
+        first = profiler.start(hz=200)
+        assert profiler.is_active()
+        assert profiler.start(hz=999) is first  # idempotent
+        stopped = profiler.stop()
+        assert stopped is first
+        assert not profiler.is_active()
+        assert profiler.stop() is None
+
+    def test_summary_shape(self):
+        prof = profiler.SamplingProfiler(hz=300)
+        prof.start()
+        _busy_loop(0.1)
+        prof.stop()
+        summary = prof.summary()
+        assert summary["hz"] == 300
+        assert summary["samples"] == prof.sample_count
+        assert summary["duration_s"] > 0
+        assert isinstance(summary["span_samples"], dict)
+
+
+# ------------------------------------------------------------------ #
+# memory tracker
+# ------------------------------------------------------------------ #
+class TestMemoryTracker:
+    def test_inactive_mark_epoch_is_noop(self):
+        assert not memory.is_active()
+        assert memory.mark_epoch("anything") == 0
+
+    def test_epoch_marks_set_gauges(self):
+        obs.enable()
+        memory.start()
+        blocks = [bytes(4096) for _ in range(16)]
+        memory.mark_epoch("unit.phase")
+        blocks.extend(bytes(4096) for _ in range(16))
+        growth = memory.mark_epoch("unit.phase")
+        memory.stop()
+        assert growth > 0
+        registry = metrics.registry()
+        assert registry.gauge("memory.tracemalloc.current_kb") > 0
+        assert registry.gauge("memory.rss_kb") > 0
+        assert registry.gauge("memory.epoch.unit.phase.growth_kb") > 0
+        assert blocks  # keep the allocations alive until here
+
+    def test_leak_check_flags_monotone_growth(self):
+        tracker = memory.MemoryTracker()
+        tracker.start()
+        hoard = []
+        for _ in range(5):
+            hoard.append(bytes(64 * 1024))
+            tracker.mark_epoch("leaky")
+        verdict = tracker.leak_check("leaky", min_epochs=4)
+        assert verdict["suspect"] is True
+        assert verdict["growth_bytes"] > 0
+        tracker.stop()
+        assert hoard
+
+    def test_leak_check_verdict_logic(self):
+        from collections import deque
+
+        tracker = memory.MemoryTracker()
+        # Flat and shrinking histories are not suspects; too few epochs
+        # never are, regardless of shape.
+        tracker._epochs["flat"] = deque([1000, 1000, 1000, 1000, 1000])
+        assert tracker.leak_check("flat", min_epochs=4)["suspect"] is False
+        tracker._epochs["shrinking"] = deque([5000, 4000, 3000, 2000])
+        assert tracker.leak_check("shrinking", min_epochs=4)["suspect"] is False
+        tracker._epochs["young"] = deque([1000, 2000])
+        assert tracker.leak_check("young", min_epochs=4)["suspect"] is False
+        tracker._epochs["growing"] = deque([1000, 2000, 3000, 4000])
+        verdict = tracker.leak_check("growing", min_epochs=4)
+        assert verdict["suspect"] is True
+        assert verdict["growth_bytes"] == 3000
+
+    def test_summary_and_json(self, tmp_path):
+        tracker = memory.MemoryTracker()
+        tracker.start()
+        data = [bytes(8192) for _ in range(8)]
+        tracker.mark_epoch("phase")
+        path = tmp_path / "memory.json"
+        tracker.write_json(str(path))
+        tracker.stop()
+        doc = json.loads(path.read_text())
+        assert doc["tracing"] is True
+        assert doc["current_kb"] > 0
+        assert "phase" in doc["epochs"]
+        assert isinstance(doc["top_allocators"], list)
+        assert data
+
+    def test_phase_table_is_bounded(self):
+        tracker = memory.MemoryTracker()
+        tracker.start()
+        for i in range(memory.MAX_PHASES + 10):
+            tracker.mark_epoch(f"phase_{i}")
+        assert len(tracker._epochs) <= memory.MAX_PHASES
+        tracker.stop()
+
+
+# ------------------------------------------------------------------ #
+# SLO parsing
+# ------------------------------------------------------------------ #
+class TestObjectiveParsing:
+    def test_latency_spec_with_alias_and_unit(self):
+        objective = slo.parse_objective("query.p95 < 250ms")
+        assert objective.metric == "session.query.seconds"
+        assert objective.agg == "p95"
+        assert objective.op == "<"
+        assert objective.threshold == pytest.approx(0.25)
+        assert objective.target == pytest.approx(0.99)
+        assert objective.windowed
+
+    def test_gauge_spec(self):
+        objective = slo.parse_objective("estimator.calibration_error < 0.1")
+        assert objective.agg == "value"
+        assert not objective.windowed
+        assert objective.metric == "estimator.calibration_error"
+
+    def test_explicit_target_and_units(self):
+        objective = slo.parse_objective("executor.p99 <= 1500us @ 99.9%")
+        assert objective.metric == "executor.query.seconds"
+        assert objective.agg == "p99"
+        assert objective.threshold == pytest.approx(0.0015)
+        assert objective.target == pytest.approx(0.999)
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            slo.parse_objective("not a spec")
+        with pytest.raises(ValueError):
+            slo.parse_objective("query.p95 < 250ms @ 150%")
+
+    def test_compliance_operators(self):
+        lt = slo.parse_objective("m.p50 < 1")
+        assert lt.complies(0.5) and not lt.complies(1.0)
+        ge = slo.parse_objective("coverage >= 0.9")
+        assert ge.complies(0.95) and not ge.complies(0.5)
+
+
+# ------------------------------------------------------------------ #
+# SLO burn-rate alerting
+# ------------------------------------------------------------------ #
+class TestSLOTracker:
+    def test_violated_latency_slo_raises_crit_health_alert(self):
+        """Pinned: a sustained gross violation must land CRIT in health."""
+        obs.enable()
+        slo.configure(["query.p95 < 10ms"])
+        for _ in range(20):
+            metrics.observe("session.query.seconds", 0.5)
+        alerts = slo.publish()
+        assert any(a.severity == health.CRIT for a in alerts)
+        assert any(a.rule == "slo_burn" for a in alerts)
+        monitor = health.active_monitor()
+        assert monitor.counts()[health.CRIT] >= 1
+        assert monitor.worst_severity() == health.CRIT
+        # The alert reached the telemetry stream too.
+        health_records = telemetry.records("health")
+        assert any(
+            r.get("rule") == "slo_burn" and r.get("severity") == health.CRIT
+            for r in health_records
+        )
+
+    def test_within_budget_run_stays_quiet(self):
+        obs.enable()
+        slo.configure(["query.p95 < 250ms"])
+        for _ in range(50):
+            metrics.observe("session.query.seconds", 0.01)
+        assert slo.publish() == []
+        assert health.active_monitor().counts()[health.CRIT] == 0
+        status = slo.active().evaluate()[0]
+        assert status["ok"] and status["severity"] is None
+        assert status["burn_rate"] == 0.0
+
+    def test_min_samples_gate_blocks_early_alerts(self):
+        obs.enable()
+        slo.configure(["query.p95 < 10ms"])
+        for _ in range(slo.MIN_SAMPLES - 1):
+            metrics.observe("session.query.seconds", 0.5)
+        assert slo.publish() == []
+
+    def test_publish_dedup_and_escalation(self):
+        obs.enable()
+        tracker = slo.configure(["query.p95 < 10ms"])
+        for _ in range(20):
+            metrics.observe("session.query.seconds", 0.5)
+        first = tracker.publish()
+        assert len(first) == 1
+        # Re-evaluating the same state publishes nothing new.
+        assert tracker.publish() == []
+        assert health.active_monitor().counts()[health.CRIT] == 1
+
+    def test_gauge_objective_warn_and_crit(self):
+        obs.enable()
+        tracker = slo.configure(["estimator.calibration_error < 0.1"])
+        metrics.set_gauge("estimator.calibration_error", 0.15)
+        warned = tracker.publish()
+        assert [a.severity for a in warned] == [health.WARN]
+        # 2x past the threshold escalates to CRIT (dedup allows escalation).
+        metrics.set_gauge("estimator.calibration_error", 0.25)
+        escalated = tracker.publish()
+        assert [a.severity for a in escalated] == [health.CRIT]
+        assert tracker.publish() == []
+
+    def test_sample_hook_detached_on_clear(self):
+        obs.enable()
+        tracker = slo.configure(["query.p95 < 250ms"])
+        metrics.observe("session.query.seconds", 0.01)
+        assert len(tracker._samples["session.query.seconds"]) == 1
+        slo.clear()
+        metrics.observe("session.query.seconds", 0.01)
+        assert len(tracker._samples["session.query.seconds"]) == 1
+
+    def test_summary_written_as_json(self, tmp_path):
+        obs.enable()
+        slo.configure(["query.p95 < 250ms"])
+        metrics.observe("session.query.seconds", 0.01)
+        path = tmp_path / "slo.json"
+        slo.write_json(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["objectives"][0]["spec"] == "query.p95 < 250ms"
+        assert doc["objectives"][0]["n_samples"] == 1
+
+
+# ------------------------------------------------------------------ #
+# telemetry rotation
+# ------------------------------------------------------------------ #
+class TestTelemetryRotation:
+    def _emit(self, n, payload="x" * 40):
+        for i in range(n):
+            telemetry.emit("unit", index=i, payload=payload)
+
+    def test_byte_cap_rotates_and_deletes_beyond_max_files(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_bytes=400, max_files=3)
+        self._emit(60)
+        names = sorted(os.listdir(tmp_path))
+        assert "telemetry.jsonl" in names
+        assert "telemetry.1.jsonl" in names
+        # Never more than max_files rotated siblings + the active file.
+        assert len(names) <= 4
+        for name in names:
+            assert os.path.getsize(tmp_path / name) <= 400 + 120
+
+    def test_record_exactly_at_cap_stays_then_next_rotates(
+        self, tmp_path, monkeypatch
+    ):
+        obs.enable()
+        # Pin the wall clock so every record serializes to the same size
+        # (a float timestamp's repr length varies from call to call).
+        monkeypatch.setattr(telemetry.time, "time", lambda: 1700000000.0)
+        path = str(tmp_path / "telemetry.jsonl")
+        # Measure one record's serialized size, then cap at exactly two.
+        telemetry.configure(path)
+        telemetry.emit("unit", index=0, payload="y" * 10)
+        record_size = os.path.getsize(path)
+        telemetry.configure(path, max_bytes=2 * record_size)
+        telemetry.reset()
+        self._emit(2, payload="y" * 10)
+        # Two records == exactly the cap: no rotation yet.
+        assert not os.path.exists(str(tmp_path / "telemetry.1.jsonl"))
+        assert len(telemetry.load_jsonl(path)) == 2
+        self._emit(1, payload="y" * 10)
+        # The third record tripped the rotation and opened a fresh file.
+        assert os.path.exists(str(tmp_path / "telemetry.1.jsonl"))
+        assert len(telemetry.load_jsonl(path)) == 1
+
+    def test_line_cap_boundary(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_lines=5)
+        self._emit(5)
+        assert not os.path.exists(str(tmp_path / "telemetry.1.jsonl"))
+        self._emit(1)
+        assert len(telemetry.load_jsonl(str(tmp_path / "telemetry.1.jsonl"))) == 5
+        assert len(telemetry.load_jsonl(path)) == 1
+
+    def test_oversized_first_record_is_never_dropped(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_bytes=50)
+        telemetry.emit("unit", payload="z" * 500)  # alone exceeds the cap
+        records = telemetry.load_jsonl(path)
+        assert len(records) == 1 and records[0]["payload"] == "z" * 500
+
+    def test_load_run_reads_rotated_set_oldest_first(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_lines=4, max_files=8)
+        self._emit(11)
+        combined = telemetry.load_run(path)
+        assert [r["index"] for r in combined] == list(range(11))
+        assert [r["seq"] for r in combined] == sorted(
+            r["seq"] for r in combined
+        )
+        parts = telemetry.rotated_paths(path)
+        assert parts[-1] == path and len(parts) == 3
+
+    def test_health_replay_sees_records_across_rotation(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_lines=2, max_files=16)
+        base = dict(
+            mean_episode_reward=1.0, policy_loss=0.1, value_loss=0.1,
+            entropy=1.0, clip_fraction=0.1, explained_variance=0.5,
+            grad_norm=1.0,
+        )
+        for i in range(6):
+            telemetry.emit("train.update", iteration=i, kl_divergence=0.01,
+                           **base)
+        telemetry.emit("train.update", iteration=6, kl_divergence=5.0, **base)
+        monitor = health.replay(telemetry.load_run(path))
+        crits = [a for a in monitor.alerts if a.severity == health.CRIT]
+        assert any(a.rule == "kl_spike" and a.iteration == 6 for a in crits)
+
+    def test_configure_clears_stale_rotations_only(self, tmp_path):
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_lines=1)
+        self._emit(4)
+        unrelated = tmp_path / "telemetry.backup.jsonl"
+        unrelated.write_text("{}\n")
+        telemetry.configure(path, max_lines=1)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["telemetry.backup.jsonl", "telemetry.jsonl"]
+        assert os.path.getsize(tmp_path / "telemetry.jsonl") == 0
+
+
+# ------------------------------------------------------------------ #
+# obs.run context manager
+# ------------------------------------------------------------------ #
+class TestRunContextManager:
+    def test_artifacts_flush_even_when_the_block_raises(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.run(run_dir):
+                with trace.span("doomed.work"):
+                    metrics.add("unit.counter")
+                    telemetry.emit("unit", step=1)
+                    raise RuntimeError("boom")
+        # Everything the run recorded before the crash is on disk.
+        assert not obs.is_enabled()
+        records = telemetry.load_run(os.path.join(run_dir, obs.TELEMETRY_FILE))
+        assert any(r.get("stream") == "unit" for r in records)
+        with open(os.path.join(run_dir, obs.METRICS_FILE)) as handle:
+            snap = json.load(handle)
+        assert snap["counters"]["unit.counter"] == 1.0
+        with open(os.path.join(run_dir, obs.TRACE_FILE)) as handle:
+            tree = json.load(handle)
+        doomed = next(n for n in tree if n["name"] == "doomed.work")
+        assert "RuntimeError" in doomed.get("error", "")
+
+    def test_run_tears_down_profiler_memory_slo_on_exception(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with pytest.raises(ValueError):
+            with obs.run(
+                run_dir,
+                profile=True,
+                memory_tracking=True,
+                slo_objectives=["query.p95 < 250ms"],
+            ):
+                assert profiler.is_active()
+                assert memory.is_active()
+                assert slo.is_active()
+                raise ValueError("abandon run")
+        assert not profiler.is_active()
+        assert not memory.is_active()
+        assert not slo.is_active()
+        assert not obs.is_enabled()
+        for name in (obs.PROFILE_COLLAPSED_FILE, obs.MEMORY_FILE, obs.SLO_FILE):
+            assert os.path.exists(os.path.join(run_dir, name))
+
+    def test_profiled_session_run_attributes_executor_work(self, tiny_flights):
+        """End to end: executor kernels appear in a profiled run's stacks."""
+        from repro.db.executor import execute
+
+        prof = profiler.SamplingProfiler(hz=400)
+        obs.enable()
+        prof.start()
+        queries = list(tiny_flights.workload)[:4]
+        from repro.obs.clock import perf_counter
+
+        deadline = perf_counter() + 0.8
+        while perf_counter() < deadline:
+            for query in queries:
+                execute(tiny_flights.db, query)
+        prof.stop()
+        collapsed = prof.collapsed()
+        assert "repro/db/executor.py" in collapsed
+        spans = prof.span_samples()
+        executor_samples = sum(
+            count for name, count in spans.items() if name.startswith("execute")
+        )
+        assert executor_samples > 0
+
+
+# ------------------------------------------------------------------ #
+# health monitor retention
+# ------------------------------------------------------------------ #
+class TestHealthRetention:
+    def test_alert_ring_is_bounded_but_counts_accumulate(self):
+        monitor = health.HealthMonitor()
+        for i in range(health.MAX_ALERTS + 50):
+            monitor.publish([
+                health.Alert(health.WARN, "unit_rule", f"alert {i}")
+            ])
+        assert len(monitor.alerts) == health.MAX_ALERTS
+        assert monitor.counts()[health.WARN] == health.MAX_ALERTS + 50
+        assert monitor.worst_severity() == health.WARN
