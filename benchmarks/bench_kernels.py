@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -35,6 +36,7 @@ import numpy as np
 from repro import obs
 from repro.core.reward import CoverageTracker, DictCoverageTracker, QueryCoverage
 from repro.db import kernels
+from repro.db import parallel as db_parallel
 
 #: Speedups the tentpole must hold at the 10k-row profile (join and the
 #: coverage hot paths are the acceptance-gated kernels; distinct/group and
@@ -58,6 +60,14 @@ PROFILES = {
 }
 
 N_ROWS = 10_000
+
+#: Row count for the column-store / parallel-scaling sections — big enough
+#: to clear the morsel floor (``REPRO_PARALLEL_MIN_ROWS``, default 32768)
+#: several times over, identical between profiles for comparability.
+COLUMNSTORE_ROWS = 120_000
+
+#: Worker counts on the parallel-scaling curve (0 = serial baseline).
+PARALLEL_WORKER_COUNTS = (0, 1, 2, 4, 8)
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -442,6 +452,151 @@ def run_strict_overhead(repeats: int) -> dict:
     }
 
 
+def _columnstore_fixture():
+    """A 120k-row table with a clustered int, a dict-string, and a float.
+
+    ``ts`` is sorted so zone maps prune range predicates hard; ``city``
+    has 200 distinct values so dictionary encoding wins; ``value`` is a
+    float column that rides along undecoded through the scan.
+    """
+    from repro.db import Column, ColumnType, Database, Table, TableSchema, sql
+
+    rng = np.random.default_rng(13)
+    n = COLUMNSTORE_ROWS
+    cities = np.asarray([f"city_{i:03d}" for i in range(200)], dtype=object)
+    schema = TableSchema(
+        "bench",
+        (
+            Column("city", ColumnType.STR),
+            Column("ts", ColumnType.INT),
+            Column("value", ColumnType.FLOAT),
+        ),
+    )
+    table = Table(
+        schema,
+        {
+            "city": cities[rng.integers(0, len(cities), size=n)],
+            "ts": np.sort(rng.integers(0, 10_000_000, size=n)),
+            "value": rng.normal(size=n),
+        },
+    )
+    db = Database([table])
+    # ~10% of the ts range plus a string equality — prunable AND rewritable.
+    query = sql(
+        "SELECT city, ts, value FROM bench "
+        "WHERE ts BETWEEN 4000000 AND 5000000 AND city != 'city_000'"
+    )
+    return db, table, query
+
+
+def run_columnstore(repeats: int) -> dict:
+    """Compression ratio, zone-map pruning rate, and the serial scan cost.
+
+    The serial comparison is kernel-level and apples-to-apples: the same
+    predicate evaluated over decoded arrays (plain) versus its
+    code-space rewrite over the stored int32 codes (encoded, the path
+    the executor runs with late materialization). ``serial_ratio`` is
+    the acceptance-gated number — encoded must stay within the allowed
+    factor of plain.
+    """
+    from repro.db import expressions as E
+    from repro.db import statistics as dbstats
+
+    db, table, query = _columnstore_fixture()
+    record: dict = {"rows": len(table)}
+
+    record["compression"] = table.compression_stats()
+
+    zmaps = table.zone_maps()
+    refs = [f"bench.{c.name}" for c in table.schema.columns]
+    mask = dbstats.zone_map_block_mask(query.predicate, zmaps.columns, zmaps.n_blocks)
+    record["zone_maps"] = {
+        "block_rows": zmaps.block_rows,
+        "blocks_total": int(zmaps.n_blocks),
+        "blocks_pruned": int(zmaps.n_blocks - int(mask.sum())),
+        "pruning_rate": float(1.0 - mask.sum() / max(zmaps.n_blocks, 1)),
+    }
+
+    plain_context = {f"bench.{name}": table.column(name) for name in ("city", "ts", "value")}
+    encoding = table.encoding("city")
+    encoded_context = dict(plain_context)
+    encoded_context["bench.city"] = encoding.codes
+    rewritten = E.rewrite_for_codes(
+        query.predicate, {"bench.city": encoding.dictionary}, refs
+    )
+    assert rewritten is not None, "bench predicate must be code-rewritable"
+
+    plain_s = _best_of(
+        lambda: np.flatnonzero(query.predicate.evaluate(plain_context)), repeats
+    )
+    encoded_s = _best_of(
+        lambda: np.flatnonzero(rewritten.evaluate(encoded_context)), repeats
+    )
+    record["serial_scan"] = {
+        "plain_s": plain_s,
+        "encoded_s": encoded_s,
+        "serial_ratio": encoded_s / plain_s if plain_s > 0 else float("inf"),
+    }
+    return record
+
+
+def run_parallel_scaling(repeats: int) -> dict:
+    """End-to-end scan plus join-probe and group-by at each worker count.
+
+    Numbers are honest for the machine they ran on: ``cpu_count`` is
+    recorded alongside the curve, and on single-core runners the curve
+    simply shows the dispatch overhead instead of a speedup.
+    """
+    from repro.db import execute
+
+    db, _table, query = _columnstore_fixture()
+    rng = np.random.default_rng(17)
+    n = COLUMNSTORE_ROWS
+    build = [rng.integers(0, n // 4, size=n), rng.integers(0, 64, size=n)]
+    probe = [rng.integers(0, n // 4, size=n), rng.integers(0, 64, size=n)]
+    group_arrays = [rng.integers(0, 2_000, size=n), rng.integers(0, 16, size=n)]
+
+    record: dict = {
+        "rows": n,
+        "cpu_count": os.cpu_count(),
+        "min_parallel_rows": db_parallel.min_parallel_rows(),
+        "workers": {},
+    }
+    try:
+        for workers in PARALLEL_WORKER_COUNTS:
+            db_parallel.set_workers(workers)
+            # Warm once per count: pool creation (and the first shared-
+            # memory round trip) must not land inside the timed region.
+            execute(db, query)
+            kernels.join_positions(build, probe)
+            kernels.group_by_positions(group_arrays)
+            entry = {
+                "scan_s": _best_of(lambda: execute(db, query), repeats),
+                "join_s": _best_of(
+                    lambda: kernels.join_positions(build, probe), repeats
+                ),
+                "group_by_s": _best_of(
+                    lambda: kernels.group_by_positions(group_arrays), repeats
+                ),
+            }
+            record["workers"][str(workers)] = entry
+    finally:
+        db_parallel.set_workers(0)
+        db_parallel.shutdown()
+
+    serial = record["workers"].get("0")
+    if serial:
+        for workers, entry in record["workers"].items():
+            if workers == "0":
+                continue
+            for op in ("scan", "join", "group_by"):
+                base = serial[f"{op}_s"]
+                entry[f"{op}_speedup"] = (
+                    base / entry[f"{op}_s"] if entry[f"{op}_s"] > 0 else float("inf")
+                )
+    return record
+
+
 def check_regressions(record: dict, baseline_path: Path, max_regression: float) -> list[str]:
     baseline = json.loads(baseline_path.read_text())
     failures = []
@@ -485,6 +640,17 @@ def main(argv=None) -> int:
     parser.add_argument("--strict-tolerance", type=float, default=0.02,
                         help="maximum tolerated median overhead fraction "
                              "of disabled contract wrappers (default 2%%)")
+    parser.add_argument("--parallel-check", action="store_true",
+                        help="gate the serial encoded-scan ratio and the "
+                             "4-worker scan speedup (speedup auto-skipped "
+                             "when cpu_count < 4 or "
+                             "REPRO_SKIP_PARALLEL_CHECK is set)")
+    parser.add_argument("--max-serial-regression", type=float, default=1.25,
+                        help="maximum tolerated encoded/plain serial scan "
+                             "ratio (default 1.25)")
+    parser.add_argument("--parallel-speedup", type=float, default=1.5,
+                        help="required 4-worker scan speedup over serial "
+                             "(default 1.5)")
     args = parser.parse_args(argv)
 
     record = run_benchmarks(args.profile)
@@ -581,6 +747,72 @@ def main(argv=None) -> int:
                   f"{median * 100:.2f}% exceeds "
                   f"{args.strict_tolerance * 100:.0f}%")
             status = 1
+
+    repeats = PROFILES[args.profile]["repeats"]
+    columnstore = run_columnstore(repeats)
+    record["columnstore"] = columnstore
+    compression = columnstore["compression"]
+    zone = columnstore["zone_maps"]
+    scan = columnstore["serial_scan"]
+    print(
+        f"\ncolumn store ({columnstore['rows']} rows): "
+        f"compression {compression['ratio']:.2f}x "
+        f"({compression['plain_bytes'] / 1e6:.1f} MB -> "
+        f"{compression['encoded_bytes'] / 1e6:.1f} MB), "
+        f"zone maps prune {zone['blocks_pruned']}/{zone['blocks_total']} "
+        f"blocks ({zone['pruning_rate']:.1%})"
+    )
+    print(
+        f"serial scan: plain {scan['plain_s'] * 1e3:.3f} ms, "
+        f"encoded {scan['encoded_s'] * 1e3:.3f} ms "
+        f"(ratio {scan['serial_ratio']:.2f}x)"
+    )
+
+    parallel = run_parallel_scaling(repeats)
+    record["parallel"] = parallel
+    print(f"\nparallel scaling ({parallel['rows']} rows, "
+          f"cpu_count={parallel['cpu_count']}):")
+    print("workers   scan         join         group-by")
+    for workers in PARALLEL_WORKER_COUNTS:
+        entry = parallel["workers"][str(workers)]
+        cells = []
+        for op in ("scan", "join", "group_by"):
+            cell = f"{entry[f'{op}_s'] * 1e3:8.2f} ms"
+            if f"{op}_speedup" in entry:
+                cell += f" ({entry[f'{op}_speedup']:.2f}x)"
+            cells.append(cell.ljust(20))
+        print(f"{workers:>7}   {''.join(cells)}")
+
+    if args.parallel_check:
+        ratio = scan["serial_ratio"]
+        if ratio > args.max_serial_regression:
+            print(f"FAIL: serial encoded scan is {ratio:.2f}x plain "
+                  f"(allowed {args.max_serial_regression:.2f}x)")
+            status = 1
+        cpu_count = os.cpu_count() or 1
+        skip_env = os.environ.get("REPRO_SKIP_PARALLEL_CHECK")
+        if skip_env:
+            reason = "REPRO_SKIP_PARALLEL_CHECK set"
+        elif cpu_count < 4:
+            reason = f"cpu_count={cpu_count} < 4"
+        else:
+            reason = None
+        if reason is not None:
+            print(f"parallel speedup gate skipped: {reason}")
+            record["parallel"]["check"] = {"skipped": True, "reason": reason}
+        else:
+            speedup = parallel["workers"]["4"]["scan_speedup"]
+            ok = speedup >= args.parallel_speedup
+            record["parallel"]["check"] = {
+                "skipped": False,
+                "scan_speedup_4_workers": speedup,
+                "required": args.parallel_speedup,
+                "ok": ok,
+            }
+            if not ok:
+                print(f"FAIL: 4-worker scan speedup {speedup:.2f}x < "
+                      f"required {args.parallel_speedup:.2f}x")
+                status = 1
 
     if args.output is None:
         args.output = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"

@@ -13,7 +13,11 @@
 #    exceeds 2% (--obs-check), if the disabled strict-mode contract
 #    wrappers cost more than 2% over the raw kernels (--strict-check),
 #    or if the running 100hz sampling profiler costs more than 5% on
-#    the kernels (--profile-check).
+#    the kernels (--profile-check). --parallel-check additionally gates
+#    the column store: the serial encoded scan must stay within 1.25x
+#    of the plain scan, and the 4-worker morsel scan must reach 1.5x
+#    over serial — the speedup half auto-skips on runners with fewer
+#    than 4 CPUs or when REPRO_SKIP_PARALLEL_CHECK is set.
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro lint src
@@ -24,4 +28,5 @@ PYTHONPATH=src python benchmarks/bench_kernels.py \
   --obs-check \
   --strict-check \
   --profile-check \
+  --parallel-check \
   --output -

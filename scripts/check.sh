@@ -1,7 +1,14 @@
 #!/bin/sh
 # Full per-PR check: tests + static analysis + strict-mode smoke.
 #
-# 1. tier-1 pytest           — the repo's own test suite (ROADMAP.md).
+# 1. tier-1 pytest           — the repo's own test suite (ROADMAP.md),
+#                              pinned to REPRO_WORKERS=0 so the serial
+#                              execution path is what CI certifies; the
+#                              column-store/parallel differential files
+#                              then re-run with REPRO_WORKERS=4 and a
+#                              low morsel floor so the worker-pool path
+#                              (shared memory, morsel merge) is also
+#                              exercised end to end.
 # 2. repro lint src          — the AST rule pack over the whole tree
 #                              (empty committed baseline: any finding is
 #                              new and fails the check; see DESIGN.md
@@ -28,8 +35,12 @@ cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== tier-1 tests"
-python -m pytest -x -q
+echo "== tier-1 tests (serial execution path, REPRO_WORKERS=0)"
+REPRO_WORKERS=0 python -m pytest -x -q
+
+echo "== parallel differential (REPRO_WORKERS=4 through the morsel pool)"
+REPRO_WORKERS=4 REPRO_PARALLEL_MIN_ROWS=1024 \
+  python -m pytest tests/test_columnstore.py tests/test_parallel.py -q
 
 echo "== repro lint"
 python -m repro lint src --baseline lint_baseline.json

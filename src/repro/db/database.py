@@ -30,6 +30,19 @@ class Database:
             raise SchemaError(f"database {self.name!r} already has table {table.name!r}")
         self._tables[table.name] = table
 
+    def replace_table(self, table: Table) -> None:
+        """Swap in a rebuilt version of an existing table.
+
+        The replacement carries a fresh ``encoding_version``, so result
+        caches keyed on it (:class:`repro.db.cache.ResultCache`) stop
+        matching entries computed from the old physical layout.
+        """
+        if table.name not in self._tables:
+            raise SchemaError(
+                f"database {self.name!r} has no table {table.name!r} to replace"
+            )
+        self._tables[table.name] = table
+
     # -------------------------------------------------------------- #
     @property
     def table_names(self) -> list[str]:

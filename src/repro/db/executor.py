@@ -18,13 +18,20 @@ import numpy as np
 
 from ..obs.clock import perf_counter
 from . import kernels
+from . import parallel as _parallel
 from ..obs import memory as _memory
 from ..obs import metrics as _metrics
 from ..obs import telemetry as _telemetry
 from ..obs import trace as _trace
 from ..obs.runtime import STATE as _OBS
 from .database import Database
-from .expressions import Expression, TrueExpr, conjoin, conjuncts
+from .expressions import (
+    Expression,
+    TrueExpr,
+    conjoin,
+    conjuncts,
+    rewrite_for_codes,
+)
 from .plan import PlanNode, QueryPlan, q_error
 from .query import (
     AggFunc,
@@ -39,6 +46,7 @@ from .statistics import (
     estimate_ndv,
     estimate_predicate_selectivity,
     estimated_join_cardinality,
+    zone_map_block_mask,
 )
 
 
@@ -49,26 +57,73 @@ class ResultSet:
     ``columns`` maps qualified refs (``"table.column"``) to value arrays;
     ``row_ids`` maps each base table to the base row id contributing to each
     output row. All arrays share the same length.
+
+    Late materialization: while a query runs, dictionary-encoded string
+    columns stay as ``int32`` code arrays in ``columns`` with their sorted
+    dictionaries in ``encodings`` — predicates, join keys, sorts, and
+    DISTINCT all compare codes. :meth:`column` decodes transparently (and
+    caches), and :meth:`decode_all` materializes everything at the public
+    execution boundary, so callers only ever see real values.
     """
 
     columns: dict[str, np.ndarray]
     row_ids: dict[str, np.ndarray]
     n_rows: int
+    encodings: dict[str, np.ndarray] = field(default_factory=dict)
+    _decoded: dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return self.n_rows
 
-    def column(self, ref: str) -> np.ndarray:
+    def resolve(self, ref: str) -> str:
+        """The qualified key a (possibly bare) ref denotes, or raise."""
         if ref in self.columns:
-            return self.columns[ref]
+            return ref
         matches = [key for key in self.columns if key.endswith("." + ref)]
         if len(matches) == 1:
-            return self.columns[matches[0]]
+            return matches[0]
         if len(matches) > 1:
             raise QueryError(
                 f"column reference {ref!r} is ambiguous; matches {sorted(matches)}"
             )
         raise QueryError(f"result has no column {ref!r}; available: {sorted(self.columns)}")
+
+    def column(self, ref: str) -> np.ndarray:
+        """Decoded values of a column (dictionary columns materialize)."""
+        key = self.resolve(ref)
+        dictionary = self.encodings.get(key)
+        if dictionary is None:
+            return self.columns[key]
+        cached = self._decoded.get(key)
+        if cached is None:
+            cached = self._decoded[key] = _decode_codes(
+                dictionary, self.columns[key]
+            )
+        return cached
+
+    def internal_column(self, ref: str) -> np.ndarray:
+        """Physical array of a column: codes when encoded, else values."""
+        return self.columns[self.resolve(ref)]
+
+    def decode_all(self) -> "ResultSet":
+        """A fully materialized copy (no-op when nothing is encoded)."""
+        if not self.encodings:
+            return self
+        columns = {
+            key: (
+                _decode_codes(self.encodings[key], array)
+                if key in self.encodings
+                else array
+            )
+            for key, array in self.columns.items()
+        }
+        return ResultSet(columns=columns, row_ids=self.row_ids, n_rows=self.n_rows)
+
+    def decoded_context(self) -> dict[str, np.ndarray]:
+        """A fully decoded {ref: values} view for predicate evaluation."""
+        return {key: self.column(key) for key in self.columns}
 
     def take(self, positions: np.ndarray) -> "ResultSet":
         positions = np.asarray(positions, dtype=np.int64)
@@ -76,12 +131,13 @@ class ResultSet:
             columns={ref: arr[positions] for ref, arr in self.columns.items()},
             row_ids={t: arr[positions] for t, arr in self.row_ids.items()},
             n_rows=len(positions),
+            encodings=self.encodings,
         )
 
     def tuple_keys(self) -> list[tuple]:
         """Hashable identity per output row (projected values)."""
         refs = sorted(self.columns)
-        arrays = [self.columns[ref] for ref in refs]
+        arrays = [self.column(ref) for ref in refs]
         return [tuple(arr[i] for arr in arrays) for i in range(self.n_rows)]
 
     def provenance_keys(self) -> list[tuple]:
@@ -92,8 +148,9 @@ class ResultSet:
 
     def to_rows(self) -> list[dict[str, object]]:
         refs = list(self.columns)
+        arrays = {ref: self.column(ref) for ref in refs}
         return [
-            {ref: self.columns[ref][i] for ref in refs} for i in range(self.n_rows)
+            {ref: arrays[ref][i] for ref in refs} for i in range(self.n_rows)
         ]
 
     def _repr_html_(self) -> str:
@@ -101,15 +158,22 @@ class ResultSet:
         from .table import render_html_table
 
         refs = list(self.columns)
+        arrays = {ref: self.column(ref) for ref in refs}
         limit = 20
         rows = [
-            [self.columns[ref][i] for ref in refs]
+            [arrays[ref][i] for ref in refs]
             for i in range(min(limit, self.n_rows))
         ]
         caption = f"{self.n_rows} rows"
         if self.n_rows > limit:
             caption += f" (showing {limit})"
         return render_html_table(refs, rows, caption=caption)
+
+
+def _decode_codes(dictionary: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    if len(dictionary) == 0:
+        return np.empty(len(codes), dtype=object)
+    return dictionary[codes]
 
 
 @dataclass
@@ -145,16 +209,173 @@ class ExecutionError(RuntimeError):
 
 
 def _base_context(db: Database, table_name: str) -> ResultSet:
+    """Encoded scan context: dictionary columns enter as code arrays.
+
+    Integer and float columns come in decoded (bit-unpacking is cached on
+    the table; the ``INT_NULL`` sentinel must keep its native ordering for
+    predicate semantics), string columns as ``int32`` codes plus their
+    sorted dictionaries — the executor's late-materialization contract.
+    """
     table = db.table(table_name)
-    columns = {
-        f"{table_name}.{name}": table.column(name)
-        for name in table.schema.column_names
-    }
+    columns: dict[str, np.ndarray] = {}
+    encodings: dict[str, np.ndarray] = {}
+    for name in table.schema.column_names:
+        ref = f"{table_name}.{name}"
+        dictionary = table.dictionary(name)
+        if dictionary is not None:
+            columns[ref] = table.raw_column(name)
+            encodings[ref] = dictionary
+        else:
+            columns[ref] = table.column(name)
     return ResultSet(
         columns=columns,
         row_ids={table_name: table.row_ids},
         n_rows=len(table),
+        encodings=encodings,
     )
+
+
+def _rewrite_predicate(predicate: Expression, result: ResultSet):
+    """The predicate in the result's physical value space, or None.
+
+    With no encoded columns the physical space is the value space and the
+    predicate passes through; otherwise string atoms are rewritten to
+    dictionary codes (:func:`repro.db.expressions.rewrite_for_codes`),
+    and ``None`` means "not rewritable — evaluate on decoded values".
+    """
+    if not result.encodings:
+        return predicate
+    return rewrite_for_codes(predicate, result.encodings, list(result.columns))
+
+
+def _predicate_context(
+    result: ResultSet, predicate: Expression
+) -> Optional[dict[str, np.ndarray]]:
+    """The subset of physical columns a predicate touches, or None when a
+    ref cannot be uniquely resolved (evaluation will raise the error)."""
+    context: dict[str, np.ndarray] = {}
+    for ref in predicate.columns():
+        try:
+            key = result.resolve(ref)
+        except QueryError:
+            return None
+        context[key] = result.columns[key]
+    return context
+
+
+def _filter_positions(result: ResultSet, predicate: Expression) -> np.ndarray:
+    """Positions of rows satisfying the predicate (physical-space eval).
+
+    Rewrites into code space when possible, then tries the morsel-parallel
+    scan (only ever on non-object arrays); any fallback evaluates the
+    appropriate form serially.
+    """
+    rewritten = _rewrite_predicate(predicate, result)
+    if rewritten is None:
+        return np.flatnonzero(predicate.evaluate(result.decoded_context()))
+    context = _predicate_context(result, rewritten)
+    if context is not None and context:
+        positions = _parallel.maybe_parallel_filter(rewritten, context)
+        if positions is not None:
+            return positions
+    return np.flatnonzero(rewritten.evaluate(result.columns))
+
+
+#: Pruning is only attempted above this many rows — below it the block
+#: mask costs more than the scan it saves.
+_PRUNE_MIN_ROWS = 4096
+
+
+def _scan_filter(
+    table, context: ResultSet, predicate: Expression
+) -> tuple[ResultSet, dict]:
+    """Filter a base-table scan, consulting zone maps to skip blocks.
+
+    Returns the filtered context plus a detail dict (blocks total/pruned,
+    selectivity cap) surfaced by EXPLAIN and the scan metrics. Pruning is
+    strictly conservative: a pruned block provably contains no matching
+    row, so the result is identical to the unpruned scan.
+    """
+    detail: dict = {}
+    rewritten = _rewrite_predicate(predicate, context)
+    if rewritten is None or len(context) < _PRUNE_MIN_ROWS:
+        return context.take(_filter_positions(context, predicate)), detail
+
+    zmaps = table.zone_maps()
+    column_maps = {
+        f"{table.name}.{name}": zone for name, zone in zmaps.columns.items()
+    }
+    block_mask = zone_map_block_mask(rewritten, column_maps, zmaps.n_blocks)
+    kept_blocks = int(block_mask.sum())
+    detail["blocks_total"] = zmaps.n_blocks
+    detail["blocks_pruned"] = zmaps.n_blocks - kept_blocks
+    if _OBS.enabled:
+        registry = _metrics.registry()
+        registry.add("scan.blocks_total", zmaps.n_blocks)
+        registry.add("scan.blocks_pruned", zmaps.n_blocks - kept_blocks)
+
+    if kept_blocks == 0:
+        return context.take(np.zeros(0, dtype=np.int64)), detail
+    if kept_blocks == zmaps.n_blocks:
+        return context.take(_filter_positions(context, predicate)), detail
+
+    # Evaluate only the candidate rows of the surviving blocks.
+    blocks = np.flatnonzero(block_mask)
+    starts = blocks * zmaps.block_rows
+    stops = np.minimum(starts + zmaps.block_rows, zmaps.n_rows)
+    candidates = np.concatenate(
+        [np.arange(a, b, dtype=np.int64) for a, b in zip(starts, stops)]
+    )
+    eval_context = _predicate_context(context, rewritten)
+    if eval_context is None:
+        return context.take(_filter_positions(context, predicate)), detail
+    sliced = {key: array[candidates] for key, array in eval_context.items()}
+    mask = rewritten.evaluate(sliced)
+    return context.take(candidates[np.flatnonzero(mask)]), detail
+
+
+def _zone_map_detail(
+    table, context: ResultSet, predicate: Expression
+) -> dict:
+    """Blocks total/pruned for a scan predicate, without executing it.
+
+    The estimate-only EXPLAIN path: same zone-map consultation as
+    :func:`_scan_filter`, surfacing pruning in the plan before any data
+    is touched (and tightening the filter's cardinality estimate).
+    """
+    detail: dict = {}
+    rewritten = _rewrite_predicate(predicate, context)
+    if rewritten is None or len(context) < _PRUNE_MIN_ROWS:
+        return detail
+    zmaps = table.zone_maps()
+    if zmaps.n_blocks == 0:
+        return detail
+    column_maps = {
+        f"{table.name}.{name}": zone for name, zone in zmaps.columns.items()
+    }
+    block_mask = zone_map_block_mask(rewritten, column_maps, zmaps.n_blocks)
+    detail["blocks_total"] = zmaps.n_blocks
+    detail["blocks_pruned"] = zmaps.n_blocks - int(block_mask.sum())
+    return detail
+
+
+def _scan_selectivity(
+    context: ResultSet, predicate: Expression, detail: dict
+) -> float:
+    """Planner selectivity estimate in whichever space evaluates cheaply,
+    capped by the zone-map bound when blocks were pruned."""
+    rewritten = _rewrite_predicate(predicate, context)
+    if rewritten is None:
+        estimate = estimate_predicate_selectivity(
+            predicate, context.decoded_context()
+        )
+    else:
+        estimate = estimate_predicate_selectivity(rewritten, context.columns)
+    blocks_total = detail.get("blocks_total")
+    if blocks_total:
+        kept_fraction = (blocks_total - detail["blocks_pruned"]) / blocks_total
+        estimate = min(estimate, max(kept_fraction, 0.0))
+    return estimate
 
 
 def _tables_of(expression: Expression) -> set[str]:
@@ -171,8 +392,12 @@ def _pushdown(predicate: Expression, tables: Sequence[str]) -> tuple[dict[str, E
     residual: list[Expression] = []
     for part in conjuncts(predicate):
         touched = _tables_of(part)
-        if len(touched) == 1:
+        if len(touched) == 1 and next(iter(touched)) in per_table:
             per_table[next(iter(touched))].append(part)
+        elif not touched and len(tables) == 1:
+            # Bare (unqualified) refs in a single-table query can only
+            # mean that table — push down so the scan sees zone maps.
+            per_table[tables[0]].append(part)
         else:
             residual.append(part)
     return (
@@ -276,20 +501,44 @@ def _hash_join(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondi
     return out
 
 
+def _aligned_key_pair(
+    left: ResultSet, left_ref: str, right: ResultSet, right_ref: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """One join condition's key arrays in a shared comparable space.
+
+    Dictionary-encoded keys on both sides are aligned through a merged
+    sorted dictionary (:func:`repro.db.kernels.merge_dictionaries`) so
+    the join compares small integer codes instead of strings; a mixed
+    encoded/plain pair decodes the encoded side.
+    """
+    left_array = left.columns[left_ref]
+    right_array = right.columns[right_ref]
+    left_dict = left.encodings.get(left_ref)
+    right_dict = right.encodings.get(right_ref)
+    if left_dict is not None and right_dict is not None:
+        _, left_map, right_map = kernels.merge_dictionaries(left_dict, right_dict)
+        return left_map[left_array], right_map[right_array]
+    if left_dict is not None:
+        return _decode_codes(left_dict, left_array), right_array
+    if right_dict is not None:
+        return left_array, _decode_codes(right_dict, right_array)
+    return left_array, right_array
+
+
 def _hash_join_impl(left: ResultSet, right: ResultSet, conditions: Sequence[JoinCondition]) -> ResultSet:
     left_keys = []
     right_keys = []
     for cond in conditions:
         if cond.left in left.columns and cond.right in right.columns:
-            left_keys.append(left.columns[cond.left])
-            right_keys.append(right.columns[cond.right])
+            l_key, r_key = _aligned_key_pair(left, cond.left, right, cond.right)
         elif cond.right in left.columns and cond.left in right.columns:
-            left_keys.append(left.columns[cond.right])
-            right_keys.append(right.columns[cond.left])
+            l_key, r_key = _aligned_key_pair(left, cond.right, right, cond.left)
         else:
             raise ExecutionError(
                 f"join condition {cond.to_sql()!r} does not span the two inputs"
             )
+        left_keys.append(l_key)
+        right_keys.append(r_key)
 
     # Build on the smaller side, probe with the larger (as the per-row
     # hash join did); the kernel preserves its bucket emission order.
@@ -307,16 +556,32 @@ def _hash_join_impl(left: ResultSet, right: ResultSet, conditions: Sequence[Join
     columns.update(right_part.columns)
     row_ids = dict(left_part.row_ids)
     row_ids.update(right_part.row_ids)
-    return ResultSet(columns=columns, row_ids=row_ids, n_rows=len(probe_idx))
+    encodings = dict(left_part.encodings)
+    encodings.update(right_part.encodings)
+    return ResultSet(
+        columns=columns, row_ids=row_ids, n_rows=len(probe_idx),
+        encodings=encodings,
+    )
 
 
 def _distinct_positions(result: ResultSet, refs: Sequence[str]) -> np.ndarray:
-    arrays = [result.column(ref) for ref in refs]
+    # Physical arrays: codes have the same equality structure as their
+    # values, so DISTINCT never needs to materialize strings.
+    arrays = [result.internal_column(ref) for ref in refs]
     return kernels.distinct_positions(arrays)
 
 
 def execute(db: Database, query: SPJQuery) -> ResultSet:
-    """Execute an SPJ query against a database."""
+    """Execute an SPJ query against a database.
+
+    The returned result is fully materialized — encoded columns decode at
+    this boundary (the aggregate path keeps the encoded form internally).
+    """
+    return _execute_observed(db, query).decode_all()
+
+
+def _execute_observed(db: Database, query: SPJQuery) -> ResultSet:
+    """Execution plus observability, returning the encoded result."""
     if not _OBS.enabled:
         return _execute_impl(db, query)
     with _trace.span("execute") as sp:
@@ -379,20 +644,22 @@ def _execute_impl(
                     seconds=perf_counter() - stage_start,
                 )
             if not isinstance(predicate, TrueExpr):
-                if capture is not None:
-                    selectivity = estimate_predicate_selectivity(
-                        predicate, context.columns
-                    )
+                unfiltered = context
                 stage_start = perf_counter() if capture is not None else 0.0
-                mask = predicate.evaluate(context.columns)
-                context = context.take(np.flatnonzero(mask))
+                context, scan_detail = _scan_filter(
+                    db.table(table), context, predicate
+                )
                 if capture is not None:
+                    selectivity = _scan_selectivity(
+                        unfiltered, predicate, scan_detail
+                    )
                     node = PlanNode(
                         op="filter",
                         label=predicate.to_sql(),
                         estimated_rows=selectivity * base_rows,
                         actual_rows=len(context),
                         seconds=perf_counter() - stage_start,
+                        detail=scan_detail,
                         children=[node],
                     )
             contexts[table] = context
@@ -449,7 +716,10 @@ def _execute_impl(
         for j in newly:
             stage_start = perf_counter() if capture is not None else 0.0
             rows_before = len(current)
-            mask = current.columns[j.left] == current.columns[j.right]
+            left_key, right_key = _aligned_key_pair(
+                current, j.left, current, j.right
+            )
+            mask = left_key == right_key
             current = current.take(np.flatnonzero(mask))
             pending.remove(j)
             if capture is not None:
@@ -470,13 +740,10 @@ def _execute_impl(
             if sp:
                 sp.count("rows_in", len(current))
             if capture is not None:
-                selectivity = estimate_predicate_selectivity(
-                    residual, current.columns
-                )
+                selectivity = _scan_selectivity(current, residual, {})
             stage_start = perf_counter() if capture is not None else 0.0
             rows_before = len(current)
-            mask = residual.evaluate(current.columns)
-            current = current.take(np.flatnonzero(mask))
+            current = current.take(_filter_positions(current, residual))
             if capture is not None:
                 current_node = PlanNode(
                     op="filter",
@@ -493,7 +760,9 @@ def _execute_impl(
     # columns), then project, then dedupe (stable, keeps sort order).
     if query.order_by:
         stage_start = perf_counter() if capture is not None else 0.0
-        key = current.column(_order_ref(query, current))
+        # Sorted dictionaries make code order equal value order, so ORDER
+        # BY on an encoded column argsorts the int32 codes directly.
+        key = current.internal_column(_order_ref(query, current))
         if key.dtype == object:
             key = np.asarray([str(v) for v in key], dtype="U")
         positions = np.argsort(key, kind="stable")
@@ -513,10 +782,18 @@ def _execute_impl(
     projection = query.qualified_projection()
     if projection:
         stage_start = perf_counter() if capture is not None else 0.0
+        resolved = {ref: current.resolve(ref) for ref in projection}
         current = ResultSet(
-            columns={ref: current.column(ref) for ref in projection},
+            columns={
+                ref: current.columns[key] for ref, key in resolved.items()
+            },
             row_ids=current.row_ids,
             n_rows=len(current),
+            encodings={
+                ref: current.encodings[key]
+                for ref, key in resolved.items()
+                if key in current.encodings
+            },
         )
         if capture is not None:
             current_node = PlanNode(
@@ -596,7 +873,12 @@ def _cross_join(left: ResultSet, right: ResultSet) -> ResultSet:
     columns.update(right_part.columns)
     row_ids = dict(left_part.row_ids)
     row_ids.update(right_part.row_ids)
-    return ResultSet(columns=columns, row_ids=row_ids, n_rows=len(left_idx))
+    encodings = dict(left_part.encodings)
+    encodings.update(right_part.encodings)
+    return ResultSet(
+        columns=columns, row_ids=row_ids, n_rows=len(left_idx),
+        encodings=encodings,
+    )
 
 
 # ------------------------------------------------------------------ #
@@ -638,7 +920,7 @@ def explain(
         capture.root,
         analyze=True,
         total_seconds=perf_counter() - start,
-        result=result,
+        result=result.decode_all(),
     )
     _emit_plan_telemetry(plan)
     return plan
@@ -662,13 +944,12 @@ def _estimate_only_plan(db: Database, query: SPJQuery) -> PlanNode:
         estimate = float(base_rows)
         predicate = per_table.get(table, TrueExpr())
         if not isinstance(predicate, TrueExpr):
-            selectivity = estimate_predicate_selectivity(
-                predicate, context.columns
-            )
+            detail = _zone_map_detail(db.table(table), context, predicate)
+            selectivity = _scan_selectivity(context, predicate, detail)
             estimate = selectivity * base_rows
             node = PlanNode(
                 "filter", predicate.to_sql(), estimated_rows=estimate,
-                children=[node],
+                detail=detail, children=[node],
             )
         contexts[table] = context
         table_nodes[table] = node
@@ -795,7 +1076,8 @@ def _estimate_groups(db: Database, query: AggregateQuery, cap: float) -> float:
     for ref in query.group_by:
         qualified = _qualify_ref(ref, query)
         table, column = qualified.split(".", 1)
-        product *= max(estimate_ndv(db.table(table).column(column)), 1)
+        # Physical arrays: dictionary codes have the same NDV as values.
+        product *= max(estimate_ndv(db.table(table).raw_column(column)), 1)
     return float(max(min(product, cap), 1.0))
 
 
@@ -833,20 +1115,28 @@ def _execute_aggregate_impl(
     if capture is not None:
         flat = _execute_impl(db, core, capture)
     else:
-        flat = execute(db, core)
+        flat = _execute_observed(db, core)
 
     group_refs = tuple(_qualify_ref(ref, query) for ref in query.group_by)
     agg_names = tuple(spec.output_name() for spec in query.aggregates)
     result = AggregateResult(group_columns=query.group_by, agg_names=agg_names)
 
     if group_refs:
-        key_arrays = [flat.column(ref) for ref in group_refs]
+        # Group on the physical arrays (codes group exactly like their
+        # values); only each group's representative key decodes.
+        keys = [flat.resolve(ref) for ref in group_refs]
+        key_arrays = [flat.columns[key] for key in keys]
+        dictionaries = [flat.encodings.get(key) for key in keys]
         # Positions within each group are ascending, so group[0] is the
         # first occurrence and yields the representative key values.
-        groups = [
-            (tuple(arr[positions[0]] for arr in key_arrays), positions)
-            for positions in kernels.group_by_positions(key_arrays)
-        ]
+        groups = []
+        for positions in kernels.group_by_positions(key_arrays):
+            first = positions[0]
+            rep = tuple(
+                dic[arr[first]] if dic is not None else arr[first]
+                for arr, dic in zip(key_arrays, dictionaries)
+            )
+            groups.append((rep, positions))
     else:
         groups = [((), np.arange(len(flat), dtype=np.int64))]
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -111,6 +111,29 @@ class TrueExpr(Expression):
 
     def tokens(self) -> list[str]:
         return ["true"]
+
+
+@dataclass(frozen=True)
+class FalseExpr(Expression):
+    """A predicate satisfied by no row.
+
+    Produced by :func:`rewrite_for_codes` when a literal provably falls
+    outside a column's dictionary (e.g. ``genre = 'nope'`` against a
+    dictionary without ``'nope'``) — the scan can then skip every block.
+    """
+
+    def evaluate(self, context: Mapping[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(context.values()))) if context else 0
+        return np.zeros(n, dtype=bool)
+
+    def to_sql(self) -> str:
+        return "FALSE"
+
+    def columns(self) -> list[str]:
+        return []
+
+    def tokens(self) -> list[str]:
+        return ["false"]
 
 
 @dataclass(frozen=True)
@@ -399,3 +422,151 @@ def conjoin(parts: Sequence[Expression]) -> Expression:
     if len(parts) == 1:
         return parts[0]
     return And(parts)
+
+
+# --------------------------------------------------------------------- #
+# code-space rewriting (late materialization)
+# --------------------------------------------------------------------- #
+
+def _resolve_ref(ref: str, refs) -> Optional[str]:
+    """Resolve a possibly-bare ref against the context's qualified refs.
+
+    Returns the qualified ref, or None when the ref is unknown or
+    ambiguous (callers then fall back to the decoded evaluation path,
+    which reports the error with identical wording).
+    """
+    if ref in refs:
+        return ref
+    if "." not in ref:
+        matches = [key for key in refs if key.endswith("." + ref)]
+        if len(matches) == 1:
+            return matches[0]
+    return None
+
+
+def _dictionary_code(dictionary: np.ndarray, value: str) -> Optional[int]:
+    """The code of ``value`` in a sorted dictionary, or None when absent."""
+    index = int(np.searchsorted(dictionary, value))
+    if index < len(dictionary) and str(dictionary[index]) == value:
+        return index
+    return None
+
+
+def _rewrite_atom(node: Expression, dictionary: np.ndarray) -> Expression:
+    """Rewrite one single-column atom into code space.
+
+    The dictionary is sorted, so code order equals string order and every
+    string comparison maps to an integer comparison on the codes — range
+    bounds come from ``searchsorted``, equality from exact lookup.
+    """
+    n = len(dictionary)
+    if isinstance(node, Comparison):
+        value = str(node.value)
+        if node.op == "=":
+            code = _dictionary_code(dictionary, value)
+            return FalseExpr() if code is None else Comparison(node.column, "=", code)
+        if node.op == "!=":
+            code = _dictionary_code(dictionary, value)
+            return TrueExpr() if code is None else Comparison(node.column, "!=", code)
+        if node.op == "<":
+            bound = int(np.searchsorted(dictionary, value, side="left"))
+            return FalseExpr() if bound == 0 else Comparison(node.column, "<", bound)
+        if node.op == "<=":
+            bound = int(np.searchsorted(dictionary, value, side="right"))
+            return FalseExpr() if bound == 0 else Comparison(node.column, "<", bound)
+        if node.op == ">":
+            bound = int(np.searchsorted(dictionary, value, side="right"))
+            return FalseExpr() if bound >= n else Comparison(node.column, ">=", bound)
+        # ">="
+        bound = int(np.searchsorted(dictionary, value, side="left"))
+        return FalseExpr() if bound >= n else Comparison(node.column, ">=", bound)
+    if isinstance(node, Between):
+        low = int(np.searchsorted(dictionary, str(node.low), side="left"))
+        high = int(np.searchsorted(dictionary, str(node.high), side="right")) - 1
+        if low > high:
+            return FalseExpr()
+        return Between(node.column, low, high)
+    if isinstance(node, InSet):
+        codes = []
+        for value in node.values:
+            code = _dictionary_code(dictionary, str(value))
+            if code is not None:
+                codes.append(code)
+        return FalseExpr() if not codes else InSet(node.column, codes)
+    if isinstance(node, Like):
+        regex = node._regex()
+        codes = [
+            index for index in range(n) if regex.match(str(dictionary[index]))
+        ]
+        if not codes:
+            return FalseExpr()
+        if len(codes) == n:
+            return TrueExpr()
+        return InSet(node.column, codes)
+    if isinstance(node, IsNull):
+        # STR NULL is the empty string — an ordinary dictionary entry.
+        code = _dictionary_code(dictionary, "")
+        return FalseExpr() if code is None else Comparison(node.column, "=", code)
+    if isinstance(node, IsNotNull):
+        code = _dictionary_code(dictionary, "")
+        return TrueExpr() if code is None else Comparison(node.column, "!=", code)
+    raise ExpressionError(f"cannot rewrite {type(node).__name__} into code space")
+
+
+def rewrite_for_codes(
+    expression: Expression,
+    dictionaries: Mapping[str, np.ndarray],
+    refs,
+) -> Optional[Expression]:
+    """Rewrite a predicate to evaluate against dictionary *codes*.
+
+    ``dictionaries`` maps qualified column refs to their sorted
+    dictionaries; ``refs`` is the full set of qualified refs the runtime
+    context will contain (needed to resolve bare column names the same
+    way evaluation does). Atoms on non-dictionary columns pass through
+    unchanged — the runtime context holds their plain decoded arrays.
+
+    Returns the rewritten expression, or ``None`` when any part cannot
+    be rewritten safely (unknown node types, ambiguous bare refs) — the
+    caller then evaluates the original predicate on decoded values.
+    """
+    if isinstance(expression, (TrueExpr, FalseExpr)):
+        return expression
+    if isinstance(expression, And):
+        parts = [rewrite_for_codes(op, dictionaries, refs) for op in expression.operands]
+        if any(part is None for part in parts):
+            return None
+        if any(isinstance(part, FalseExpr) for part in parts):
+            return FalseExpr()
+        kept = [part for part in parts if not isinstance(part, TrueExpr)]
+        return conjoin(kept)
+    if isinstance(expression, Or):
+        parts = [rewrite_for_codes(op, dictionaries, refs) for op in expression.operands]
+        if any(part is None for part in parts):
+            return None
+        if any(isinstance(part, TrueExpr) for part in parts):
+            return TrueExpr()
+        kept = [part for part in parts if not isinstance(part, FalseExpr)]
+        if not kept:
+            return FalseExpr()
+        return kept[0] if len(kept) == 1 else Or(kept)
+    if isinstance(expression, Not):
+        inner = rewrite_for_codes(expression.operand, dictionaries, refs)
+        if inner is None:
+            return None
+        if isinstance(inner, TrueExpr):
+            return FalseExpr()
+        if isinstance(inner, FalseExpr):
+            return TrueExpr()
+        return Not(inner)
+    if isinstance(
+        expression, (Comparison, Between, InSet, Like, IsNull, IsNotNull)
+    ):
+        resolved = _resolve_ref(expression.column, refs)
+        if resolved is None:
+            return None
+        dictionary = dictionaries.get(resolved)
+        if dictionary is None:
+            return expression
+        return _rewrite_atom(expression, dictionary)
+    return None

@@ -214,8 +214,74 @@ def factorize_key_pair(
 
 
 # ------------------------------------------------------------------ #
+# dictionary alignment (encoded string join keys)
+# ------------------------------------------------------------------ #
+def merge_dictionaries(
+    left_dict: np.ndarray, right_dict: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Align two sorted dictionaries into one shared code space.
+
+    Returns ``(merged, left_map, right_map)``: ``merged`` is the sorted
+    union of both dictionaries, and ``left_map[c]`` / ``right_map[c]``
+    translate each side's codes into merged codes (so
+    ``left_map[left_codes]`` and ``right_map[right_codes]`` are directly
+    comparable). When both sides share the same dictionary object the
+    translation is the identity and no merge is performed — the common
+    case for self-joins and subsets of one base table, whose
+    :meth:`~repro.db.table.Table.take` shares dictionaries.
+    """
+    if left_dict is right_dict:
+        identity = np.arange(len(left_dict), dtype=np.int64)
+        return left_dict, identity, identity
+    merged = np.unique(np.concatenate([left_dict, right_dict]))
+    left_map = np.searchsorted(merged, left_dict).astype(np.int64)
+    right_map = np.searchsorted(merged, right_dict).astype(np.int64)
+    return merged, left_map, right_map
+
+
+# ------------------------------------------------------------------ #
 # join
 # ------------------------------------------------------------------ #
+def build_join_index(
+    build_codes: np.ndarray, n_codes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build-side hash-join state from factorized codes.
+
+    Bucket layout: build rows stably sorted by code; per-code offsets
+    come from ``bincount``, so probing is direct indexing (no hashing,
+    no binary search). Stable argsort keeps build rows ascending within
+    a bucket. Returns ``(order, code_starts, code_counts)``.
+    """
+    code_counts = np.bincount(build_codes, minlength=n_codes)
+    code_starts = np.concatenate(([0], np.cumsum(code_counts[:-1])))
+    order = np.argsort(build_codes, kind="stable")
+    return order, code_starts, code_counts
+
+
+def probe_factorized(
+    probe_codes: np.ndarray,
+    order: np.ndarray,
+    code_starts: np.ndarray,
+    code_counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe a prebuilt join index with factorized codes.
+
+    Pure function of its inputs and independent across probe rows, which
+    is what makes the morsel-parallel probe in
+    :mod:`repro.db.parallel` exact: each morsel probes its slice and the
+    concatenation in morsel order reproduces the serial output.
+    """
+    counts = code_counts[probe_codes]
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
+    if total == 0:
+        return probe_idx, np.zeros(0, dtype=np.int64)
+    match_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(match_starts, counts)
+    build_idx = order[np.repeat(code_starts[probe_codes], counts) + within]
+    return probe_idx, build_idx.astype(np.int64, copy=False)
+
+
 @_timed("kernel.join_positions", size=lambda out: len(out[0]))
 @shape_contract(
     build_keys=[("b",)], probe_keys=[("p",)], returns=(("m",), ("m",))
@@ -229,28 +295,22 @@ def join_positions(
     Returns ``(probe_idx, build_idx)``: one entry per match, ordered by
     probe row, then ascending build row within each key group — exactly
     the order the per-row ``buckets.setdefault(...)`` implementation
-    emits.
+    emits. Large probe sides are split into morsels across the worker
+    pool when one is configured (see :mod:`repro.db.parallel`).
     """
     if _FORCE_REFERENCE:
         return reference_join_positions(build_keys, probe_keys)
     build_codes, probe_codes, n_codes = factorize_key_pair(build_keys, probe_keys)
-    # Bucket layout: build rows stably sorted by code; per-code offsets
-    # come from bincount, so probing is direct indexing (no hashing, no
-    # binary search). Stable radix argsort keeps build rows ascending
-    # within a bucket.
-    code_counts = np.bincount(build_codes, minlength=n_codes)
-    code_starts = np.concatenate(([0], np.cumsum(code_counts[:-1])))
-    order = np.argsort(build_codes, kind="stable")
+    order, code_starts, code_counts = build_join_index(build_codes, n_codes)
 
-    counts = code_counts[probe_codes]
-    total = int(counts.sum())
-    probe_idx = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
-    if total == 0:
-        return probe_idx, np.zeros(0, dtype=np.int64)
-    match_starts = np.cumsum(counts) - counts
-    within = np.arange(total, dtype=np.int64) - np.repeat(match_starts, counts)
-    build_idx = order[np.repeat(code_starts[probe_codes], counts) + within]
-    return probe_idx, build_idx.astype(np.int64, copy=False)
+    from . import parallel as _parallel
+
+    result = _parallel.maybe_parallel_probe(
+        probe_codes, order, code_starts, code_counts
+    )
+    if result is not None:
+        return result
+    return probe_factorized(probe_codes, order, code_starts, code_counts)
 
 
 def reference_join_positions(
@@ -330,7 +390,13 @@ def group_by_positions(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
     n = len(arrays[0]) if arrays else 0
     if n == 0:
         return []
-    codes, _ = factorize_keys(arrays)
+    codes, n_codes = factorize_keys(arrays)
+
+    from . import parallel as _parallel
+
+    result = _parallel.maybe_parallel_group_by(codes, n_codes)
+    if result is not None:
+        return result
     order = np.argsort(codes, kind="stable")
     sorted_codes = codes[order]
     boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1

@@ -1,0 +1,431 @@
+"""Morsel-driven parallel execution over shared-memory numpy arrays.
+
+The executor's three parallelizable loops — predicate scans, hash-join
+probes, and group-by partitioning — are split into fixed-size row-range
+*morsels* dispatched across a lazily created ``multiprocessing`` worker
+pool. Input arrays travel through ``multiprocessing.shared_memory``
+blocks (one copy in, zero-copy views in every worker); results come back
+per morsel and are concatenated in morsel order, which reproduces the
+serial output exactly because every parallel kernel here is independent
+across row ranges and morsels tile the input contiguously.
+
+Scheduling and fallback rules (see DESIGN.md §10):
+
+* the worker count comes from :func:`set_workers` or the
+  ``REPRO_WORKERS`` environment variable; ``0``/``1``/unset mean serial;
+* inputs smaller than ``REPRO_PARALLEL_MIN_ROWS`` (default
+  ``32768``) run serially — morsel dispatch overhead dominates below
+  that;
+* object-dtype arrays never parallelize (they cannot live in shared
+  memory) — string predicates must be rewritten to dictionary codes
+  first, which the executor does;
+* any pool failure (spawn refused, worker crash, shared-memory
+  exhaustion) increments ``parallel.fallbacks`` and the caller runs the
+  serial path — parallelism is strictly an optimization, never a
+  correctness dependency.
+
+Workers run with observability disabled (their registries would be lost
+on exit) and contain no wall-clock or global-RNG use; morsels that ever
+need randomness must derive it from an explicit per-morsel seed in the
+task payload (:func:`morsel_seeds` spawns them deterministically).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..obs import metrics as _metrics
+from ..obs.clock import perf_counter
+from ..obs.runtime import STATE as _OBS
+
+#: Below this many input rows the serial path always wins.
+DEFAULT_MIN_ROWS = 32_768
+
+#: Morsels per worker per dispatch — small enough to balance skew,
+#: large enough that per-morsel overhead stays negligible.
+_MORSELS_PER_WORKER = 4
+
+_CONFIGURED_WORKERS: Optional[int] = None
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def set_workers(count: Optional[int]) -> None:
+    """Configure the worker count programmatically (None = use env)."""
+    global _CONFIGURED_WORKERS
+    _CONFIGURED_WORKERS = None if count is None else max(0, int(count))
+
+
+def worker_count() -> int:
+    """Effective worker count: config override, else ``REPRO_WORKERS``."""
+    if _CONFIGURED_WORKERS is not None:
+        return _CONFIGURED_WORKERS
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def min_parallel_rows() -> int:
+    raw = os.environ.get("REPRO_PARALLEL_MIN_ROWS", "").strip()
+    if not raw:
+        return DEFAULT_MIN_ROWS
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_MIN_ROWS
+
+
+def morsel_seeds(entropy: int, n_morsels: int) -> list[int]:
+    """Deterministic per-morsel RNG seeds (spawned, never global state).
+
+    Morsel tasks that need randomness must take one of these in their
+    payload and build ``np.random.default_rng(seed)`` locally — workers
+    must never touch the global numpy RNG.
+    """
+    sequence = np.random.SeedSequence(entropy)
+    return [int(child.generate_state(1)[0]) for child in sequence.spawn(n_morsels)]
+
+
+def shutdown() -> None:
+    """Terminate the worker pool (idempotent; re-created lazily)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown)
+
+
+def _worker_init() -> None:
+    """Runs in each worker: observability off (registries die with the
+    worker; the parent records morsel metrics instead)."""
+    _OBS.enabled = False
+
+
+def _get_pool(workers: int):
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown()
+    if _POOL is None:
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else "spawn")
+        try:
+            _POOL = context.Pool(processes=workers, initializer=_worker_init)
+        except (OSError, ValueError):
+            _record_fallback("pool_unavailable")
+            return None
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _record_fallback(reason: str) -> None:
+    if _OBS.enabled:
+        registry = _metrics.registry()
+        registry.add("parallel.fallbacks")
+        registry.add(f"parallel.fallbacks.{reason}")
+
+
+def _record_dispatch(n_morsels: int, n_rows: int, seconds: float) -> None:
+    if _OBS.enabled:
+        registry = _metrics.registry()
+        registry.observe("parallel.morsels", float(n_morsels))
+        registry.add("parallel.dispatches")
+        registry.add("parallel.rows", float(n_rows))
+        registry.observe("parallel.dispatch.seconds", seconds)
+
+
+def _morsel_ranges(n_rows: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous row ranges tiling [0, n_rows)."""
+    target = max(1, -(-n_rows // (workers * _MORSELS_PER_WORKER)))
+    starts = range(0, n_rows, target)
+    return [(start, min(start + target, n_rows)) for start in starts]
+
+
+# ------------------------------------------------------------------ #
+# shared-memory transport
+# ------------------------------------------------------------------ #
+class _ShmArrays:
+    """Copies arrays into shared-memory blocks for zero-copy worker views.
+
+    The parent owns the blocks: created here, closed *and unlinked* in
+    :meth:`release` (always call it in a ``finally``). Workers attach by
+    name and detach per task.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        self.blocks: list[shared_memory.SharedMemory] = []
+        self.descriptors: dict[str, tuple[str, tuple, str]] = {}
+        try:
+            for key, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                self.blocks.append(block)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+                view[...] = array
+                del view
+                self.descriptors[key] = (block.name, array.shape, array.dtype.str)
+        except Exception:
+            self.release()
+            raise
+
+    def release(self) -> None:
+        for block in self.blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (double-release)
+        self.blocks = []
+
+
+def _attach(descriptor) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Worker side: map a shared block as a read-only numpy view.
+
+    Attaching must not register the block with the resource tracker: the
+    parent owns create/unlink, and an extra worker-side registration
+    either double-unlinks (spawn) or unbalances the fork-shared tracker.
+    Python < 3.13 registers unconditionally on attach, so registration is
+    suppressed for the duration of the constructor.
+    """
+    from multiprocessing import resource_tracker
+
+    name, shape, dtype = descriptor
+    original_register = resource_tracker.register
+    resource_tracker.register = _noop_register
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+    view.setflags(write=False)
+    return view, block
+
+
+def _noop_register(name, rtype) -> None:
+    return None
+
+
+def _detach(handles: list[shared_memory.SharedMemory]) -> None:
+    for block in handles:
+        block.close()
+
+
+# ------------------------------------------------------------------ #
+# worker task bodies (module-level: picklable under spawn and fork)
+# ------------------------------------------------------------------ #
+def _filter_task(payload):
+    descriptors, predicate, start, stop = payload
+    handles = []
+    context = {}
+    for ref, descriptor in descriptors.items():
+        view, block = _attach(descriptor)
+        handles.append(block)
+        context[ref] = view[start:stop]
+        del view
+    mask = predicate.evaluate(context)
+    positions = np.flatnonzero(mask).astype(np.int64)
+    positions += start
+    del mask, context
+    _detach(handles)
+    return positions
+
+
+def _probe_task(payload):
+    from . import kernels
+
+    descriptors, start, stop = payload
+    handles = []
+    views = {}
+    for key, descriptor in descriptors.items():
+        view, block = _attach(descriptor)
+        handles.append(block)
+        views[key] = view
+        del view
+    probe_idx, build_idx = kernels.probe_factorized(
+        views["probe_codes"][start:stop],
+        views["order"],
+        views["code_starts"],
+        views["code_counts"],
+    )
+    probe_idx = probe_idx + start
+    build_idx = np.array(build_idx)
+    del views
+    _detach(handles)
+    return probe_idx, build_idx
+
+
+def _group_task(payload):
+    descriptors, n_codes, start, stop = payload
+    handles = []
+    view, block = _attach(descriptors["codes"])
+    handles.append(block)
+    codes = view[start:stop]
+    counts = np.bincount(codes, minlength=n_codes)
+    order = np.argsort(codes, kind="stable").astype(np.int64)
+    order += start
+    del codes, view
+    _detach(handles)
+    return counts, order
+
+
+# ------------------------------------------------------------------ #
+# dispatch entry points (return None -> caller runs the serial path)
+# ------------------------------------------------------------------ #
+def _dispatch(task, payloads, n_rows: int):
+    """Run payloads on the pool; None on any failure (serial fallback)."""
+    workers = worker_count()
+    pool = _get_pool(workers)
+    if pool is None:
+        return None
+    started = perf_counter()
+    try:
+        results = pool.map(task, payloads)
+    except Exception:
+        _record_fallback("dispatch_error")
+        shutdown()  # a crashed worker poisons the pool; rebuild lazily
+        return None
+    _record_dispatch(len(payloads), n_rows, perf_counter() - started)
+    return results
+
+
+def _parallel_eligible(n_rows: int) -> bool:
+    return worker_count() >= 2 and n_rows >= min_parallel_rows()
+
+
+def maybe_parallel_filter(
+    predicate, context: dict[str, np.ndarray]
+) -> Optional[np.ndarray]:
+    """Evaluate a predicate across morsels; matching positions, or None.
+
+    Only attempted when every referenced array is shared-memory friendly
+    (no object dtype); the executor guarantees this by rewriting string
+    predicates into dictionary-code space first.
+    """
+    if not context:
+        return None
+    n_rows = len(next(iter(context.values())))
+    if not _parallel_eligible(n_rows):
+        return None
+    if any(array.dtype == object for array in context.values()):
+        _record_fallback("object_dtype")
+        return None
+    ranges = _morsel_ranges(n_rows, worker_count())
+    if len(ranges) < 2:
+        return None
+    shm = _ShmArrays(context)
+    try:
+        payloads = [
+            (shm.descriptors, predicate, start, stop) for start, stop in ranges
+        ]
+        results = _dispatch(_filter_task, payloads, n_rows)
+    finally:
+        shm.release()
+    if results is None:
+        return None
+    return np.concatenate(results) if results else np.zeros(0, dtype=np.int64)
+
+
+def maybe_parallel_probe(
+    probe_codes: np.ndarray,
+    order: np.ndarray,
+    code_starts: np.ndarray,
+    code_counts: np.ndarray,
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Morsel-parallel hash-join probe; ``(probe_idx, build_idx)`` or None.
+
+    Morsels tile the probe side; each worker probes its slice against the
+    full (shared) build index. Concatenating per-morsel outputs in morsel
+    order reproduces the serial probe order exactly.
+    """
+    n_rows = len(probe_codes)
+    if not _parallel_eligible(n_rows):
+        return None
+    ranges = _morsel_ranges(n_rows, worker_count())
+    if len(ranges) < 2:
+        return None
+    shm = _ShmArrays(
+        {
+            "probe_codes": probe_codes,
+            "order": order,
+            "code_starts": code_starts,
+            "code_counts": code_counts,
+        }
+    )
+    try:
+        payloads = [(shm.descriptors, start, stop) for start, stop in ranges]
+        results = _dispatch(_probe_task, payloads, n_rows)
+    finally:
+        shm.release()
+    if results is None:
+        return None
+    probe_idx = np.concatenate([r[0] for r in results])
+    build_idx = np.concatenate([r[1] for r in results])
+    return probe_idx, build_idx
+
+
+def maybe_parallel_group_by(
+    codes: np.ndarray, n_codes: int
+) -> Optional[list[np.ndarray]]:
+    """Morsel-parallel grouping; list of position arrays or None.
+
+    Each worker stable-argsorts its morsel's codes and counts per-code
+    occupancy; the parent scatters every morsel's sorted run into the
+    global group layout. Groups come out enumerated in ascending code
+    order with ascending positions inside each group — identical to the
+    serial ``argsort`` + ``split`` kernel.
+    """
+    n_rows = len(codes)
+    if not _parallel_eligible(n_rows):
+        return None
+    # Dense per-morsel bincounts dominate when codes are much wider than
+    # the input; the serial kernel's single argsort wins there.
+    if n_codes > 4 * max(n_rows, 1):
+        _record_fallback("wide_code_range")
+        return None
+    ranges = _morsel_ranges(n_rows, worker_count())
+    if len(ranges) < 2:
+        return None
+    shm = _ShmArrays({"codes": np.ascontiguousarray(codes)})
+    try:
+        payloads = [
+            (shm.descriptors, n_codes, start, stop) for start, stop in ranges
+        ]
+        results = _dispatch(_group_task, payloads, n_rows)
+    finally:
+        shm.release()
+    if results is None:
+        return None
+    counts = np.stack([result[0] for result in results])  # (morsels, codes)
+    totals = counts.sum(axis=0)
+    code_start = np.concatenate(([0], np.cumsum(totals[:-1])))
+    prior = np.cumsum(counts, axis=0) - counts  # rows before morsel m per code
+    merged = np.empty(n_rows, dtype=np.int64)
+    for m, (_, order) in enumerate(results):
+        local = counts[m]
+        present = np.flatnonzero(local)
+        if len(present) == 0:
+            continue
+        sizes = local[present]
+        run_starts = code_start[present] + prior[m, present]
+        run_offsets = np.cumsum(sizes) - sizes
+        within = np.arange(len(order), dtype=np.int64) - np.repeat(
+            run_offsets, sizes
+        )
+        merged[np.repeat(run_starts, sizes) + within] = order
+    boundaries = np.cumsum(totals[np.flatnonzero(totals)])[:-1]
+    return np.split(merged, boundaries)

@@ -139,6 +139,15 @@ class QueryPlan:
                 parts.append(f"q={node.q:.2f}")
             if node.seconds is not None:
                 parts.append(f"t={node.seconds * 1e3:.2f}ms")
+            if "blocks_total" in node.detail:
+                parts.append(
+                    f"blocks={node.detail['blocks_total'] - node.detail['blocks_pruned']}"
+                    f"/{node.detail['blocks_total']}"
+                    f" pruned={node.detail['blocks_pruned']}"
+                )
+            for key, value in node.detail.items():
+                if key not in ("blocks_total", "blocks_pruned"):
+                    parts.append(f"{key}={value}")
             return f"  ({' '.join(parts)})" if parts else ""
 
         def render(node: PlanNode, depth: int) -> None:

@@ -1,22 +1,199 @@
-"""Column-store table.
+"""Compressed column-store table.
 
-A :class:`Table` owns one numpy array per column plus a stable integer
-*row id* per row. Row ids are positions in the base table and survive into
-subsets taken with :meth:`Table.take`, which is how approximation sets
-remember which base tuples they contain.
+A :class:`Table` owns one *encoded* column per schema column plus a stable
+integer *row id* per row. Row ids are positions in the base table and
+survive into subsets taken with :meth:`Table.take`, which is how
+approximation sets remember which base tuples they contain.
+
+Storage encodings (the compressed column store):
+
+* ``STR`` columns are **dictionary-encoded** (:class:`DictEncoded`): a
+  lexicographically sorted dictionary of distinct strings plus one
+  ``int32`` code per row. Because the dictionary is sorted, code order
+  equals string order, so equality *and* range predicates, joins, sorts,
+  and DISTINCT can all run directly on the codes — strings materialize
+  only at projection time (late materialization).
+* ``INT`` columns are **bit-width reduced** (:class:`IntPacked`): values
+  are stored as unsigned offsets from the column minimum in the narrowest
+  unsigned dtype that fits; NULL sentinels take a reserved code one past
+  the value span. Columns whose span does not fit ``uint32`` stay plain.
+* ``FLOAT`` columns are stored plain (``float64``).
+
+:meth:`Table.column` decodes on demand and caches the decoded array, so
+every pre-column-store consumer keeps working unchanged; the executor
+reads codes through :meth:`Table.encoding` / :meth:`Table.raw_column` and
+never pays the decode on its hot paths. :meth:`Table.take` subsets codes
+directly (an ``int32`` gather instead of an object-array gather), which
+is what makes derived sub-databases cheap.
+
+Every table carries a process-unique :attr:`Table.encoding_version`; a
+rebuilt or re-encoded table gets a fresh version, which is what the
+query-result cache keys on to invalidate stale entries.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+import itertools
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from .schema import Column, SchemaError, TableSchema
+from .schema import INT_NULL, Column, ColumnType, SchemaError, TableSchema
+
+#: Process-wide monotonically increasing encoding version source. Every
+#: constructed Table (including subsets) draws a fresh version, so any
+#: rebuild / re-encode observably changes the version.
+_ENCODING_VERSIONS = itertools.count(1)
+
+
+class DictEncoded:
+    """A dictionary-encoded string column.
+
+    ``dictionary`` is the sorted array of distinct values (object dtype,
+    ascending by Python string order — identical to numpy ``U`` order for
+    well-formed text), ``codes`` is one ``int32`` per row indexing into
+    it. Equal values have equal codes and code order equals value order.
+    """
+
+    __slots__ = ("codes", "dictionary")
+
+    def __init__(self, codes: np.ndarray, dictionary: np.ndarray) -> None:
+        self.codes = codes
+        self.dictionary = dictionary
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "DictEncoded":
+        if len(values) == 0:
+            dictionary = np.empty(0, dtype=object)
+            codes = np.zeros(0, dtype=np.int32)
+        else:
+            dictionary, inverse = np.unique(values, return_inverse=True)
+            codes = inverse.astype(np.int32, copy=False).reshape(-1)
+        codes.setflags(write=False)
+        dictionary.setflags(write=False)
+        return cls(codes, dictionary)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def n_values(self) -> int:
+        return len(self.dictionary)
+
+    def decode(self) -> np.ndarray:
+        if len(self.dictionary) == 0:
+            return np.empty(len(self.codes), dtype=object)
+        return self.dictionary[self.codes]
+
+    def take(self, positions: np.ndarray) -> "DictEncoded":
+        codes = self.codes[positions]
+        codes.setflags(write=False)
+        return DictEncoded(codes, self.dictionary)
+
+    def encoded_nbytes(self) -> int:
+        return int(self.codes.nbytes) + sum(
+            _STR_OBJECT_OVERHEAD + len(value) for value in self.dictionary
+        )
+
+    def plain_nbytes(self) -> int:
+        if len(self.dictionary) == 0:
+            return 8 * len(self.codes)
+        lengths = np.fromiter(
+            (len(value) for value in self.dictionary),
+            dtype=np.int64,
+            count=len(self.dictionary),
+        )
+        counts = np.bincount(self.codes, minlength=len(self.dictionary))
+        return int(8 * len(self.codes) + ((_STR_OBJECT_OVERHEAD + lengths) * counts).sum())
+
+
+#: Approximate per-object overhead of a CPython str, used only for the
+#: compression-ratio accounting (never for correctness).
+_STR_OBJECT_OVERHEAD = 49
+
+
+class IntPacked:
+    """A bit-width-reduced integer column.
+
+    Non-null values are stored as ``value - base`` in the narrowest
+    unsigned dtype whose range covers the span; NULL sentinels
+    (:data:`repro.db.schema.INT_NULL`) are stored as the reserved code
+    ``span`` (one past the largest offset).
+    """
+
+    __slots__ = ("codes", "base", "null_code")
+
+    def __init__(self, codes: np.ndarray, base: int, null_code: int) -> None:
+        self.codes = codes
+        self.base = base
+        self.null_code = null_code
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "Optional[IntPacked]":
+        """Pack an int64 array, or return None when packing cannot win."""
+        n = len(values)
+        nulls = values == INT_NULL
+        any_null = bool(nulls.any())
+        valid = values[~nulls] if any_null else values
+        if len(valid) == 0:
+            base, span = 0, 0
+        else:
+            base = int(valid.min())
+            span = int(valid.max()) - base
+        null_code = span + 1 if any_null else span
+        for dtype in (np.uint8, np.uint16, np.uint32):
+            if null_code <= np.iinfo(dtype).max:
+                codes = np.empty(n, dtype=dtype)
+                if any_null:
+                    np.subtract(values, base, out=codes, casting="unsafe",
+                                where=~nulls)
+                    codes[nulls] = null_code
+                else:
+                    np.subtract(values, base, out=codes, casting="unsafe")
+                codes.setflags(write=False)
+                return cls(codes, base, null_code if any_null else -1)
+        return None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def decode(self) -> np.ndarray:
+        out = self.codes.astype(np.int64)
+        out += self.base
+        if self.null_code >= 0:
+            out[self.codes == self.null_code] = INT_NULL
+        out.setflags(write=False)
+        return out
+
+    def take(self, positions: np.ndarray) -> "IntPacked":
+        codes = self.codes[positions]
+        codes.setflags(write=False)
+        return IntPacked(codes, self.base, self.null_code)
+
+    def encoded_nbytes(self) -> int:
+        return int(self.codes.nbytes)
+
+    def plain_nbytes(self) -> int:
+        return 8 * len(self.codes)
+
+
+#: What a column slot may hold: a plain numpy array or an encoding.
+ColumnStorage = Union[np.ndarray, DictEncoded, IntPacked]
+
+
+def _encode_column(column: Column, array: np.ndarray) -> ColumnStorage:
+    if column.ctype is ColumnType.STR:
+        return DictEncoded.from_values(array)
+    if column.ctype is ColumnType.INT:
+        packed = IntPacked.from_values(array)
+        if packed is not None:
+            return packed
+    array.setflags(write=False)
+    return array
 
 
 class Table:
-    """An immutable in-memory table.
+    """An immutable in-memory table over the compressed column store.
 
     Parameters
     ----------
@@ -24,7 +201,8 @@ class Table:
         The table schema.
     columns:
         Mapping from column name to a sequence of values (all the same
-        length). Values are coerced to the column's storage dtype.
+        length). Values are coerced to the column's storage dtype and
+        encoded (dictionary / bit-width reduction) on construction.
     row_ids:
         Optional explicit row ids. Defaults to ``arange(n)``; subsets carry
         the ids of the base rows they came from.
@@ -44,7 +222,7 @@ class Table:
         if extra:
             raise SchemaError(f"table {schema.name!r}: unknown columns {extra}")
 
-        self._data: dict[str, np.ndarray] = {}
+        self._store: dict[str, ColumnStorage] = {}
         n_rows: Optional[int] = None
         for column in schema.columns:
             array = column.coerce(columns[column.name])
@@ -55,21 +233,40 @@ class Table:
                     f"table {schema.name!r}: column {column.name!r} has "
                     f"{len(array)} values, expected {n_rows}"
                 )
-            array.setflags(write=False)
-            self._data[column.name] = array
-        self._n_rows = int(n_rows or 0)
+            self._store[column.name] = _encode_column(column, array)
+        self._finish_init(int(n_rows or 0), row_ids)
 
+    def _finish_init(self, n_rows: int, row_ids: Optional[np.ndarray]) -> None:
+        self._n_rows = n_rows
+        self._decoded: dict[str, np.ndarray] = {}
+        self._zone_maps: dict[int, object] = {}
+        self.encoding_version = next(_ENCODING_VERSIONS)
         if row_ids is None:
             row_ids = np.arange(self._n_rows, dtype=np.int64)
         else:
             row_ids = np.asarray(row_ids, dtype=np.int64)
             if len(row_ids) != self._n_rows:
                 raise SchemaError(
-                    f"table {schema.name!r}: {len(row_ids)} row ids for "
+                    f"table {self.schema.name!r}: {len(row_ids)} row ids for "
                     f"{self._n_rows} rows"
                 )
         row_ids.setflags(write=False)
         self.row_ids = row_ids
+
+    @classmethod
+    def _from_store(
+        cls,
+        schema: TableSchema,
+        store: dict[str, ColumnStorage],
+        n_rows: int,
+        row_ids: Optional[np.ndarray],
+    ) -> "Table":
+        """Internal fast path: build a table from already-encoded columns."""
+        table = cls.__new__(cls)
+        table.schema = schema
+        table._store = store
+        table._finish_init(n_rows, row_ids)
+        return table
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -82,9 +279,43 @@ class Table:
         return self._n_rows
 
     def column(self, name: str) -> np.ndarray:
-        """The storage array of a column (read-only view)."""
+        """The decoded value array of a column (read-only, cached)."""
         self.schema.column(name)  # validates the name
-        return self._data[name]
+        cached = self._decoded.get(name)
+        if cached is not None:
+            return cached
+        storage = self._store[name]
+        if isinstance(storage, np.ndarray):
+            array = storage
+        else:
+            array = storage.decode()
+            array.setflags(write=False)
+        self._decoded[name] = array
+        return array
+
+    def encoding(self, name: str) -> Optional[ColumnStorage]:
+        """The encoding object of a column (None when stored plain)."""
+        self.schema.column(name)
+        storage = self._store[name]
+        return None if isinstance(storage, np.ndarray) else storage
+
+    def raw_column(self, name: str) -> np.ndarray:
+        """The physical array of a column: codes when encoded, else values.
+
+        For dictionary columns this is the ``int32`` code array (compare
+        with :attr:`DictEncoded.dictionary` order); for packed ints the
+        unsigned offsets. Use :meth:`column` for decoded values.
+        """
+        self.schema.column(name)
+        storage = self._store[name]
+        return storage if isinstance(storage, np.ndarray) else storage.codes
+
+    def dictionary(self, name: str) -> Optional[np.ndarray]:
+        """The sorted dictionary of a dict-encoded column, else None."""
+        storage = self._store.get(name)
+        if isinstance(storage, DictEncoded):
+            return storage.dictionary
+        return None
 
     def row(self, index: int) -> dict[str, object]:
         """Materialize one row (by position, not row id) as a dict."""
@@ -92,7 +323,7 @@ class Table:
             raise IndexError(
                 f"table {self.name!r}: row {index} out of range 0..{self._n_rows - 1}"
             )
-        return {name: array[index] for name, array in self._data.items()}
+        return {name: self.column(name)[index] for name in self.schema.column_names}
 
     def rows(self) -> Iterator[dict[str, object]]:
         """Iterate over all rows as dicts. Intended for tests and display."""
@@ -101,7 +332,48 @@ class Table:
 
     def null_mask(self, name: str) -> np.ndarray:
         column = self.schema.column(name)
-        return column.null_mask(self._data[name])
+        return column.null_mask(self.column(name))
+
+    # ------------------------------------------------------------------ #
+    # storage accounting / zone maps
+    # ------------------------------------------------------------------ #
+    def compression_stats(self) -> dict[str, float]:
+        """Approximate plain vs encoded byte sizes and the overall ratio.
+
+        String sizes are estimated from dictionary entry lengths plus a
+        fixed per-object overhead — an accounting aid for the benchmark
+        record, not an allocator-accurate measurement.
+        """
+        plain = 0
+        encoded = 0
+        for name in self.schema.column_names:
+            storage = self._store[name]
+            if isinstance(storage, np.ndarray):
+                plain += int(storage.nbytes)
+                encoded += int(storage.nbytes)
+            else:
+                plain += storage.plain_nbytes()
+                encoded += storage.encoded_nbytes()
+        return {
+            "plain_bytes": float(plain),
+            "encoded_bytes": float(encoded),
+            "ratio": float(plain) / float(encoded) if encoded else 1.0,
+        }
+
+    def zone_maps(self, block_rows: Optional[int] = None):
+        """Per-column min/max block statistics (built lazily, cached).
+
+        See :class:`repro.db.statistics.TableZoneMaps`; the executor
+        consults these to prune scan blocks, the planner to tighten
+        cardinality estimates.
+        """
+        from .statistics import DEFAULT_BLOCK_ROWS, build_zone_maps
+
+        rows = int(block_rows) if block_rows else DEFAULT_BLOCK_ROWS
+        cached = self._zone_maps.get(rows)
+        if cached is None:
+            cached = self._zone_maps[rows] = build_zone_maps(self, block_rows=rows)
+        return cached
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -110,11 +382,21 @@ class Table:
         """A new table containing the rows at ``positions`` (in order).
 
         Row ids are carried through, so a subset of a subset still refers
-        to base-table rows.
+        to base-table rows. Subsetting operates directly on the encoded
+        codes (dictionaries are shared, not copied).
         """
         positions = np.asarray(positions, dtype=np.int64)
-        data = {name: array[positions] for name, array in self._data.items()}
-        return Table(self.schema, data, row_ids=self.row_ids[positions])
+        store: dict[str, ColumnStorage] = {}
+        for name, storage in self._store.items():
+            if isinstance(storage, np.ndarray):
+                taken = storage[positions]
+                taken.setflags(write=False)
+                store[name] = taken
+            else:
+                store[name] = storage.take(positions)
+        return Table._from_store(
+            self.schema, store, len(positions), self.row_ids[positions]
+        )
 
     def filter_mask(self, mask: np.ndarray) -> "Table":
         """A new table keeping rows where ``mask`` is True."""
@@ -144,8 +426,9 @@ class Table:
         """Jupyter rendering (the paper targets notebook EDA sessions)."""
         limit = 10
         names = self.schema.column_names
+        columns = {name: self.column(name) for name in names}
         rows = [
-            [self._data[name][i] for name in names]
+            [columns[name][i] for name in names]
             for i in range(min(limit, self._n_rows))
         ]
         caption = f"{self.name} — {self._n_rows} rows"
@@ -156,8 +439,9 @@ class Table:
     def to_text(self, limit: int = 10) -> str:
         """A small fixed-width rendering, for examples and debugging."""
         names = self.schema.column_names
+        columns = {name: self.column(name) for name in names}
         shown = [
-            [str(self._data[name][i]) for name in names]
+            [str(columns[name][i]) for name in names]
             for i in range(min(limit, self._n_rows))
         ]
         widths = [

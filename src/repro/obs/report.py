@@ -240,6 +240,48 @@ def _section_queries(records: list[dict]) -> list[str]:
     return lines
 
 
+def _section_storage(snapshot: Optional[dict]) -> list[str]:
+    """Zone-map pruning and morsel-parallelism counters, interpreted."""
+    lines = ["## Column store & parallel execution", ""]
+    counters = (snapshot or {}).get("counters", {})
+    histograms = (snapshot or {}).get("histograms", {})
+    blocks_total = counters.get("scan.blocks_total", 0)
+    blocks_pruned = counters.get("scan.blocks_pruned", 0)
+    dispatches = counters.get("parallel.dispatches", 0)
+    fallbacks = counters.get("parallel.fallbacks", 0)
+    morsels = histograms.get("parallel.morsels")
+    if not blocks_total and not dispatches and not fallbacks:
+        lines.append(
+            "No scan/parallel metrics in this run — they appear once "
+            "queries execute against zone-mapped tables (and, for the "
+            "parallel rows, with `REPRO_WORKERS` >= 2)."
+        )
+        return lines
+    if blocks_total:
+        lines.append(
+            f"- zone-map pruning: {blocks_pruned:.0f} of {blocks_total:.0f} "
+            f"scan blocks skipped ({blocks_pruned / blocks_total:.1%})"
+        )
+    if dispatches:
+        rows = counters.get("parallel.rows", 0)
+        lines.append(
+            f"- parallel dispatches: {dispatches:.0f} "
+            f"({rows:.0f} rows through the worker pool), "
+            f"{fallbacks:.0f} serial fallbacks"
+        )
+    elif fallbacks:
+        lines.append(
+            f"- parallel execution: 0 dispatches, {fallbacks:.0f} serial "
+            "fallbacks (pool unavailable or inputs below the morsel floor)"
+        )
+    if morsels:
+        lines.append(
+            f"- morsels per dispatch: mean {morsels.get('mean', 0):.1f}, "
+            f"p95 {morsels.get('p95', 0):.0f}, max {morsels.get('max', 0):.0f}"
+        )
+    return lines
+
+
 def _section_metrics(snapshot: Optional[dict]) -> list[str]:
     lines = ["## Metrics", ""]
     if not snapshot:
@@ -524,6 +566,7 @@ def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
         _section_training(records),
         _section_plans(records),
         _section_queries(records),
+        _section_storage(snapshot),
         _section_metrics(snapshot),
         _section_trace(nodes),
         _section_profile(run_dir, profile_counts, memory_doc),

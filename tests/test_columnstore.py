@@ -1,0 +1,314 @@
+"""Differential tests for the compressed column store.
+
+Every test here compares the encoded execution path — dictionary codes,
+packed ints, code-space predicate rewrites, zone-map pruned scans —
+against plain evaluation over fully decoded arrays. The two must agree
+exactly: same rows, same order, same values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    INT_NULL,
+    Column,
+    ColumnType,
+    Database,
+    DictEncoded,
+    IntPacked,
+    ResultCache,
+    Table,
+    TableSchema,
+    execute,
+    execute_cached,
+    sql,
+)
+from repro.db import expressions as E
+from repro.db import statistics as dbstats
+
+CITIES = np.asarray(["", "amber", "blue", "cyan", "drab", "ecru"], dtype=object)
+
+#: WHERE-clause battery: every rewritable atom form, plus combinations.
+PREDICATES = [
+    "city = 'blue'",
+    "city = 'nosuch'",
+    "city != 'cyan'",
+    "city < 'cyan'",
+    "city <= 'blue'",
+    "city > 'blue'",
+    "city >= 'drab'",
+    "city BETWEEN 'amber' AND 'cyan'",
+    "city IN ('amber', 'ecru', 'nosuch')",
+    "city LIKE 'c%'",
+    "city IS NULL",
+    "city IS NOT NULL",
+    "score > 10",
+    "score BETWEEN -20 AND 20",
+    "score IS NULL",
+    "temp IS NOT NULL",
+    "city = 'blue' AND score > 0",
+    "city < 'cyan' OR score IS NULL",
+    "NOT city = 'blue'",
+]
+
+
+def make_table(seed: int = 0, n: int = 500, name: str = "t") -> Table:
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(
+        name,
+        (
+            Column("city", ColumnType.STR, nullable=True),
+            Column("score", ColumnType.INT, nullable=True),
+            Column("temp", ColumnType.FLOAT, nullable=True),
+        ),
+    )
+    city = CITIES[rng.integers(0, len(CITIES), size=n)]
+    score = rng.integers(-50, 50, size=n)
+    score[rng.random(n) < 0.1] = INT_NULL
+    temp = rng.normal(size=n)
+    temp[rng.random(n) < 0.1] = np.nan
+    return Table(schema, {"city": city, "score": score, "temp": temp})
+
+
+def plain_context(table: Table) -> dict[str, np.ndarray]:
+    return {
+        f"{table.name}.{name}": table.column(name)
+        for name in table.schema.column_names
+    }
+
+
+def _comparable(value):
+    """NaN-safe cell: tuples containing nan must still compare equal."""
+    if isinstance(value, float) and np.isnan(value):
+        return "NaN"
+    return value
+
+
+def expected_rows(table: Table, predicate: E.Expression) -> list[tuple]:
+    mask = predicate.evaluate(plain_context(table))
+    decoded = [table.column(name) for name in table.schema.column_names]
+    return [
+        tuple(_comparable(col[i]) for col in decoded)
+        for i in np.flatnonzero(mask)
+    ]
+
+
+def row_tuples(result, refs) -> list[tuple]:
+    """ResultSet rows as tuples in *refs* order (to_rows yields dicts)."""
+    return [
+        tuple(_comparable(row[ref]) for ref in refs) for row in result.to_rows()
+    ]
+
+
+# ------------------------------------------------------------------ #
+# storage round trips
+# ------------------------------------------------------------------ #
+def test_dict_encoding_round_trip():
+    values = np.asarray(["b", "", "a", "b", "c", "a"], dtype=object)
+    enc = DictEncoded.from_values(values)
+    assert enc.codes.dtype == np.int32
+    assert list(enc.dictionary) == sorted(set(values))  # sorted dictionary
+    np.testing.assert_array_equal(enc.decode(), values)
+    taken = enc.take(np.asarray([4, 0, 1]))
+    np.testing.assert_array_equal(taken.decode(), values[[4, 0, 1]])
+
+
+def test_int_packing_round_trip_with_nulls():
+    values = np.asarray([100, INT_NULL, 103, 101, INT_NULL], dtype=np.int64)
+    packed = IntPacked.from_values(values)
+    assert packed is not None
+    assert packed.codes.dtype == np.uint8
+    np.testing.assert_array_equal(packed.decode(), values)
+
+
+def test_int_packing_declines_wide_ranges():
+    values = np.asarray([0, 2**40], dtype=np.int64)
+    assert IntPacked.from_values(values) is None
+
+
+def test_table_columns_decode_to_original_values():
+    table = make_table(seed=1)
+    rng = np.random.default_rng(1)
+    city = CITIES[rng.integers(0, len(CITIES), size=500)]
+    np.testing.assert_array_equal(table.column("city"), city)
+    assert table.encoding("city") is not None
+    assert table.raw_column("city").dtype == np.int32
+
+
+def test_compression_stats_report_a_win():
+    table = make_table(n=2000)
+    stats = table.compression_stats()
+    assert stats["encoded_bytes"] < stats["plain_bytes"]
+    assert stats["ratio"] > 1.0
+
+
+def test_encoding_version_changes_per_table_build():
+    a = make_table(seed=0)
+    b = make_table(seed=0)
+    assert a.encoding_version != b.encoding_version
+
+
+def test_take_preserves_encoding_and_values():
+    table = make_table(seed=2)
+    positions = np.asarray([5, 3, 400, 3, 0])
+    subset = table.take(positions)
+    np.testing.assert_array_equal(
+        subset.column("city"), table.column("city")[positions]
+    )
+    np.testing.assert_array_equal(
+        subset.column("score"), table.column("score")[positions]
+    )
+    assert subset.encoding("city") is not None
+
+
+# ------------------------------------------------------------------ #
+# differential execution: encoded vs plain
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("where", PREDICATES)
+def test_filters_match_plain_evaluation(where):
+    table = make_table(seed=3)
+    db = Database([table])
+    query = sql(f"SELECT city, score, temp FROM t WHERE {where}")
+    result = execute(db, query)
+    refs = ["t.city", "t.score", "t.temp"]
+    assert row_tuples(result, refs) == expected_rows(table, query.predicate)
+
+
+@pytest.mark.parametrize("where", PREDICATES)
+def test_filters_match_on_large_multiblock_tables(where):
+    # Spans many zone-map blocks so partial pruning paths are exercised.
+    table = make_table(seed=4, n=20_000)
+    db = Database([table])
+    query = sql(f"SELECT city, score, temp FROM t WHERE {where}")
+    result = execute(db, query)
+    refs = ["t.city", "t.score", "t.temp"]
+    assert row_tuples(result, refs) == expected_rows(table, query.predicate)
+
+
+def test_encoded_key_join_matches_nested_loop():
+    left = make_table(seed=5, n=120, name="l")
+    right = make_table(seed=6, n=90, name="r")
+    db = Database([left, right])
+    query = sql(
+        "SELECT l.city, l.score, r.temp FROM l, r WHERE l.city = r.city"
+    )
+    result = execute(db, query)
+    lc, rc = left.column("city"), right.column("city")
+    expected = [
+        (
+            lc[i],
+            left.column("score")[i],
+            _comparable(right.column("temp")[j]),
+        )
+        for i in range(len(left))
+        for j in range(len(right))
+        if lc[i] == rc[j]
+    ]
+    actual = row_tuples(result, ["l.city", "l.score", "r.temp"])
+    assert sorted(actual, key=repr) == sorted(expected, key=repr)
+    assert len(actual) == len(expected)
+
+
+def test_order_by_on_encoded_column_is_string_order():
+    table = make_table(seed=7)
+    db = Database([table])
+    query = sql("SELECT city FROM t WHERE city IS NOT NULL ORDER BY city")
+    result = execute(db, query)
+    values = [row["t.city"] for row in result.to_rows()]
+    assert values == sorted(values)
+
+
+def test_null_round_trip_through_projection():
+    table = make_table(seed=8)
+    db = Database([table])
+    result = execute(db, sql("SELECT city, score FROM t WHERE score IS NULL"))
+    rows = result.to_rows()
+    assert rows and all(row["t.score"] == INT_NULL for row in rows)
+    result = execute(db, sql("SELECT city FROM t WHERE city IS NULL"))
+    rows = result.to_rows()
+    assert rows and all(row["t.city"] == "" for row in rows)
+
+
+def test_group_by_on_encoded_column_matches_plain_counts():
+    from repro.db import execute_aggregate
+
+    table = make_table(seed=9)
+    db = Database([table])
+    result = execute_aggregate(db, sql("SELECT city, COUNT(*) FROM t GROUP BY city"))
+    city = table.column("city")
+    expected = {value: int((city == value).sum()) for value in set(city)}
+    actual = {
+        key[0]: int(next(iter(aggs.values())))
+        for key, aggs in result.as_mapping().items()
+    }
+    assert actual == expected
+
+
+# ------------------------------------------------------------------ #
+# zone maps: pruning must never skip a matching block
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("where", PREDICATES)
+def test_zone_maps_never_prune_matching_blocks(seed, where):
+    block_rows = 64
+    table = make_table(seed=seed, n=1500)
+    query = sql(f"SELECT city FROM t WHERE {where}")
+    zmaps = table.zone_maps(block_rows=block_rows)
+    refs = [f"t.{name}" for name in table.schema.column_names]
+    rewritten = E.rewrite_for_codes(
+        query.predicate, {"t.city": table.dictionary("city")}, refs
+    )
+    predicate = rewritten if rewritten is not None else query.predicate
+    mask = dbstats.zone_map_block_mask(predicate, zmaps.columns, zmaps.n_blocks)
+    matches = query.predicate.evaluate(plain_context(table))
+    for position in np.flatnonzero(matches):
+        assert mask[position // block_rows], (
+            f"block {position // block_rows} pruned but row {position} "
+            f"matches {where!r}"
+        )
+
+
+def test_explain_analyze_reports_pruned_blocks():
+    from repro.db import explain
+
+    table = make_table(seed=10, n=20_000)
+    db = Database([table])
+    plan = explain(
+        db, sql("SELECT city FROM t WHERE score BETWEEN 0 AND 5"), analyze=True
+    )
+    details = [
+        node.detail for node in plan.operators() if "blocks_total" in node.detail
+    ]
+    assert details, "scan node must report zone-map block counts"
+    assert details[0]["blocks_total"] > 0
+    assert "blocks=" in plan.format()
+
+
+# ------------------------------------------------------------------ #
+# result cache: encoding version keys invalidation
+# ------------------------------------------------------------------ #
+def test_result_cache_hits_and_invalidates_on_rebuild():
+    table = make_table(seed=11)
+    db = Database([table])
+    query = sql("SELECT city, score FROM t WHERE score > 0")
+    cache = ResultCache(capacity=8)
+    first = execute_cached(db, query, cache)
+    again = execute_cached(db, query, cache)
+    assert again is first
+    assert cache.hits == 1 and cache.misses == 1
+
+    db.replace_table(make_table(seed=11))
+    rebuilt = execute_cached(db, query, cache)
+    assert rebuilt is not first
+    assert cache.misses == 2
+    assert rebuilt.to_rows() == first.to_rows()
+
+
+def test_result_cache_evicts_lru():
+    table = make_table(seed=12)
+    db = Database([table])
+    cache = ResultCache(capacity=2)
+    for bound in (0, 1, 2):
+        execute_cached(db, sql(f"SELECT city FROM t WHERE score > {bound}"), cache)
+    assert len(cache) == 2
+    assert cache.evictions == 1

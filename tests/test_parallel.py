@@ -1,0 +1,197 @@
+"""Morsel-driven parallelism: parallel results must equal serial exactly.
+
+Every dispatchable operator — scan filter, hash-join probe, group-by —
+is run twice on the same data, once with ``REPRO_WORKERS=0`` (serial)
+and once through a 4-worker pool with the morsel floor lowered so the
+small fixtures actually dispatch. Row order, row ids, and values must
+be byte-identical: morsels are contiguous ranges concatenated back in
+morsel order, so parallelism is never allowed to reorder anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db import Database, execute, execute_aggregate, sql
+from repro.db import kernels
+from repro.db import parallel
+
+from tests.test_columnstore import _comparable, make_table
+
+N_ROWS = 6_000
+
+
+@pytest.fixture
+def pool4(monkeypatch):
+    """4 workers with a tiny morsel floor; serial + clean pool afterwards."""
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "256")
+    parallel.set_workers(4)
+    try:
+        yield
+    finally:
+        parallel.set_workers(0)
+        parallel.shutdown()
+
+
+def assert_same_row_ids(serial, par) -> None:
+    assert serial.row_ids.keys() == par.row_ids.keys()
+    for table, ids in serial.row_ids.items():
+        np.testing.assert_array_equal(ids, par.row_ids[table])
+
+
+def serial_then_parallel(fn):
+    parallel.set_workers(0)
+    serial = fn()
+    parallel.set_workers(4)
+    try:
+        parallel_result = fn()
+    finally:
+        parallel.set_workers(0)
+    return serial, parallel_result
+
+
+# ------------------------------------------------------------------ #
+# knobs
+# ------------------------------------------------------------------ #
+def test_worker_count_env_knob(monkeypatch):
+    parallel.set_workers(None)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert parallel.worker_count() == 0
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert parallel.worker_count() == 3
+    monkeypatch.setenv("REPRO_WORKERS", "junk")
+    assert parallel.worker_count() == 0
+    parallel.set_workers(2)
+    assert parallel.worker_count() == 2  # programmatic override wins
+    parallel.set_workers(0)
+
+
+def test_min_parallel_rows_env_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL_MIN_ROWS", raising=False)
+    assert parallel.min_parallel_rows() == parallel.DEFAULT_MIN_ROWS
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "512")
+    assert parallel.min_parallel_rows() == 512
+
+
+def test_morsel_seeds_deterministic_and_distinct():
+    first = parallel.morsel_seeds(42, 8)
+    second = parallel.morsel_seeds(42, 8)
+    assert first == second
+    assert len(set(first)) == 8
+    assert parallel.morsel_seeds(43, 8) != first
+
+
+def test_morsel_ranges_cover_exactly():
+    ranges = parallel._morsel_ranges(1000, 4)
+    assert ranges[0][0] == 0 and ranges[-1][1] == 1000
+    covered = sum(stop - start for start, stop in ranges)
+    assert covered == 1000
+    for (_, prev_stop), (start, _) in zip(ranges, ranges[1:]):
+        assert start == prev_stop  # contiguous, in order
+
+
+# ------------------------------------------------------------------ #
+# kernel-level identity
+# ------------------------------------------------------------------ #
+def test_parallel_join_identical_to_serial(pool4):
+    rng = np.random.default_rng(21)
+    build = [rng.integers(0, 800, size=N_ROWS), rng.integers(0, 9, size=N_ROWS)]
+    probe = [rng.integers(0, 800, size=N_ROWS), rng.integers(0, 9, size=N_ROWS)]
+    serial, par = serial_then_parallel(
+        lambda: kernels.join_positions(build, probe)
+    )
+    np.testing.assert_array_equal(serial[0], par[0])
+    np.testing.assert_array_equal(serial[1], par[1])
+
+
+def test_parallel_group_by_identical_to_serial(pool4):
+    rng = np.random.default_rng(22)
+    arrays = [rng.integers(0, 300, size=N_ROWS), rng.integers(0, 5, size=N_ROWS)]
+    serial, par = serial_then_parallel(
+        lambda: kernels.group_by_positions(arrays)
+    )
+    assert len(serial) == len(par)
+    for s, p in zip(serial, par):
+        np.testing.assert_array_equal(s, p)
+
+
+def test_group_by_falls_back_on_high_cardinality(pool4):
+    # n_codes > 4 * n_rows: the scatter-merge would allocate more than it
+    # saves, so the kernel must fall back to the serial path (identical
+    # output either way).
+    rng = np.random.default_rng(23)
+    arrays = [rng.integers(0, 2**31 - 1, size=400, dtype=np.int64)]
+    serial, par = serial_then_parallel(
+        lambda: kernels.group_by_positions(arrays)
+    )
+    assert len(serial) == len(par)
+    for s, p in zip(serial, par):
+        np.testing.assert_array_equal(s, p)
+
+
+# ------------------------------------------------------------------ #
+# executor-level identity (REPRO_WORKERS=0 vs 4)
+# ------------------------------------------------------------------ #
+FILTERS = [
+    "city = 'blue'",
+    "city BETWEEN 'amber' AND 'cyan'",
+    "score > 10 AND city != 'drab'",
+    "temp IS NOT NULL",
+]
+
+
+@pytest.mark.parametrize("where", FILTERS)
+def test_parallel_scan_identical_to_serial(pool4, where):
+    table = make_table(seed=31, n=N_ROWS)
+    db = Database([table])
+    query = sql(f"SELECT city, score, temp FROM t WHERE {where}")
+    serial, par = serial_then_parallel(lambda: execute(db, query))
+    assert_same_row_ids(serial, par)
+    normalize = lambda rows: [
+        {key: _comparable(value) for key, value in row.items()} for row in rows
+    ]
+    assert normalize(serial.to_rows()) == normalize(par.to_rows())
+
+
+def test_parallel_join_query_identical_to_serial(pool4):
+    left = make_table(seed=32, n=N_ROWS, name="l")
+    right = make_table(seed=33, n=N_ROWS // 2, name="r")
+    db = Database([left, right])
+    query = sql(
+        "SELECT l.city, r.score FROM l, r "
+        "WHERE l.score = r.score AND l.score IS NOT NULL"
+    )
+    serial, par = serial_then_parallel(lambda: execute(db, query))
+    assert_same_row_ids(serial, par)
+    assert serial.n_rows == par.n_rows
+
+
+def test_parallel_aggregate_identical_to_serial(pool4):
+    table = make_table(seed=34, n=N_ROWS)
+    db = Database([table])
+    query = sql("SELECT city, COUNT(*), AVG(temp) FROM t GROUP BY city")
+    serial, par = serial_then_parallel(lambda: execute_aggregate(db, query))
+    assert serial.as_mapping().keys() == par.as_mapping().keys()
+    for key, aggs in serial.as_mapping().items():
+        for name, value in aggs.items():
+            other = par.as_mapping()[key][name]
+            if isinstance(value, float) and np.isnan(value):
+                assert np.isnan(other)
+            else:
+                assert value == other
+
+
+def test_small_inputs_stay_serial(pool4, monkeypatch):
+    # Below the morsel floor nothing dispatches — no pool round trip.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "1000000")
+    rng = np.random.default_rng(35)
+    context = {"x": rng.integers(0, 10, size=64)}
+    query = sql("SELECT city FROM t WHERE score > 0")
+    assert parallel.maybe_parallel_filter(query.predicate, context) is None
+
+
+def test_object_dtype_filter_falls_back(pool4):
+    values = np.asarray(["a"] * N_ROWS, dtype=object)
+    query = sql("SELECT city FROM t WHERE city = 'a'")
+    assert (
+        parallel.maybe_parallel_filter(query.predicate, {"city": values}) is None
+    )
