@@ -319,6 +319,67 @@ def run_obs_overhead(repeats: int) -> dict:
     }
 
 
+def run_parallel_obs_overhead(repeats: int) -> dict:
+    """Instrumentation overhead of the morsel-parallel path (workers=4).
+
+    Same paired-interleaved-batch scheme as :func:`run_obs_overhead`,
+    but the workload is the end-to-end 120k-row columnstore scan
+    dispatched over a 4-worker pool, so the measured delta is exactly
+    the parent-side stitching cost: worker-span lane recording, the
+    per-dispatch ``MetricsRegistry.merge``, and per-query accounting.
+    Worker-side recording and heartbeats are always on (both paths pay
+    them), so they cancel in the enabled/disabled ratio by design —
+    the gate holds the *observability* of the parallel path to the same
+    <2% budget as the serial kernels.
+    """
+    from repro.db import execute
+
+    db, _table, query = _columnstore_fixture()
+    db_parallel.set_workers(4)
+    rounds = max(5 * repeats, 10)
+    batch = 3
+    try:
+        # Warm both paths (pool spawn + first shared-memory round trip
+        # on the disabled side, histogram allocation on the enabled one).
+        obs.disable()
+        execute(db, query)
+        obs.enable()
+        execute(db, query)
+        ratios = []
+        disabled_best = enabled_best = np.inf
+        for _ in range(rounds):
+            obs.disable()
+            start = time.perf_counter()
+            for _ in range(batch):
+                execute(db, query)
+            disabled_t = time.perf_counter() - start
+            obs.enable()
+            start = time.perf_counter()
+            for _ in range(batch):
+                execute(db, query)
+            enabled_t = time.perf_counter() - start
+            ratios.append(enabled_t / disabled_t)
+            disabled_best = min(disabled_best, disabled_t / batch)
+            enabled_best = min(enabled_best, enabled_t / batch)
+        overhead = float(np.median(ratios)) - 1.0
+    finally:
+        obs.disable()
+        obs.metrics.reset()
+        obs.trace.reset()
+        db_parallel.set_workers(0)
+        db_parallel.shutdown()
+    return {
+        "kernels": {
+            "parallel_scan_4w": {
+                "disabled_s": disabled_best,
+                "enabled_s": enabled_best,
+                "overhead_fraction": overhead,
+            }
+        },
+        "median_overhead_fraction": overhead,
+    }
+
+
 def run_profile_overhead(repeats: int, hz: float = 100.0) -> dict:
     """Measure the cost of the *running* sampling profiler on the kernels.
 
@@ -699,6 +760,51 @@ def main(argv=None) -> int:
             print(f"FAIL: median observability overhead {median * 100:.2f}% "
                   f"exceeds {args.obs_tolerance * 100:.0f}%")
             status = 1
+
+        # The same gate over the morsel-parallel path: workers=4 under
+        # instrumentation (worker-record stitching + watchdog polling)
+        # must stay within the identical tolerance. Skipped where the
+        # parallel speedup gate would be meaningless too.
+        cpu_count = os.cpu_count() or 1
+        if os.environ.get("REPRO_SKIP_PARALLEL_CHECK"):
+            skip_reason = "REPRO_SKIP_PARALLEL_CHECK set"
+        elif cpu_count < 4:
+            skip_reason = f"cpu_count={cpu_count} < 4"
+        else:
+            skip_reason = None
+        if skip_reason is not None:
+            print(f"parallel observability gate skipped: {skip_reason}")
+            record["observability"]["parallel"] = {
+                "skipped": True,
+                "reason": skip_reason,
+            }
+        else:
+            par_overhead = run_parallel_obs_overhead(
+                PROFILES[args.profile]["repeats"]
+            )
+            entry = par_overhead["kernels"]["parallel_scan_4w"]
+            par_median = par_overhead["median_overhead_fraction"]
+            ok = par_median <= args.obs_tolerance
+            record["observability"]["parallel"] = {
+                **par_overhead,
+                "tolerance": args.obs_tolerance,
+                "ok": ok,
+                "skipped": False,
+            }
+            print(
+                f"{'parallel_scan_4w'.ljust(width)}"
+                f"  {entry['disabled_s'] * 1e3:9.3f} ms"
+                f"  {entry['enabled_s'] * 1e3:9.3f} ms"
+                f"  {entry['overhead_fraction'] * 100:+7.2f}%"
+            )
+            print(f"parallel-path instrumentation overhead: "
+                  f"{par_median * 100:+.2f}% "
+                  f"(tolerance {args.obs_tolerance * 100:.0f}%)")
+            if not ok:
+                print(f"FAIL: parallel-path observability overhead "
+                      f"{par_median * 100:.2f}% exceeds "
+                      f"{args.obs_tolerance * 100:.0f}%")
+                status = 1
 
     if args.profile_check:
         overhead = run_profile_overhead(PROFILES[args.profile]["repeats"])

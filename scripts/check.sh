@@ -26,6 +26,12 @@
 #                              profiler + memory tracker + SLOs) and
 #                              renders one frame of the live view from
 #                              the recorded artifacts.
+# 7. repro watch --once        — one frame of the ops console over the
+#                              same profiled run dir (DESIGN.md §11).
+# 8. watchdog smoke            — REPRO_TEST_HANG_MORSEL wedges a morsel;
+#                              the pool watchdog must cancel it and the
+#                              serial fallback must return the identical
+#                              result (tests/test_worker_obs.py).
 #
 # Benchmark gates (kernel regressions, instrumentation + contract
 # overhead) live in scripts/bench_smoke.sh.
@@ -72,6 +78,12 @@ python -m repro profile --dir "$profile_dir" demo \
 test -s "$profile_dir/flamegraph.html"
 test -s "$profile_dir/profile.collapsed.txt"
 python -m repro top --dir "$profile_dir" --once
+
+echo "== repro watch --once (ops console over the profiled run)"
+python -m repro watch --dir "$profile_dir" --once
 rm -rf "$profile_dir"
+
+echo "== pool watchdog smoke (forced-hang morsel, serial fallback)"
+python -m pytest tests/test_worker_obs.py -q -k "watchdog or hung"
 
 echo "check: OK"

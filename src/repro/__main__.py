@@ -15,6 +15,8 @@ profiler + memory tracker + default SLOs (flamegraph, collapsed stacks,
 memory.json, slo.json land in the run directory).
 ``top``    — live-refreshing terminal view of a (possibly still running)
 profiled run: SLO burn, hot functions, span attribution, memory.
+``watch``  — live ops console over a run directory: rolling QPS/p50/p95,
+worker utilization bars, shed/fallback counts, active SLO burn alerts.
 ``lint``   — run the AST rule pack over source paths (see repro.lint).
 
 ``demo``/``train`` accept ``--telemetry DIR`` to record a full
@@ -333,7 +335,7 @@ def cmd_profile(args) -> int:
         print("usage: repro profile [--dir DIR] [--hz N] <command> [args...]")
         print("example: repro profile --dir prof_run demo --light --scale 0.15")
         return 2
-    if rest[0] in ("profile", "top"):
+    if rest[0] in ("profile", "top", "watch"):
         print(f"refusing to profile `repro {rest[0]}` (nested run)")
         return 2
     objectives = args.slo if args.slo else list(obs_slo.DEFAULT_OBJECTIVES)
@@ -374,6 +376,31 @@ def cmd_top(args) -> int:
     remaining = iterations
     while True:
         frame = render_top(args.dir)
+        if not args.once:
+            print("\033[2J\033[H", end="")
+        print(frame)
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_watch(args) -> int:
+    """Live ops console over a run directory (QPS, workers, SLO burn)."""
+    import time
+
+    from .obs.watch import render_watch
+
+    if not os.path.isdir(args.dir):
+        return _missing_run(args.dir)
+    iterations = 1 if args.once else args.iterations
+    remaining = iterations
+    while True:
+        frame = render_watch(args.dir)
         if not args.once:
             print("\033[2J\033[H", end="")
         print(frame)
@@ -505,6 +532,20 @@ def main(argv=None) -> int:
     top.add_argument("--iterations", type=int, default=None,
                      help="stop after N frames (default: until Ctrl-C)")
     top.set_defaults(func=cmd_top)
+
+    watch = commands.add_parser(
+        "watch",
+        help="live ops console: QPS/p95, worker utilization, SLO burn",
+    )
+    watch.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                       help="run directory a live run is writing into")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (CI-friendly)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    watch.add_argument("--iterations", type=int, default=None,
+                       help="stop after N frames (default: until Ctrl-C)")
+    watch.set_defaults(func=cmd_watch)
 
     lint = commands.add_parser(
         "lint", help="run the AST lint rule pack over source paths"

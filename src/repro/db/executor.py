@@ -11,12 +11,13 @@ sub-databases, which is what Eq. 1 of the paper compares.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..obs.clock import perf_counter
+from ..obs.clock import perf_counter, process_time
 from . import kernels
 from . import parallel as _parallel
 from ..obs import memory as _memory
@@ -51,6 +52,52 @@ from .statistics import (
 
 
 @dataclass
+class QueryStats:
+    """Per-query resource accounting envelope (DESIGN.md §11).
+
+    Attached to :attr:`ResultSet.stats` by the observed execution path
+    and surfaced in EXPLAIN ANALYZE and the ``repro report`` parallel
+    section. ``cpu_seconds`` is the parent's ``process_time`` delta plus
+    summed worker busy time — child CPU is invisible to the parent's
+    clock, and morsel tasks are CPU-bound, so worker wall≈cpu.
+    ``skew_ratio`` is max/mean per-worker busy time (1.0 when the query
+    never dispatched); a straggler is a morsel task whose busy time
+    exceeded twice the query's mean task time.
+    """
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    rows_scanned: int = 0
+    rows_produced: int = 0
+    dispatches: int = 0
+    morsels: int = 0
+    fallbacks: int = 0
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    watchdog_timeouts: int = 0
+    worker_busy: dict[str, float] = field(default_factory=dict)
+    worker_busy_seconds: float = 0.0
+    skew_ratio: float = 1.0
+    stragglers: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "rows_scanned": self.rows_scanned,
+            "rows_produced": self.rows_produced,
+            "dispatches": self.dispatches,
+            "morsels": self.morsels,
+            "fallbacks": self.fallbacks,
+            "fallback_reasons": dict(self.fallback_reasons),
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "worker_busy": dict(self.worker_busy),
+            "worker_busy_seconds": self.worker_busy_seconds,
+            "skew_ratio": self.skew_ratio,
+            "stragglers": self.stragglers,
+        }
+
+
+@dataclass
 class ResultSet:
     """A relational intermediate / final result.
 
@@ -70,6 +117,9 @@ class ResultSet:
     row_ids: dict[str, np.ndarray]
     n_rows: int
     encodings: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-query resource accounting, attached by the observed execution
+    #: path (None on internal intermediates and unobserved runs).
+    stats: Optional[QueryStats] = field(default=None, repr=False, compare=False)
     _decoded: dict[str, np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -119,7 +169,12 @@ class ResultSet:
             )
             for key, array in self.columns.items()
         }
-        return ResultSet(columns=columns, row_ids=self.row_ids, n_rows=self.n_rows)
+        return ResultSet(
+            columns=columns,
+            row_ids=self.row_ids,
+            n_rows=self.n_rows,
+            stats=self.stats,
+        )
 
     def decoded_context(self) -> dict[str, np.ndarray]:
         """A fully decoded {ref: values} view for predicate evaluation."""
@@ -580,14 +635,88 @@ def execute(db: Database, query: SPJQuery) -> ResultSet:
     return _execute_observed(db, query).decode_all()
 
 
+def _query_fingerprint(query) -> str:
+    """Short stable query id — attributes fallback/watchdog telemetry."""
+    digest = hashlib.sha1(query.to_sql().encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def _rows_scanned(db: Database, query) -> int:
+    """Base rows entering the scans (pre-filter table cardinalities)."""
+    return sum(
+        len(db.table(table)) for table in query.tables if db.has_table(table)
+    )
+
+
+def _finish_query_stats(
+    db: Database, query, wall: float, cpu: float, rows_out: int
+) -> QueryStats:
+    """Close parallel accounting and build the QueryStats envelope.
+
+    Emits one ``parallel`` telemetry record per query that touched the
+    pool (dispatched or fell back) — the stream ``repro watch`` renders
+    worker-utilization bars from.
+    """
+    summary = _parallel.end_query_accounting() or {}
+    stats = QueryStats(
+        wall_seconds=wall,
+        cpu_seconds=cpu + summary.get("worker_busy_seconds", 0.0),
+        rows_scanned=_rows_scanned(db, query),
+        rows_produced=rows_out,
+        dispatches=summary.get("dispatches", 0),
+        morsels=summary.get("morsels", 0),
+        fallbacks=summary.get("fallbacks", 0),
+        fallback_reasons=summary.get("fallback_reasons", {}),
+        watchdog_timeouts=summary.get("watchdog_timeouts", 0),
+        worker_busy=summary.get("worker_busy", {}),
+        worker_busy_seconds=summary.get("worker_busy_seconds", 0.0),
+        skew_ratio=summary.get("skew_ratio", 1.0),
+        stragglers=summary.get("stragglers", 0),
+    )
+    if stats.dispatches or stats.fallbacks:
+        _telemetry.emit(
+            "parallel",
+            event="query",
+            query=summary.get("fingerprint"),
+            wall_seconds=stats.wall_seconds,
+            cpu_seconds=stats.cpu_seconds,
+            rows_scanned=stats.rows_scanned,
+            rows_produced=stats.rows_produced,
+            dispatches=stats.dispatches,
+            morsels=stats.morsels,
+            fallbacks=stats.fallbacks,
+            watchdog_timeouts=stats.watchdog_timeouts,
+            workers=len(stats.worker_busy),
+            worker_busy=stats.worker_busy,
+            worker_busy_seconds=stats.worker_busy_seconds,
+            skew_ratio=stats.skew_ratio,
+            stragglers=stats.stragglers,
+        )
+        registry = _metrics.registry()
+        registry.observe("parallel.query.skew_ratio", stats.skew_ratio)
+        if stats.stragglers:
+            registry.add("parallel.stragglers", float(stats.stragglers))
+    return stats
+
+
 def _execute_observed(db: Database, query: SPJQuery) -> ResultSet:
     """Execution plus observability, returning the encoded result."""
     if not _OBS.enabled:
         return _execute_impl(db, query)
     with _trace.span("execute") as sp:
         sp.set(tables=list(query.tables))
+        _parallel.begin_query_accounting(_query_fingerprint(query))
         start = perf_counter()
-        result = _execute_impl(db, query)
+        cpu_start = process_time()
+        try:
+            result = _execute_impl(db, query)
+        except BaseException:
+            _parallel.end_query_accounting()
+            raise
+        wall = perf_counter() - start
+        result.stats = _finish_query_stats(
+            db, query, wall, process_time() - cpu_start, result.n_rows
+        )
         sp.count("rows_out", result.n_rows)
         registry = _metrics.registry()
         registry.add("executor.queries")
@@ -595,7 +724,7 @@ def _execute_observed(db: Database, query: SPJQuery) -> ResultSet:
         # Module-level observe, not registry.observe: the SLO tracker's
         # sample hook taps the former, and `executor.p95 < ...`
         # objectives must see every execution.
-        _metrics.observe("executor.query.seconds", perf_counter() - start)
+        _metrics.observe("executor.query.seconds", wall)
         _memory.mark_epoch("executor.query")
     return result
 
@@ -910,17 +1039,30 @@ def explain(
     if not analyze:
         return QueryPlan(query.to_sql(), _estimate_only_plan(db, query))
     capture = _PlanCapture()
+    if _OBS.enabled:
+        _parallel.begin_query_accounting(_query_fingerprint(query))
     start = perf_counter()
+    cpu_start = process_time()
     with _trace.span("execute.explain_analyze") as sp:
-        result = _execute_impl(db, query, capture)
+        try:
+            result = _execute_impl(db, query, capture)
+        except BaseException:
+            _parallel.end_query_accounting()
+            raise
         if sp:
             sp.count("rows_out", result.n_rows)
+    wall = perf_counter() - start
+    if _OBS.enabled:
+        result.stats = _finish_query_stats(
+            db, query, wall, process_time() - cpu_start, result.n_rows
+        )
     plan = QueryPlan(
         query.to_sql(),
         capture.root,
         analyze=True,
-        total_seconds=perf_counter() - start,
+        total_seconds=wall,
         result=result.decode_all(),
+        query_stats=result.stats.to_dict() if result.stats else None,
     )
     _emit_plan_telemetry(plan)
     return plan

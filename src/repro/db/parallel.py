@@ -20,14 +20,30 @@ Scheduling and fallback rules (see DESIGN.md §10):
   memory) — string predicates must be rewritten to dictionary codes
   first, which the executor does;
 * any pool failure (spawn refused, worker crash, shared-memory
-  exhaustion) increments ``parallel.fallbacks`` and the caller runs the
-  serial path — parallelism is strictly an optimization, never a
-  correctness dependency.
+  exhaustion) increments ``parallel.fallbacks``, emits an attributable
+  ``parallel`` telemetry event, and the caller runs the serial path —
+  parallelism is strictly an optimization, never a correctness
+  dependency.
 
-Workers run with observability disabled (their registries would be lost
-on exit) and contain no wall-clock or global-RNG use; morsels that ever
-need randomness must derive it from an explicit per-morsel seed in the
-task payload (:func:`morsel_seeds` spawns them deterministically).
+Cross-process observability (DESIGN.md §11): workers run with the
+global observability stack disabled (their registries would be lost on
+exit), but every morsel task records spans/counters into a private
+:class:`repro.obs.worker.TaskRecorder` and ships the export back
+piggybacked on its result. The parent stitches those records into the
+trace as per-worker lanes, merges the metrics into its registry, and
+folds busy time into the active query's accounting (skew ratio,
+stragglers, per-worker busy — surfaced as ``QueryStats``).
+
+A watchdog guards every dispatch: workers heartbeat at task start/end
+over a ``SimpleQueue``, and if no signal arrives for
+``REPRO_TASK_TIMEOUT`` seconds (default 30, ``0`` disables) the parent
+cancels the dispatch, recycles the pool, records
+``parallel.watchdog.*`` metrics plus a CRIT health event, and the query
+completes on the serial path — a stuck worker degrades, never wedges.
+
+Workers contain no wall-clock-as-data or global-RNG use; morsels that
+ever need randomness must derive it from an explicit per-morsel seed in
+the task payload (:func:`morsel_seeds` spawns them deterministically).
 """
 
 from __future__ import annotations
@@ -35,12 +51,17 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import time
 from multiprocessing import shared_memory
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from ..obs import health as _health
 from ..obs import metrics as _metrics
+from ..obs import telemetry as _telemetry
+from ..obs import trace as _trace
+from ..obs import worker as _worker
 from ..obs.clock import perf_counter
 from ..obs.runtime import STATE as _OBS
 
@@ -51,9 +72,24 @@ DEFAULT_MIN_ROWS = 32_768
 #: large enough that per-morsel overhead stays negligible.
 _MORSELS_PER_WORKER = 4
 
+#: Default hung-task deadline (seconds without any worker heartbeat).
+DEFAULT_TASK_TIMEOUT = 30.0
+
+#: Watchdog poll slice while a dispatch is in flight.
+_WATCHDOG_POLL_S = 0.05
+
+#: A dispatch's task is a straggler when its busy time exceeds this
+#: multiple of the query's mean task busy time.
+STRAGGLER_RATIO = 2.0
+
 _CONFIGURED_WORKERS: Optional[int] = None
 _POOL = None
 _POOL_WORKERS = 0
+_POOL_GENERATION = 0
+
+#: Heartbeat channel. In the parent this is the receiving end; in a
+#: worker it is the same (inherited) queue, used by :func:`_beat`.
+_HEARTBEATS = None
 
 
 def set_workers(count: Optional[int]) -> None:
@@ -85,6 +121,22 @@ def min_parallel_rows() -> int:
         return DEFAULT_MIN_ROWS
 
 
+def task_timeout() -> float:
+    """Hung-task deadline in seconds (``REPRO_TASK_TIMEOUT``; 0 = off)."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return DEFAULT_TASK_TIMEOUT
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return DEFAULT_TASK_TIMEOUT
+
+
+def pool_generation() -> int:
+    """Monotonic pool lifetime counter (bumped on every (re)build)."""
+    return _POOL_GENERATION
+
+
 def morsel_seeds(entropy: int, n_morsels: int) -> list[int]:
     """Deterministic per-morsel RNG seeds (spawned, never global state).
 
@@ -97,54 +149,235 @@ def morsel_seeds(entropy: int, n_morsels: int) -> list[int]:
 
 
 def shutdown() -> None:
-    """Terminate the worker pool (idempotent; re-created lazily)."""
-    global _POOL, _POOL_WORKERS
+    """Terminate the worker pool (idempotent; re-created lazily).
+
+    Also zeroes the ``parallel.pool.workers`` gauge so utilization math
+    over a metrics snapshot cannot attribute busy time to a pool that no
+    longer exists; ``parallel.pool.generation`` stays at the last built
+    generation and marks the lifetime boundary.
+    """
+    global _POOL, _POOL_WORKERS, _HEARTBEATS
     if _POOL is not None:
         _POOL.terminate()
         _POOL.join()
         _POOL = None
         _POOL_WORKERS = 0
+        if _HEARTBEATS is not None:
+            try:
+                _HEARTBEATS.close()
+            except OSError:
+                pass  # channel fds already torn down with the pool
+            _HEARTBEATS = None
+        if _OBS.enabled:
+            registry = _metrics.registry()
+            registry.set_gauge("parallel.pool.workers", 0.0)
+            registry.set_gauge("parallel.pool.generation", float(_POOL_GENERATION))
 
 
 atexit.register(shutdown)
 
 
-def _worker_init() -> None:
+def _worker_init(heartbeats=None) -> None:
     """Runs in each worker: observability off (registries die with the
-    worker; the parent records morsel metrics instead)."""
+    worker; morsel tasks record into TaskRecorders shipped back to the
+    parent instead) and the heartbeat queue installed for _beat()."""
+    global _HEARTBEATS
     _OBS.enabled = False
+    _HEARTBEATS = heartbeats
 
 
 def _get_pool(workers: int):
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_GENERATION, _HEARTBEATS
     if _POOL is not None and _POOL_WORKERS != workers:
         shutdown()
     if _POOL is None:
         methods = mp.get_all_start_methods()
         context = mp.get_context("fork" if "fork" in methods else "spawn")
         try:
-            _POOL = context.Pool(processes=workers, initializer=_worker_init)
+            heartbeats = context.SimpleQueue()
+            _POOL = context.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(heartbeats,),
+            )
         except (OSError, ValueError):
             _record_fallback("pool_unavailable")
             return None
+        _HEARTBEATS = heartbeats
         _POOL_WORKERS = workers
+        _POOL_GENERATION += 1
+        if _OBS.enabled:
+            registry = _metrics.registry()
+            registry.set_gauge("parallel.pool.workers", float(workers))
+            registry.set_gauge("parallel.pool.generation", float(_POOL_GENERATION))
     return _POOL
 
 
+# ------------------------------------------------------------------ #
+# per-query accounting
+# ------------------------------------------------------------------ #
+class _QueryAccounting:
+    """Parallel-execution tallies for one query (parent-side only)."""
+
+    __slots__ = (
+        "fingerprint",
+        "dispatches",
+        "morsels",
+        "rows",
+        "fallbacks",
+        "fallback_reasons",
+        "watchdog_timeouts",
+        "worker_busy",
+        "task_busy",
+    )
+
+    def __init__(self, fingerprint: Optional[str]) -> None:
+        self.fingerprint = fingerprint
+        self.dispatches = 0
+        self.morsels = 0
+        self.rows = 0
+        self.fallbacks = 0
+        self.fallback_reasons: dict[str, int] = {}
+        self.watchdog_timeouts = 0
+        self.worker_busy: dict[int, float] = {}
+        self.task_busy: list[float] = []
+
+    def summary(self) -> dict[str, Any]:
+        busy_values = list(self.worker_busy.values())
+        skew_ratio = 1.0
+        if busy_values:
+            mean_busy = sum(busy_values) / len(busy_values)
+            if mean_busy > 0.0:
+                skew_ratio = max(busy_values) / mean_busy
+        stragglers = 0
+        if len(self.task_busy) >= 4:
+            mean_task = sum(self.task_busy) / len(self.task_busy)
+            if mean_task > 0.0:
+                stragglers = sum(
+                    1
+                    for seconds in self.task_busy
+                    if seconds > STRAGGLER_RATIO * mean_task
+                )
+        return {
+            "fingerprint": self.fingerprint,
+            "dispatches": self.dispatches,
+            "morsels": self.morsels,
+            "rows": self.rows,
+            "fallbacks": self.fallbacks,
+            "fallback_reasons": dict(self.fallback_reasons),
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "worker_busy": {str(pid): s for pid, s in self.worker_busy.items()},
+            "worker_busy_seconds": sum(busy_values),
+            "skew_ratio": skew_ratio,
+            "stragglers": stragglers,
+        }
+
+
+_ACCOUNTING: Optional[_QueryAccounting] = None
+
+
+def begin_query_accounting(fingerprint: Optional[str] = None) -> None:
+    """Start tallying parallel activity for one query (executor-facing)."""
+    global _ACCOUNTING
+    _ACCOUNTING = _QueryAccounting(fingerprint)
+
+
+def end_query_accounting() -> Optional[dict[str, Any]]:
+    """Close the active tally; its summary dict, or None if never begun."""
+    global _ACCOUNTING
+    accounting = _ACCOUNTING
+    _ACCOUNTING = None
+    if accounting is None:
+        return None
+    return accounting.summary()
+
+
 def _record_fallback(reason: str) -> None:
+    accounting = _ACCOUNTING
+    if accounting is not None:
+        accounting.fallbacks += 1
+        accounting.fallback_reasons[reason] = (
+            accounting.fallback_reasons.get(reason, 0) + 1
+        )
     if _OBS.enabled:
         registry = _metrics.registry()
         registry.add("parallel.fallbacks")
         registry.add(f"parallel.fallbacks.{reason}")
+        _telemetry.emit(
+            "parallel",
+            event="fallback",
+            reason=reason,
+            query=accounting.fingerprint if accounting is not None else None,
+        )
 
 
-def _record_dispatch(n_morsels: int, n_rows: int, seconds: float) -> None:
+def _record_watchdog_timeout(deadline: float, n_morsels: int) -> None:
+    accounting = _ACCOUNTING
+    if accounting is not None:
+        accounting.watchdog_timeouts += 1
+    _record_fallback("watchdog_timeout")
+    if _OBS.enabled:
+        registry = _metrics.registry()
+        registry.add("parallel.watchdog.timeouts")
+        _telemetry.emit(
+            "parallel",
+            event="watchdog_timeout",
+            timeout_s=deadline,
+            morsels=n_morsels,
+            pool_generation=_POOL_GENERATION,
+            query=accounting.fingerprint if accounting is not None else None,
+        )
+        _health.active_monitor().publish(
+            [
+                _health.Alert(
+                    severity=_health.CRIT,
+                    rule="parallel.watchdog.hung_task",
+                    message=(
+                        f"morsel dispatch exceeded the {deadline:g}s heartbeat "
+                        "deadline; pool recycled, query completed serially"
+                    ),
+                    value=deadline,
+                    threshold=deadline,
+                )
+            ]
+        )
+
+
+def _record_dispatch(
+    n_morsels: int,
+    n_rows: int,
+    seconds: float,
+    records: list[dict[str, Any]],
+) -> None:
+    busy = _worker.busy_by_pid(records) if records else {}
+    accounting = _ACCOUNTING
+    if accounting is not None:
+        accounting.dispatches += 1
+        accounting.morsels += n_morsels
+        accounting.rows += n_rows
+        for pid, busy_s in busy.items():
+            accounting.worker_busy[pid] = (
+                accounting.worker_busy.get(pid, 0.0) + busy_s
+            )
+        accounting.task_busy.extend(
+            float(record.get("busy_s", 0.0)) for record in records
+        )
     if _OBS.enabled:
         registry = _metrics.registry()
         registry.observe("parallel.morsels", float(n_morsels))
         registry.add("parallel.dispatches")
         registry.add("parallel.rows", float(n_rows))
         registry.observe("parallel.dispatch.seconds", seconds)
+        if records:
+            registry.merge(_worker.combine_metrics(records))
+            for record in records:
+                registry.observe(
+                    "parallel.worker.task.seconds",
+                    float(record.get("busy_s", 0.0)),
+                )
+                spans = record.get("spans") or []
+                if spans:
+                    _trace.record_worker_spans(int(record.get("pid", 0)), spans)
 
 
 def _morsel_ranges(n_rows: int, workers: int) -> list[tuple[int, int]]:
@@ -228,64 +461,153 @@ def _detach(handles: list[shared_memory.SharedMemory]) -> None:
 # ------------------------------------------------------------------ #
 # worker task bodies (module-level: picklable under spawn and fork)
 # ------------------------------------------------------------------ #
+def _beat(task: str, event: str) -> None:
+    """Worker side: post a liveness signal to the parent's watchdog."""
+    queue = _HEARTBEATS
+    if queue is None:
+        return
+    try:
+        queue.put((os.getpid(), task, event))
+    except (OSError, ValueError):
+        pass  # a dead channel must never fail the task itself
+
+
+def _maybe_test_hang() -> None:
+    """Test-only hook: REPRO_TEST_HANG_MORSEL wedges the task forever.
+
+    Exercises the watchdog end to end (deadline → cancel → pool recycle
+    → serial fallback). Lives only in worker task bodies, so the serial
+    path that completes the query is unaffected.
+    """
+    if os.environ.get("REPRO_TEST_HANG_MORSEL"):
+        while True:
+            time.sleep(0.25)
+
+
 def _filter_task(payload):
     descriptors, predicate, start, stop = payload
-    handles = []
-    context = {}
-    for ref, descriptor in descriptors.items():
-        view, block = _attach(descriptor)
-        handles.append(block)
-        context[ref] = view[start:stop]
-        del view
-    mask = predicate.evaluate(context)
-    positions = np.flatnonzero(mask).astype(np.int64)
-    positions += start
-    del mask, context
-    _detach(handles)
-    return positions
+    _beat("filter", "start")
+    _maybe_test_hang()
+    recorder = _worker.TaskRecorder()
+    with recorder.span("parallel.filter_morsel", start=start, stop=stop) as sp:
+        handles = []
+        context = {}
+        for ref, descriptor in descriptors.items():
+            view, block = _attach(descriptor)
+            handles.append(block)
+            context[ref] = view[start:stop]
+            del view
+        mask = predicate.evaluate(context)
+        positions = np.flatnonzero(mask).astype(np.int64)
+        positions += start
+        del mask, context
+        _detach(handles)
+        sp.count("rows_in", stop - start)
+        sp.count("rows_out", len(positions))
+    recorder.add("parallel.worker.morsels")
+    recorder.add("parallel.worker.rows", stop - start)
+    _beat("filter", "done")
+    return positions, recorder.export()
 
 
 def _probe_task(payload):
     from . import kernels
 
     descriptors, start, stop = payload
-    handles = []
-    views = {}
-    for key, descriptor in descriptors.items():
-        view, block = _attach(descriptor)
-        handles.append(block)
-        views[key] = view
-        del view
-    probe_idx, build_idx = kernels.probe_factorized(
-        views["probe_codes"][start:stop],
-        views["order"],
-        views["code_starts"],
-        views["code_counts"],
-    )
-    probe_idx = probe_idx + start
-    build_idx = np.array(build_idx)
-    del views
-    _detach(handles)
-    return probe_idx, build_idx
+    _beat("probe", "start")
+    _maybe_test_hang()
+    recorder = _worker.TaskRecorder()
+    with recorder.span("parallel.probe_morsel", start=start, stop=stop) as sp:
+        handles = []
+        views = {}
+        for key, descriptor in descriptors.items():
+            view, block = _attach(descriptor)
+            handles.append(block)
+            views[key] = view
+            del view
+        probe_idx, build_idx = kernels.probe_factorized(
+            views["probe_codes"][start:stop],
+            views["order"],
+            views["code_starts"],
+            views["code_counts"],
+        )
+        probe_idx = probe_idx + start
+        build_idx = np.array(build_idx)
+        del views
+        _detach(handles)
+        sp.count("rows_in", stop - start)
+        sp.count("rows_out", len(probe_idx))
+    recorder.add("parallel.worker.morsels")
+    recorder.add("parallel.worker.rows", stop - start)
+    _beat("probe", "done")
+    return (probe_idx, build_idx), recorder.export()
 
 
 def _group_task(payload):
     descriptors, n_codes, start, stop = payload
-    handles = []
-    view, block = _attach(descriptors["codes"])
-    handles.append(block)
-    codes = view[start:stop]
-    counts = np.bincount(codes, minlength=n_codes)
-    order = np.argsort(codes, kind="stable").astype(np.int64)
-    order += start
-    del codes, view
-    _detach(handles)
-    return counts, order
+    _beat("group", "start")
+    _maybe_test_hang()
+    recorder = _worker.TaskRecorder()
+    with recorder.span("parallel.group_morsel", start=start, stop=stop) as sp:
+        handles = []
+        view, block = _attach(descriptors["codes"])
+        handles.append(block)
+        codes = view[start:stop]
+        counts = np.bincount(codes, minlength=n_codes)
+        order = np.argsort(codes, kind="stable").astype(np.int64)
+        order += start
+        del codes, view
+        _detach(handles)
+        sp.count("rows_in", stop - start)
+    recorder.add("parallel.worker.morsels")
+    recorder.add("parallel.worker.rows", stop - start)
+    _beat("group", "done")
+    return (counts, order), recorder.export()
 
 
 # ------------------------------------------------------------------ #
 # dispatch entry points (return None -> caller runs the serial path)
 # ------------------------------------------------------------------ #
+def _drain_heartbeats() -> int:
+    """Parent side: consume queued worker beats; how many were pending."""
+    queue = _HEARTBEATS
+    if queue is None:
+        return 0
+    drained = 0
+    try:
+        while not queue.empty():
+            queue.get()
+            drained += 1
+    except (OSError, ValueError, EOFError):
+        pass  # channel torn down mid-drain (pool recycle) — stop counting
+    return drained
+
+
+def _await_dispatch(pending, deadline: float, n_morsels: int):
+    """Wait for a dispatch under the watchdog; results or None on hang.
+
+    The deadline is measured from the *last worker signal* (any task
+    start/done heartbeat), not from dispatch start: a busy pool making
+    steady progress through many morsels never trips it, while a wedged
+    worker goes silent and does. On timeout the pool is recycled (which
+    cancels the in-flight dispatch) and the caller falls back serially.
+    """
+    if deadline <= 0.0:
+        return pending.get()
+    last_signal = perf_counter()
+    while True:
+        pending.wait(_WATCHDOG_POLL_S)
+        if pending.ready():
+            _drain_heartbeats()
+            return pending.get()
+        if _drain_heartbeats():
+            last_signal = perf_counter()
+        if perf_counter() - last_signal > deadline:
+            _record_watchdog_timeout(deadline, n_morsels)
+            shutdown()  # terminates workers -> cancels the dispatch
+            return None
+
+
 def _dispatch(task, payloads, n_rows: int):
     """Run payloads on the pool; None on any failure (serial fallback)."""
     workers = worker_count()
@@ -294,12 +616,17 @@ def _dispatch(task, payloads, n_rows: int):
         return None
     started = perf_counter()
     try:
-        results = pool.map(task, payloads)
+        pending = pool.map_async(task, payloads)
+        raw = _await_dispatch(pending, task_timeout(), len(payloads))
     except Exception:
         _record_fallback("dispatch_error")
         shutdown()  # a crashed worker poisons the pool; rebuild lazily
         return None
-    _record_dispatch(len(payloads), n_rows, perf_counter() - started)
+    if raw is None:
+        return None  # watchdog fired: already recorded, pool recycled
+    results = [item for item, _record in raw]
+    records = [record for _item, record in raw]
+    _record_dispatch(len(payloads), n_rows, perf_counter() - started, records)
     return results
 
 

@@ -87,6 +87,9 @@ class QueryPlan:
     analyze: bool = False
     total_seconds: Optional[float] = None
     result: Optional[object] = None      # ResultSet / AggregateResult (ANALYZE)
+    #: QueryStats.to_dict() from the executed run (ANALYZE under obs):
+    #: wall vs cpu time, morsel/dispatch counts, per-worker busy, skew.
+    query_stats: Optional[dict[str, Any]] = None
 
     def operators(self) -> list[PlanNode]:
         return list(self.root.walk())
@@ -105,6 +108,8 @@ class QueryPlan:
             record["total_seconds"] = self.total_seconds
         if self.max_q_error() is not None:
             record["max_q_error"] = round(self.max_q_error(), 3)
+        if self.query_stats is not None:
+            record["query_stats"] = dict(self.query_stats)
         return record
 
     def operator_stats(self) -> list[dict[str, Any]]:
@@ -160,4 +165,34 @@ class QueryPlan:
         render(self.root, 0)
         if self.total_seconds is not None:
             lines.append(f"total: {self.total_seconds * 1e3:.2f} ms")
+        stats = self.query_stats
+        if stats:
+            lines.append(
+                "timing:"
+                f" wall={stats.get('wall_seconds', 0.0) * 1e3:.2f} ms"
+                f" cpu={stats.get('cpu_seconds', 0.0) * 1e3:.2f} ms"
+                f" scanned={stats.get('rows_scanned', 0)}"
+                f" produced={stats.get('rows_produced', 0)}"
+            )
+            if stats.get("dispatches"):
+                lines.append(
+                    "parallel:"
+                    f" dispatches={stats.get('dispatches', 0)}"
+                    f" morsels={stats.get('morsels', 0)}"
+                    f" workers={len(stats.get('worker_busy') or {})}"
+                    f" busy={stats.get('worker_busy_seconds', 0.0) * 1e3:.2f} ms"
+                    f" skew={stats.get('skew_ratio', 1.0):.2f}"
+                    f" stragglers={stats.get('stragglers', 0)}"
+                )
+            if stats.get("fallbacks"):
+                reasons = ", ".join(
+                    f"{reason}×{count}"
+                    for reason, count in sorted(
+                        (stats.get("fallback_reasons") or {}).items()
+                    )
+                )
+                lines.append(
+                    f"parallel fallbacks: {stats.get('fallbacks', 0)}"
+                    + (f" ({reasons})" if reasons else "")
+                )
         return "\n".join(lines)

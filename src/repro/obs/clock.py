@@ -17,14 +17,15 @@ Timing that exists only for observability should use a tracing span
 (:func:`repro.obs.trace.span`) rather than this module — spans time,
 attribute, and nest in one construct.
 
-This module is intentionally a thin re-export so the two functions stay
+This module is intentionally a thin re-export so the functions stay
 the interpreter's own (no wrapper overhead on hot paths); being inside
 ``obs/`` keeps every wall-clock read in the library greppable from one
-place.
+place. ``process_time`` rides along for wall-vs-cpu accounting
+(``QueryStats``): it is banned outside ``obs/`` by the same lint rule.
 """
 
 from __future__ import annotations
 
-from time import perf_counter, time
+from time import perf_counter, process_time, time
 
-__all__ = ["perf_counter", "time"]
+__all__ = ["perf_counter", "process_time", "time"]

@@ -89,6 +89,49 @@ class Histogram:
             "p99": self.percentile(99.0) if self.total else None,
         }
 
+    # -- cross-process transport ------------------------------------ #
+    def dump(self) -> dict[str, Any]:
+        """Lossless, picklable state — the shape :meth:`merge_dump` eats.
+
+        Unlike :meth:`snapshot` (percentile summaries), a dump keeps the
+        raw bucket counts so histograms recorded in worker processes can
+        be merged into the parent registry without losing resolution.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dump(self, dump: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`dump` into this one.
+
+        Same bucket ladder merges exactly (bucket-wise adds). A foreign
+        ladder degrades gracefully: its observations are re-observed at
+        their mean, preserving count/sum/min/max but not the shape.
+        """
+        total = int(dump.get("total", 0))
+        if total == 0:
+            return
+        if tuple(dump.get("bounds", ())) == self.bounds:
+            for index, count in enumerate(dump["counts"]):
+                self.counts[index] += int(count)
+            self.overflow += int(dump.get("overflow", 0))
+            self.total += total
+            self.sum += float(dump.get("sum", 0.0))
+            self.min = min(self.min, float(dump.get("min", self.min)))
+            self.max = max(self.max, float(dump.get("max", self.max)))
+        else:
+            mean = float(dump.get("sum", 0.0)) / total
+            for _ in range(total):
+                self.observe(mean)
+            self.min = min(self.min, float(dump.get("min", self.min)))
+            self.max = max(self.max, float(dump.get("max", self.max)))
+
 
 class MetricsRegistry:
     """Thread-safe registry of named counters, gauges, and histograms."""
@@ -114,6 +157,28 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[name] = Histogram()
             histogram.observe(value)
+
+    def merge(self, dump: dict[str, Any]) -> None:
+        """Fold a worker-side metrics dump into this registry.
+
+        ``dump`` is ``{"counters": {name: value}, "gauges": {name: value},
+        "histograms": {name: Histogram.dump()}}`` (any key may be
+        absent). Counters add, gauges overwrite (last writer wins — they
+        are point-in-time readings), histograms merge bucket-wise via
+        :meth:`Histogram.merge_dump`. This is how per-morsel records
+        captured inside pool workers land in the parent's registry.
+        """
+        with self._lock:
+            for name, value in (dump.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + float(value)
+            for name, value in (dump.get("gauges") or {}).items():
+                self._gauges[name] = float(value)
+            for name, hist_dump in (dump.get("histograms") or {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    bounds = tuple(hist_dump.get("bounds", DEFAULT_BUCKETS))
+                    histogram = self._histograms[name] = Histogram(bounds)
+                histogram.merge_dump(hist_dump)
 
     # -- read paths -------------------------------------------------- #
     def counter(self, name: str) -> float:

@@ -22,6 +22,11 @@ Retention is bounded on both axes so week-long runs stay flat:
 first), so ``health.replay()`` and ``repro report`` see every retained
 record regardless of how many times the sink rolled.
 
+Sink appends are one ``os.write`` on an ``O_APPEND`` descriptor —
+atomic under POSIX — so multiple processes appending to the same
+stream (a fork child that inherited the configured sink, a wrapper
+process) can interleave whole records but never partial lines.
+
 Emission is a no-op while observability is disabled, matching the rest
 of ``repro.obs``.
 """
@@ -129,9 +134,20 @@ def emit(stream: str, **fields: Any) -> None:
             over_lines = _MAX_LINES is not None and _SINK_LINES >= _MAX_LINES
             if over_bytes or over_lines:
                 _rotate_locked()
-            with open(_SINK_PATH, "a") as handle:
-                handle.write(data)
-            _SINK_BYTES += len(data)
+            # One os.write on an O_APPEND fd: POSIX appends are atomic
+            # per write call, so two processes sharing the sink (e.g. a
+            # fork child that inherited the configured path) can never
+            # interleave partial lines — a buffered text-file append
+            # would split records larger than the IO buffer.
+            encoded = data.encode("utf-8")
+            fd = os.open(
+                _SINK_PATH, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, encoded)
+            finally:
+                os.close(fd)
+            _SINK_BYTES += len(encoded)
             _SINK_LINES += 1
 
 

@@ -1,0 +1,206 @@
+"""``repro watch`` — a dependency-free live ops console for a run dir.
+
+Tails the artifacts a live run flushes periodically (the telemetry
+JSONL and its rotated set, ``metrics.json``, ``slo.json``) and renders
+one operator-facing text frame:
+
+* rolling throughput — QPS plus p50/p95 latency over the trailing
+  window of ``query`` telemetry records;
+* worker utilization — one bar per pool worker, busy time over query
+  wall time, from the per-query ``parallel`` stream (DESIGN.md §11),
+  with the skew ratio and straggler count beside it;
+* shed/fallback counts — serial fallbacks by reason, watchdog
+  timeouts, admission sheds (once the serving front end exists);
+* active SLO burn alerts from ``slo.json``.
+
+Like ``repro top``, this module only *reads* files, so it can watch a
+run owned by another process; the CLI refreshes the frame in place
+(``--once`` prints a single snapshot for CI). "Now" is taken from the
+newest record timestamp rather than the wall clock, so a snapshot of a
+finished run renders the same frame every time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
+
+from . import METRICS_FILE, SLO_FILE, TELEMETRY_FILE
+from . import health as health_mod
+from . import telemetry as telemetry_mod
+
+#: Trailing window (seconds of record time) for the QPS rate.
+QPS_WINDOW_S = 60.0
+
+#: Trailing query records for the latency percentiles.
+LATENCY_WINDOW = 100
+
+#: Trailing parallel-query records for the worker utilization bars.
+UTILIZATION_WINDOW = 20
+
+_BAR_WIDTH = 24
+
+
+def _load_json(path: str) -> Optional[Any]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(
+        len(sorted_values) - 1, max(0, round(q / 100.0 * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "█" * filled + "░" * (width - filled)
+
+
+def render_watch(run_dir: str, width: int = 78) -> str:
+    """One text frame of the ops view ``repro watch`` refreshes."""
+
+    def rule(title: str) -> str:
+        return f"── {title} " + "─" * max(0, width - len(title) - 4)
+
+    records = telemetry_mod.load_run(os.path.join(run_dir, TELEMETRY_FILE))
+    snapshot = _load_json(os.path.join(run_dir, METRICS_FILE)) or {}
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+
+    pool_workers = gauges.get("parallel.pool.workers")
+    generation = gauges.get("parallel.pool.generation")
+    pool_note = ""
+    if generation is not None:
+        state = (
+            f"{pool_workers:.0f} workers"
+            if pool_workers
+            else "pool down"
+        )
+        pool_note = f"  [pool gen {generation:.0f}: {state}]"
+    lines = [f"repro watch — {run_dir}{pool_note}"]
+    lines.append(f"telemetry: {len(records)} records")
+
+    # -- rolling throughput ------------------------------------------ #
+    lines.append(rule("throughput"))
+    query_records = [r for r in records if r.get("stream") == "query"]
+    if query_records:
+        timestamps = [float(r.get("ts", 0.0)) for r in query_records]
+        now = max(timestamps)
+        in_window = sum(1 for ts in timestamps if now - ts <= QPS_WINDOW_S)
+        qps = in_window / QPS_WINDOW_S
+        latencies = sorted(
+            float(r.get("elapsed_seconds", 0.0))
+            for r in query_records[-LATENCY_WINDOW:]
+        )
+        lines.append(
+            f"  {len(query_records)} queries | last {QPS_WINDOW_S:.0f}s: "
+            f"{in_window} ({qps:.2f} qps) | "
+            f"p50 {_percentile(latencies, 50.0) * 1e3:.1f} ms  "
+            f"p95 {_percentile(latencies, 95.0) * 1e3:.1f} ms "
+            f"(trailing {len(latencies)})"
+        )
+    else:
+        lines.append("  (no query records yet)")
+
+    # -- worker utilization ------------------------------------------ #
+    lines.append(rule("worker utilization"))
+    parallel_queries = [
+        r
+        for r in records
+        if r.get("stream") == "parallel" and r.get("event") == "query"
+    ][-UTILIZATION_WINDOW:]
+    busy_by_pid: dict[str, float] = {}
+    wall_total = 0.0
+    for record in parallel_queries:
+        wall_total += float(record.get("wall_seconds", 0.0))
+        for pid, busy in (record.get("worker_busy") or {}).items():
+            busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + float(busy)
+    if busy_by_pid and wall_total > 0.0:
+        for pid, busy in sorted(busy_by_pid.items()):
+            fraction = busy / wall_total
+            lines.append(
+                f"  pid {pid:>8} {_bar(fraction)} {fraction:6.1%} "
+                f"({busy * 1e3:.1f} ms busy)"
+            )
+        last = parallel_queries[-1]
+        lines.append(
+            f"  last query: skew {last.get('skew_ratio', 1.0):.2f}, "
+            f"{last.get('stragglers', 0)} stragglers, "
+            f"{last.get('morsels', 0)} morsels "
+            f"(trailing {len(parallel_queries)} parallel queries)"
+        )
+    else:
+        lines.append("  (no parallel queries yet)")
+
+    # -- shed / fallback counts -------------------------------------- #
+    lines.append(rule("shed & fallbacks"))
+    dispatches = counters.get("parallel.dispatches", 0)
+    fallbacks = counters.get("parallel.fallbacks", 0)
+    watchdog = counters.get("parallel.watchdog.timeouts", 0)
+    shed = counters.get("serve.shed", 0)
+    reasons = {
+        name[len("parallel.fallbacks."):]: count
+        for name, count in counters.items()
+        if name.startswith("parallel.fallbacks.")
+    }
+    reason_note = (
+        " ("
+        + ", ".join(
+            f"{reason} ×{count:.0f}" for reason, count in sorted(reasons.items())
+        )
+        + ")"
+        if reasons
+        else ""
+    )
+    lines.append(
+        f"  dispatches {dispatches:.0f} | fallbacks {fallbacks:.0f}"
+        f"{reason_note} | watchdog timeouts {watchdog:.0f} | "
+        f"shed {shed:.0f}"
+    )
+
+    # -- SLO burn ---------------------------------------------------- #
+    lines.append(rule("SLO burn"))
+    slo_doc = _load_json(os.path.join(run_dir, SLO_FILE))
+    active = [
+        status
+        for status in (slo_doc or {}).get("objectives", [])
+        if status.get("severity")
+    ]
+    if active:
+        for status in active:
+            value = status.get("value")
+            shown = "-" if value is None else f"{value:.4g}"
+            lines.append(
+                f"  {status.get('severity')}: {status.get('spec', '?'):<38} "
+                f"{shown:>10}  burn {status.get('burn_rate', 0.0):.1f}x"
+            )
+    elif slo_doc and slo_doc.get("objectives"):
+        lines.append("  all objectives within budget")
+    else:
+        lines.append("  (no slo.json yet)")
+
+    # -- recent health ------------------------------------------------ #
+    health_records = [r for r in records if r.get("stream") == "health"]
+    crit = sum(
+        1 for r in health_records if r.get("severity") == health_mod.CRIT
+    )
+    warn = sum(
+        1 for r in health_records if r.get("severity") == health_mod.WARN
+    )
+    lines.append(rule("health"))
+    lines.append(f"  {crit} CRIT, {warn} WARN")
+    for record in health_records[-3:]:
+        lines.append(
+            f"  {record.get('severity', '?'):>4} {record.get('rule', '?')}: "
+            f"{record.get('message', '')}"
+        )
+    return "\n".join(lines)

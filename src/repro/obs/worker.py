@@ -1,0 +1,154 @@
+"""Worker-side capture for cross-process observability.
+
+Pool workers run with the global observability stack disabled (their
+registries and span stores would die with the process — see
+``db/parallel._worker_init``). Instead, each morsel task records into a
+private :class:`TaskRecorder` and ships the result of :meth:`export`
+back to the parent *piggybacked on the task's return value*. The parent
+then stitches the records into its own stack:
+
+* spans become per-worker lanes in the Chrome-trace export
+  (:func:`repro.obs.trace.record_worker_spans` — distinct ``pid`` rows);
+* counters and histograms merge into the process registry via
+  :meth:`repro.obs.metrics.MetricsRegistry.merge`;
+* per-record busy time feeds the query's ``QueryStats`` envelope
+  (skew ratio, straggler count, per-worker utilization).
+
+Timestamps use ``time.perf_counter()``, which on Linux is the
+system-wide ``CLOCK_MONOTONIC``: fork children share the parent's
+epoch, so worker span timestamps are directly comparable with parent
+spans and need no clock translation when stitched.
+
+The recorder is deliberately tiny and always on inside workers — one
+dict append per span is noise next to a morsel's work — so the
+enabled-vs-disabled overhead gate in ``bench_kernels --obs-check``
+measures only the parent-side stitching cost.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator
+
+from .metrics import Histogram
+
+
+class WorkerSpan:
+    """One timed region inside a worker task (flat — no nesting)."""
+
+    __slots__ = ("name", "start_s", "seconds", "attrs", "counters")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.start_s = 0.0
+        self.seconds = 0.0
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.counters:
+            record["counters"] = dict(self.counters)
+        return record
+
+
+class TaskRecorder:
+    """Span/metric recorder scoped to one morsel task in one worker.
+
+    Everything it captures is plain picklable data; :meth:`export`
+    returns the envelope the parent-side stitcher understands.
+    """
+
+    __slots__ = ("spans", "counters", "histograms")
+
+    def __init__(self) -> None:
+        self.spans: list[WorkerSpan] = []
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[WorkerSpan]:
+        opened = WorkerSpan(name, dict(attrs))
+        opened.start_s = perf_counter()
+        try:
+            yield opened
+        finally:
+            opened.seconds = perf_counter() - opened.start_s
+            self.spans.append(opened)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def export(self) -> dict[str, Any]:
+        """The shipped envelope: ``{"pid", "busy_s", "spans", "counters",
+        "histograms"}`` — all plain data, safe to pickle back with the
+        task result."""
+        return {
+            "pid": os.getpid(),
+            "busy_s": sum(span.seconds for span in self.spans),
+            "spans": [span.to_dict() for span in self.spans],
+            "counters": dict(self.counters),
+            "histograms": {
+                name: histogram.dump()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+
+def combine_metrics(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Collapse shipped task records into one registry-mergeable dump.
+
+    Counters sum across records; histogram dumps with the same name and
+    bucket ladder merge bucket-wise (foreign ladders re-observe at their
+    mean, matching :meth:`Histogram.merge_dump` semantics). The result
+    feeds one :meth:`MetricsRegistry.merge` call per dispatch instead of
+    one per morsel.
+    """
+    counters: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
+    for record in records:
+        for name, value in (record.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, dump in (record.get("histograms") or {}).items():
+            histogram = histograms.get(name)
+            if histogram is None:
+                from .metrics import DEFAULT_BUCKETS
+
+                bounds = tuple(dump.get("bounds", DEFAULT_BUCKETS))
+                histogram = histograms[name] = Histogram(bounds)
+            histogram.merge_dump(dump)
+    return {
+        "counters": counters,
+        "histograms": {
+            name: histogram.dump() for name, histogram in histograms.items()
+        },
+    }
+
+
+def busy_by_pid(records: list[dict[str, Any]]) -> dict[int, float]:
+    """Per-worker busy seconds summed across shipped task records."""
+    busy: dict[int, float] = {}
+    for record in records:
+        pid = int(record.get("pid", 0))
+        busy[pid] = busy.get(pid, 0.0) + float(record.get("busy_s", 0.0))
+    return busy

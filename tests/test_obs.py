@@ -147,11 +147,18 @@ class TestSpans:
         json.dumps(tree)  # JSON-serializable
 
         chrome = trace.chrome_trace()
-        events = chrome["traceEvents"]
+        # Duration events plus one process_name metadata record for the
+        # parent lane (worker lanes add theirs per pid; DESIGN.md §11).
+        events = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
         assert {e["name"] for e in events} == {"parent", "child"}
         for event in events:
-            assert event["ph"] == "X"
             assert event["dur"] >= 0
+            assert event["pid"] == 1
+        metadata = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name" and e["args"]["name"] == "repro (parent)"
+            for e in metadata
+        )
         parent = next(e for e in events if e["name"] == "parent")
         assert parent["args"]["rows_out"] == 12
 
@@ -403,7 +410,8 @@ class TestEndToEnd:
         # --- chrome trace is loadable and non-empty ------------------- #
         with open(paths["chrome_trace"]) as handle:
             chrome = json.load(handle)
-        assert len(chrome["traceEvents"]) == len(flat)
+        duration_events = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(duration_events) == len(flat)
 
         # --- telemetry JSONL: train.update rows match UpdateStats ----- #
         records = telemetry.load_jsonl(paths["telemetry"])

@@ -483,6 +483,58 @@ class TestTelemetryRotation:
         assert names == ["telemetry.backup.jsonl", "telemetry.jsonl"]
         assert os.path.getsize(tmp_path / "telemetry.jsonl") == 0
 
+    def test_concurrent_writers_never_interleave_partial_lines(self, tmp_path):
+        # Two forked processes append to the same sink while it rotates.
+        # The in-process lock cannot coordinate them — the O_APPEND
+        # single-write discipline in ``emit`` must (a buffered text
+        # handle splits payloads past its 8 KiB buffer, so the large
+        # payload below would interleave under the old write path).
+        # Concurrent rotation renames may clobber *whole files*, so the
+        # assertions are about line atomicity, not record counts.
+        obs.enable()
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path, max_bytes=64_000, max_files=32)
+
+        import multiprocessing as mp
+
+        context = mp.get_context("fork")
+
+        def hammer(marker: str) -> None:
+            # Fork children inherit the configured sink + enabled state.
+            payload = marker * 20_000  # ≫ the 8 KiB stdio buffer
+            for index in range(12):
+                try:
+                    telemetry.emit(
+                        "writer", marker=marker, index=index, payload=payload
+                    )
+                except FileNotFoundError:
+                    # Lost a rotation rename race with the sibling
+                    # writer — out of scope here; keep appending.
+                    continue
+            os._exit(0)
+
+        children = [
+            context.Process(target=hammer, args=(marker,))
+            for marker in ("A", "B")
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=60)
+            assert child.exitcode == 0
+
+        paths = [tmp_path / name for name in os.listdir(tmp_path)]
+        assert len(paths) > 1  # rotation happened under contention
+        markers_seen = set()
+        for file_path in paths:
+            raw = file_path.read_bytes()
+            assert raw.endswith(b"\n") or raw == b""
+            for line in raw.splitlines():
+                record = json.loads(line)  # every line is complete JSON
+                assert record["payload"] == record["marker"] * 20_000
+                markers_seen.add(record["marker"])
+        assert markers_seen == {"A", "B"}
+
 
 # ------------------------------------------------------------------ #
 # obs.run context manager
