@@ -9,10 +9,14 @@
 #                              low morsel floor so the worker-pool path
 #                              (shared memory, morsel merge) is also
 #                              exercised end to end.
-# 2. repro lint src          — the AST rule pack over the whole tree
-#                              (empty committed baseline: any finding is
-#                              new and fails the check; see DESIGN.md
-#                              §"Static analysis & strict mode").
+# 2. repro lint              — the two-phase analyzer (per-file rules +
+#                              whole-program fork-safety/lifecycle pack)
+#                              over src+tests+benchmarks with an empty
+#                              committed baseline: errors fail, warns
+#                              report (--strict-severity); a second
+#                              warm-cache run must finish under the 5s
+#                              budget so lint never becomes the slow
+#                              step (DESIGN.md §12).
 # 3. strict-mode smoke train — a micro fit+query run with the runtime
 #                              shape/dtype/NaN contracts enabled
 #                              (REPRO_STRICT=1), so a contract that
@@ -48,8 +52,25 @@ echo "== parallel differential (REPRO_WORKERS=4 through the morsel pool)"
 REPRO_WORKERS=4 REPRO_PARALLEL_MIN_ROWS=1024 \
   python -m pytest tests/test_columnstore.py tests/test_parallel.py -q
 
-echo "== repro lint"
-python -m repro lint src --baseline lint_baseline.json
+echo "== repro lint (whole-program pass, strict severity)"
+python -m repro lint --strict-severity --baseline lint_baseline.json
+
+echo "== repro lint timing budget (<5s warm cache)"
+python - <<'EOF'
+import sys, time
+from repro.lint import cli
+
+start = time.perf_counter()
+code, text = cli.run(strict_severity=True, baseline="lint_baseline.json")
+elapsed = time.perf_counter() - start
+sys.stdout.write(f"warm-cache full-tree lint: {elapsed:.2f}s\n")
+if code != 0:
+    sys.stdout.write(text + "\n")
+    sys.exit(code)
+if elapsed >= 5.0:
+    sys.stdout.write("lint timing budget exceeded (>= 5s warm cache)\n")
+    sys.exit(1)
+EOF
 
 echo "== strict-mode smoke (REPRO_STRICT=1 micro train + queries)"
 REPRO_STRICT=1 python -m repro demo \

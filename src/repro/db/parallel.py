@@ -182,8 +182,10 @@ def _worker_init(heartbeats=None) -> None:
     worker; morsel tasks record into TaskRecorders shipped back to the
     parent instead) and the heartbeat queue installed for _beat()."""
     global _HEARTBEATS
-    _OBS.enabled = False
-    _HEARTBEATS = heartbeats
+    # Worker-side globals are the *point* of the initializer: they mutate
+    # the worker's post-fork copy, never the parent's.
+    _OBS.enabled = False  # lint: disable=fork-unsafe-worker-reachable
+    _HEARTBEATS = heartbeats  # lint: disable=fork-unsafe-worker-reachable
 
 
 def _get_pool(workers: int):
@@ -439,11 +441,14 @@ def _attach(descriptor) -> tuple[np.ndarray, shared_memory.SharedMemory]:
 
     name, shape, dtype = descriptor
     original_register = resource_tracker.register
-    resource_tracker.register = _noop_register
+    # Monkeypatching the tracker is worker-local by design (see docstring):
+    # the fork copy diverges from the parent on purpose, and the finally
+    # restores it before any task code can observe the patch.
+    resource_tracker.register = _noop_register  # lint: disable=fork-unsafe-worker-reachable
     try:
         block = shared_memory.SharedMemory(name=name)
     finally:
-        resource_tracker.register = original_register
+        resource_tracker.register = original_register  # lint: disable=fork-unsafe-worker-reachable
     view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
     view.setflags(write=False)
     return view, block

@@ -2,9 +2,11 @@
 
 Machine-checks the repo invariants that the reproduction's correctness
 rests on — seeded randomness, the closed dependency surface, structured
-output/timing, surfaced failures — instead of trusting convention. See
-DESIGN.md §"Static analysis & strict mode" for each rule's rationale and
-:mod:`repro.lint.rules` for the implementations.
+output/timing, surfaced failures, and (whole-program) fork-safety,
+resource lifecycles, and the telemetry-sink chokepoint — instead of
+trusting convention. See DESIGN.md §12 for the two-phase architecture
+and each rule's rationale, and :mod:`repro.lint.rules` for the
+implementations.
 
 Public API::
 
@@ -12,33 +14,52 @@ Public API::
 
     report = run_lint(["src"])          # full rule pack, no baseline
     report.findings                     # list[Finding], file/line/rule/message
+    report.errors, report.warnings      # severity breakdown
     report.exit_code                    # 0 clean, 1 new findings
 
 Suppress a single line with ``# lint: disable=<rule>[,<rule>]`` (or
 ``# lint: disable`` for all rules); grandfather whole findings with a
-``lint_baseline.json`` written by ``repro lint --write-baseline``.
+``lint_baseline.json`` written by ``repro lint --write-baseline``
+(fingerprinted by content hash of the flagged line, so unrelated edits
+never churn it). ``repro lint --explain RULE`` prints a rule's full
+documentation.
 """
 
+from .callgraph import CallGraph
+from .effects import summarize_module
 from .engine import (
     DEFAULT_BASELINE,
+    Baseline,
     Finding,
     LintReport,
     lint_file,
     load_baseline,
+    profile_for,
     run_lint,
     write_baseline,
 )
-from .rules import RULES, Rule, UnknownRuleError
+from .formats import to_html, to_sarif
+from .index import DEFAULT_CACHE, LintCache
+from .rules import RULES, ProjectRule, Rule, UnknownRuleError
 
 __all__ = [
+    "Baseline",
+    "CallGraph",
     "DEFAULT_BASELINE",
+    "DEFAULT_CACHE",
     "Finding",
+    "LintCache",
     "LintReport",
+    "ProjectRule",
     "RULES",
     "Rule",
     "UnknownRuleError",
     "lint_file",
     "load_baseline",
+    "profile_for",
     "run_lint",
+    "summarize_module",
+    "to_html",
+    "to_sarif",
     "write_baseline",
 ]

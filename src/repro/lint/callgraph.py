@@ -1,0 +1,273 @@
+"""Phase-2 call graph over module effect summaries.
+
+Consumes the per-module summaries from :mod:`repro.lint.effects` and
+answers the questions the whole-program rules ask:
+
+* **resolution** — a dotted reference (``repro.db.kernels.
+  probe_factorized``, ``helpers.unsafe``) to the function record it
+  names, by longest-module-prefix match with unique-dotted-suffix
+  fallback (summaries key modules by their *full path* dotted name, so
+  ``src.repro.db.parallel`` matches an import of ``repro.db.parallel``);
+* **worker entries** — functions handed to a pool fan-out call
+  (``map_async``/``apply_async``/…), a ``Pool(initializer=...)`` or a
+  ``Process(target=...)``, found directly *or* through dispatcher
+  functions: if ``f``'s parameter ``task`` flows into ``map_async``,
+  then every resolvable function passed to ``f`` in ``task``'s position
+  is an entry (computed to a fix-point, so wrappers of wrappers work);
+* **fork reachability** — BFS over resolved call edges from the worker
+  entries, with predecessor chains kept for diagnostics ("via
+  ``_dispatch → _filter_task → _attach``").
+
+Resolution is deliberately conservative: an unresolved callee produces
+no edge, so the fork-safety rule under-approximates reachability rather
+than guessing (limitations — decorator wrappers are treated as
+transparent, and calls through untyped values like ``predicate.
+evaluate(...)`` do not resolve; see DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+def global_id(module: str, qualname: str) -> str:
+    return f"{module}::{qualname}"
+
+
+class CallGraph:
+    """Index + resolved edges over a set of module summaries."""
+
+    def __init__(self, summaries: dict[str, dict[str, Any]]) -> None:
+        #: display path -> module summary
+        self.by_path = dict(summaries)
+        #: dotted module name -> module summary
+        self.modules: dict[str, dict[str, Any]] = {}
+        for summary in summaries.values():
+            self.modules[summary["module"]] = summary
+        self._suffix_cache: dict[str, Optional[str]] = {}
+        self._edges: Optional[dict[str, list[str]]] = None
+        self._entries: Optional[dict[str, str]] = None
+        self._reachable: Optional[dict[str, list[str]]] = None
+
+    # -------------------------------------------------------------- #
+    # lookup
+    # -------------------------------------------------------------- #
+    def functions(self) -> Iterator[tuple[str, dict[str, Any], dict[str, Any]]]:
+        """Yield ``(gid, function record, module summary)`` for the index."""
+        for summary in self.modules.values():
+            for qualname, record in summary["functions"].items():
+                yield global_id(summary["module"], qualname), record, summary
+
+    def get(self, gid: str) -> Optional[dict[str, Any]]:
+        module, _, qualname = gid.partition("::")
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        return summary["functions"].get(qualname)
+
+    def path_of(self, gid: str) -> str:
+        module = gid.partition("::")[0]
+        summary = self.modules.get(module)
+        return summary["path"] if summary else ""
+
+    def display_name(self, gid: str) -> str:
+        module, _, qualname = gid.partition("::")
+        short = module.split(".src.")[-1]
+        if short.startswith("src."):
+            short = short[4:]
+        return f"{short}.{qualname}"
+
+    def _find_module(self, dotted: str) -> Optional[str]:
+        """Module name for ``dotted`` (exact, else unique dotted suffix)."""
+        if dotted in self.modules:
+            return dotted
+        cached = self._suffix_cache.get(dotted)
+        if cached is not None or dotted in self._suffix_cache:
+            return cached
+        suffix = "." + dotted
+        matches = [name for name in self.modules if name.endswith(suffix)]
+        result = matches[0] if len(matches) == 1 else None
+        self._suffix_cache[dotted] = result
+        return result
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Dotted reference → gid of a known function (None if foreign)."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        # Longest module prefix first so ``pkg.mod.Class.method`` prefers
+        # module ``pkg.mod`` over any module coincidentally named ``pkg``.
+        for split in range(len(parts) - 1, 0, -1):
+            module = self._find_module(".".join(parts[:split]))
+            if module is None:
+                continue
+            rest = ".".join(parts[split:])
+            functions = self.modules[module]["functions"]
+            if rest in functions:
+                return global_id(module, rest)
+            if rest in self.modules[module]["classes"]:
+                init = f"{rest}.__init__"
+                if init in functions:
+                    return global_id(module, init)
+        return None
+
+    # -------------------------------------------------------------- #
+    # edges
+    # -------------------------------------------------------------- #
+    def edges(self) -> dict[str, list[str]]:
+        if self._edges is None:
+            edges: dict[str, list[str]] = {}
+            for gid, record, _ in self.functions():
+                out: list[str] = []
+                for call in record["calls"]:
+                    target = self.resolve(call.get("resolved"))
+                    if target is not None and target != gid:
+                        out.append(target)
+                edges[gid] = out
+            self._edges = edges
+        return self._edges
+
+    # -------------------------------------------------------------- #
+    # worker entries (dispatch fix-point)
+    # -------------------------------------------------------------- #
+    def worker_entries(self) -> dict[str, str]:
+        """gid → human description of how it reaches a worker process."""
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, str] = {}
+        #: gid → parameter names whose value flows into a pool dispatch.
+        dispatchers: dict[str, set[str]] = {}
+
+        for gid, record, _ in self.functions():
+            for dispatch in record["dispatches"]:
+                for ref in dispatch.get("args", []):
+                    self._seed(
+                        gid, record, ref, dispatchers, entries,
+                        f"{dispatch['method']}() at "
+                        f"{self.path_of(gid)}:{dispatch['lineno']}",
+                    )
+            for ref in record["spawn_refs"]:
+                self._seed(
+                    gid, record, ref, dispatchers, entries,
+                    f"pool/process spawn at "
+                    f"{self.path_of(gid)}:{ref['lineno']}",
+                )
+
+        # Fix-point: arguments passed to dispatchers in a dispatching
+        # parameter position become entries (or mark the caller as a
+        # dispatcher when the argument is itself a parameter).
+        changed = True
+        while changed:
+            changed = False
+            for gid, record, _ in self.functions():
+                for call in record["calls"]:
+                    callee = self.resolve(call.get("resolved"))
+                    if callee is None or callee not in dispatchers:
+                        continue
+                    callee_record = self.get(callee)
+                    if callee_record is None:
+                        continue
+                    params = list(callee_record["params"])
+                    if callee_record.get("class") and params[:1] in (
+                        ["self"], ["cls"]
+                    ):
+                        params = params[1:]
+                    wanted = dispatchers[callee]
+                    for ref in call.get("args", []):
+                        name = None
+                        if "pos" in ref and ref["pos"] < len(params):
+                            name = params[ref["pos"]]
+                        elif "kw" in ref:
+                            name = ref["kw"]
+                        if name not in wanted:
+                            continue
+                        why = (
+                            f"passed to dispatcher "
+                            f"{self.display_name(callee)}()"
+                        )
+                        if self._seed(
+                            gid, record, ref, dispatchers, entries, why
+                        ):
+                            changed = True
+        self._entries = entries
+        return entries
+
+    def _seed(self, gid, record, ref, dispatchers, entries, why) -> bool:
+        """Register one dispatch argument; True if anything changed."""
+        if "param" in ref:
+            marked = dispatchers.setdefault(gid, set())
+            if ref["param"] not in marked:
+                marked.add(ref["param"])
+                return True
+            return False
+        target = self.resolve(ref.get("ref"))
+        if target is not None and target not in entries:
+            entries[target] = why
+            return True
+        return False
+
+    # -------------------------------------------------------------- #
+    # reachability
+    # -------------------------------------------------------------- #
+    def worker_reachable(self) -> dict[str, list[str]]:
+        """gid → chain of gids from a worker entry (entry first)."""
+        if self._reachable is not None:
+            return self._reachable
+        edges = self.edges()
+        chains: dict[str, list[str]] = {}
+        queue: list[str] = []
+        for entry in self.worker_entries():
+            if entry not in chains:
+                chains[entry] = [entry]
+                queue.append(entry)
+        while queue:
+            current = queue.pop()
+            for callee in edges.get(current, ()):
+                if callee not in chains:
+                    chains[callee] = [*chains[current], callee]
+                    queue.append(callee)
+        self._reachable = chains
+        return chains
+
+    def chain_text(self, gid: str) -> str:
+        chain = self.worker_reachable().get(gid, [gid])
+        return " -> ".join(self.display_name(g) for g in chain)
+
+    # -------------------------------------------------------------- #
+    # resource classes
+    # -------------------------------------------------------------- #
+    def resource_class_inits(self) -> set[str]:
+        """gids of ``__init__`` methods that create a raw shm/pool resource."""
+        inits: set[str] = set()
+        for gid, record, _ in self.functions():
+            if not record["qualname"].endswith(".__init__"):
+                continue
+            for resource in record["resources"]:
+                if resource["kind"] in ("shm", "pool"):
+                    inits.add(gid)
+        return inits
+
+    def fallback_wrappers(self) -> set[str]:
+        """gids of dispatch wrappers that signal fallback by returning None.
+
+        Base case: a function that itself calls a pool fan-out method and
+        has an explicit ``return None``. Closure: a ``return None``
+        function that calls a wrapper (``maybe_parallel_*`` over
+        ``_dispatch``). Callers of these must handle the None fallback.
+        """
+        wrappers: set[str] = set()
+        for gid, record, _ in self.functions():
+            if record["dispatches"] and record["returns_none"]:
+                wrappers.add(gid)
+        changed = True
+        while changed:
+            changed = False
+            for gid, record, _ in self.functions():
+                if gid in wrappers or not record["returns_none"]:
+                    continue
+                for call in record["calls"]:
+                    if self.resolve(call.get("resolved")) in wrappers:
+                        wrappers.add(gid)
+                        changed = True
+                        break
+        return wrappers

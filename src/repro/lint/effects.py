@@ -1,0 +1,633 @@
+"""Phase-1 summarizer: one JSON-able effect summary per module.
+
+The whole-program rules (:mod:`repro.lint.rules`, project pack) never
+look at an AST directly — they consume the *summary* this module
+produces for each file: the import map (absolute and relative imports
+resolved against the module's own dotted name), module-level symbols,
+and a per-function record of
+
+* **calls** — best-effort resolved callee names plus any function
+  references passed as arguments (the raw material of the call graph);
+* **hazards** — fork-unsafety effects: module-global writes, stores to
+  attributes of imported/module-level objects, lock acquisition,
+  thread creation, fd opens, global-numpy-RNG use;
+* **dispatches / spawn targets** — worker-pool fan-out sites
+  (``map_async`` and friends, ``Pool(initializer=...)``,
+  ``Process(target=...)``) that seed the fork-reachability walk;
+* **resources** — shared-memory / pool creations with a local
+  lifecycle verdict (released? released on exception paths? escapes?);
+* **raw appends** — direct ``os.write`` / append-mode ``open`` /
+  ``O_APPEND`` sites for the telemetry-sink chokepoint rule.
+
+Summaries are plain dicts of JSON scalars/lists so the index can cache
+them in ``.lint_cache.json`` keyed on file content hashes and skip the
+parse entirely when a file has not changed.
+
+Everything is approximate in the safe direction documented per rule:
+resolution failures produce *no* edge/effect rather than a guess, and
+the project rules only act on what resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Optional
+
+#: Pool fan-out methods whose function argument runs in a worker process.
+DISPATCH_METHODS = frozenset({
+    "map_async", "apply_async", "starmap_async", "imap", "imap_unordered",
+})
+
+#: Constructor calls whose keyword points at worker-process entry code.
+SPAWN_KEYWORDS = {"Pool": "initializer", "Process": "target"}
+
+#: Method names that release a tracked resource.
+RELEASE_METHODS = frozenset({
+    "close", "unlink", "terminate", "release", "join", "shutdown",
+})
+
+#: numpy.random attributes that construct explicit generators (allowed).
+ALLOWED_RNG = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "RandomState", "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+})
+
+#: Callables that open an fd / OS handle inside the calling process.
+FD_OPENERS = frozenset({
+    "open", "os.open", "os.fdopen", "socket.socket",
+    "socket.create_connection",
+})
+
+_LOCK_CTOR_MARKERS = ("Lock", "RLock", "Condition", "Semaphore")
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name derived from the display path.
+
+    The *full* path becomes the dotted name (``src/repro/db/parallel.py``
+    → ``src.repro.db.parallel``); the call graph resolves imports by
+    unique dotted-suffix match, so the extra leading components are
+    harmless and keep names collision-free across trees.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p and p != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "module"
+
+
+def _attr_chain(node: ast.AST) -> Optional[tuple[str, list[str]]]:
+    """``a.b.c`` → ``("a", ["b", "c"])``; None for non-Name roots."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return node.id, list(reversed(chain))
+
+
+class _ModuleScope:
+    """Import map + module-level symbols shared by every function visitor."""
+
+    def __init__(self, tree: ast.Module, module: str) -> None:
+        self.module = module
+        self.imports: dict[str, str] = {}
+        self.functions: set[str] = set()
+        self.classes: dict[str, list[str]] = {}
+        self.module_assigns: dict[str, Optional[str]] = {}
+        self._collect(tree)
+
+    def _package(self, level: int) -> str:
+        parts = self.module.split(".")
+        keep = len(parts) - level
+        return ".".join(parts[:keep]) if keep > 0 else ""
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        self.imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = self._package(node.level)
+                    if node.module:
+                        base = f"{base}.{node.module}" if base else node.module
+                else:
+                    base = node.module or ""
+                if not base:
+                    continue
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}"
+                    )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                methods = [
+                    item.name for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]
+                self.classes[node.name] = methods
+            elif isinstance(node, ast.Assign):
+                value = self._ctor_of(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_assigns[target.id] = value
+
+    def _ctor_of(self, node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        return self.resolve_callable(node.func, {}, None)
+
+    def resolve_callable(
+        self,
+        func: ast.AST,
+        local_types: dict[str, str],
+        cls: Optional[str],
+    ) -> Optional[str]:
+        """Best-effort dotted name of a call target (None if unresolved)."""
+        ref = _attr_chain(func)
+        if ref is None:
+            return None
+        root, chain = ref
+        if root == "self" and cls is not None:
+            base = f"{self.module}.{cls}"
+        elif root in local_types:
+            base = local_types[root]
+        elif root in self.imports:
+            base = self.imports[root]
+        elif root in self.functions or root in self.classes:
+            base = f"{self.module}.{root}"
+        elif root in ("open",) and not chain:
+            return "open"
+        else:
+            return None
+        return ".".join([base, *chain]) if chain else base
+
+
+class _FunctionSummarizer(ast.NodeVisitor):
+    """Walks one function body (or the module top level) collecting effects."""
+
+    def __init__(
+        self,
+        scope: _ModuleScope,
+        qualname: str,
+        cls: Optional[str],
+        params: list[str],
+    ) -> None:
+        self.scope = scope
+        self.qualname = qualname
+        self.cls = cls
+        self.params = params
+        self.global_names: set[str] = set()
+        self.local_types: dict[str, str] = {}
+        self.calls: list[dict[str, Any]] = []
+        self.dispatches: list[dict[str, Any]] = []
+        self.spawn_refs: list[dict[str, Any]] = []
+        self.hazards: dict[str, list[list[Any]]] = {
+            "global_write": [], "attr_write": [], "lock_acquire": [],
+            "thread_create": [], "fd_open": [], "global_rng": [],
+        }
+        self.raw_appends: list[list[Any]] = []
+        self.resources: list[dict[str, Any]] = []
+        self.returns_none = False
+        self.none_checked: set[str] = set()
+        self._try_depth = 0
+        #: id(Call node) -> Name the result is assigned to (fallback rule).
+        self._pending_assign: dict[int, str] = {}
+
+    # -------------------------------------------------------------- #
+    # scaffolding
+    # -------------------------------------------------------------- #
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return None  # nested defs get their own summarizer
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_ClassDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.global_names.update(node.names)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        has_handlers = bool(node.handlers)
+        if has_handlers:
+            self._try_depth += 1
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        for handler in node.handlers:
+            self.visit(handler)
+        if has_handlers:
+            self._try_depth -= 1
+        for stmt in node.finalbody:
+            self.visit(stmt)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is None or (
+            isinstance(node.value, ast.Constant) and node.value.value is None
+        ):
+            self.returns_none = True
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        is_none_test = any(
+            isinstance(op, (ast.Is, ast.IsNot, ast.Eq, ast.NotEq))
+            for op in node.ops
+        ) and any(
+            isinstance(o, ast.Constant) and o.value is None for o in operands
+        )
+        if is_none_test:
+            for operand in operands:
+                if isinstance(operand, ast.Name):
+                    self.none_checked.add(operand.id)
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # stores
+    # -------------------------------------------------------------- #
+    def _record_store(self, target: ast.AST, value: ast.AST, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.global_names:
+                self.hazards["global_write"].append([target.id, lineno])
+            ctor = None
+            if isinstance(value, ast.Call):
+                ctor = self.scope.resolve_callable(
+                    value.func, self.local_types, self.cls
+                )
+            if ctor is not None:
+                self.local_types[target.id] = ctor
+        elif isinstance(target, ast.Attribute):
+            ref = _attr_chain(target)
+            if ref is None:
+                return
+            root, chain = ref
+            if root in ("self", "cls") or root in self.params:
+                return
+            if (
+                root in self.scope.imports
+                or root in self.scope.module_assigns
+                or root in self.global_names
+            ):
+                spelled = ".".join([root, *chain])
+                self.hazards["attr_write"].append([spelled, lineno])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_store(element, value, lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store(target, node.value, node.lineno)
+        if (
+            isinstance(node.value, ast.Call)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            self._pending_assign[id(node.value)] = node.targets[0].id
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_store(node.target, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                ctor = self.scope.module_assigns.get(expr.id)
+                if ctor and any(m in ctor for m in _LOCK_CTOR_MARKERS):
+                    self.hazards["lock_acquire"].append(
+                        [f"with {expr.id}", node.lineno]
+                    )
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -------------------------------------------------------------- #
+    # calls
+    # -------------------------------------------------------------- #
+    def _arg_refs(self, call: ast.Call) -> list[dict[str, Any]]:
+        refs: list[dict[str, Any]] = []
+        for position, arg in enumerate(call.args):
+            ref = self._one_ref(arg)
+            if ref is not None:
+                refs.append({"pos": position, **ref})
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            ref = self._one_ref(keyword.value)
+            if ref is not None:
+                refs.append({"kw": keyword.arg, **ref})
+        return refs
+
+    def _one_ref(self, node: ast.AST) -> Optional[dict[str, Any]]:
+        if isinstance(node, ast.Name):
+            if node.id in self.params:
+                return {"param": node.id}
+            resolved = self.scope.resolve_callable(
+                node, self.local_types, self.cls
+            )
+            return {"ref": resolved} if resolved else None
+        if isinstance(node, ast.Attribute):
+            resolved = self.scope.resolve_callable(
+                node, self.local_types, self.cls
+            )
+            return {"ref": resolved} if resolved else None
+        return None
+
+    def _flags_contain_append(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "O_APPEND":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "O_APPEND":
+                return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.scope.resolve_callable(
+            node.func, self.local_types, self.cls
+        )
+        chain_ref = _attr_chain(node.func)
+        leaf = chain_ref[1][-1] if chain_ref and chain_ref[1] else (
+            chain_ref[0] if chain_ref else None
+        )
+
+        entry: dict[str, Any] = {
+            "resolved": resolved,
+            "lineno": node.lineno,
+            "in_try": self._try_depth > 0,
+        }
+        assigned = self._pending_assign.pop(id(node), None)
+        if assigned is not None:
+            entry["assigned"] = assigned
+        args = self._arg_refs(node)
+        if args:
+            entry["args"] = args
+        self.calls.append(entry)
+
+        if leaf in DISPATCH_METHODS and chain_ref and chain_ref[1]:
+            self.dispatches.append(
+                {"lineno": node.lineno, "method": leaf, "args": args}
+            )
+        if leaf in SPAWN_KEYWORDS:
+            wanted = SPAWN_KEYWORDS[leaf]
+            for ref in args:
+                if ref.get("kw") == wanted:
+                    self.spawn_refs.append({"lineno": node.lineno, **ref})
+
+        if resolved is not None:
+            if resolved == "threading.Thread":
+                self.hazards["thread_create"].append([resolved, node.lineno])
+            if resolved in FD_OPENERS:
+                self.hazards["fd_open"].append([resolved, node.lineno])
+            parts = resolved.split(".")
+            if (
+                resolved.startswith("numpy.random.")
+                and len(parts) == 3
+                and parts[-1] not in ALLOWED_RNG
+            ):
+                self.hazards["global_rng"].append([resolved, node.lineno])
+            if resolved == "os.write":
+                self.raw_appends.append(["os.write", node.lineno])
+            if resolved == "os.open" and any(
+                self._flags_contain_append(arg) for arg in node.args[1:2]
+            ):
+                self.raw_appends.append(["os.open(O_APPEND)", node.lineno])
+        if leaf == "acquire" and chain_ref and chain_ref[1]:
+            spelled = ".".join([chain_ref[0], *chain_ref[1]])
+            self.hazards["lock_acquire"].append([spelled, node.lineno])
+        if resolved == "open" or (
+            isinstance(node.func, ast.Name) and node.func.id == "open"
+        ):
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and "a" in mode.value
+            ):
+                self.raw_appends.append(
+                    [f"open(..., {mode.value!r})", node.lineno]
+                )
+        self.generic_visit(node)
+
+    def summarize(self, body: list[ast.stmt], lineno: int) -> dict[str, Any]:
+        for stmt in body:
+            self.visit(stmt)
+        self._analyze_resources(body)
+        return {
+            "qualname": self.qualname,
+            "class": self.cls,
+            "lineno": lineno,
+            "params": list(self.params),
+            "calls": self.calls,
+            "dispatches": self.dispatches,
+            "spawn_refs": self.spawn_refs,
+            "hazards": self.hazards,
+            "raw_appends": self.raw_appends,
+            "resources": self.resources,
+            "returns_none": self.returns_none,
+            "none_checked": sorted(self.none_checked),
+        }
+
+    # -------------------------------------------------------------- #
+    # resource lifecycle
+    # -------------------------------------------------------------- #
+    def _is_resource_ctor(self, resolved: Optional[str], call: ast.Call):
+        """``(kind, tracked)`` for a creation call, or ``(None, False)``."""
+        if resolved is None:
+            return None, False
+        leaf = resolved.split(".")[-1]
+        if leaf == "SharedMemory":
+            create = any(
+                k.arg == "create"
+                and isinstance(k.value, ast.Constant)
+                and bool(k.value.value)
+                for k in call.keywords
+            )
+            return ("shm" if create else "shm_attach"), create
+        if leaf == "Pool":
+            return "pool", True
+        # Project classes (capitalized leaf) may wrap a tracked resource
+        # in __init__ — recorded here, filtered against the index's
+        # resource-class set by the shm-lifecycle rule.
+        bare = leaf.lstrip("_")
+        if bare and bare[0].isupper():
+            return f"project:{resolved}", True
+        return None, False
+
+    def _analyze_resources(self, body: list[ast.stmt]) -> None:
+        finally_ids: set[int] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Try):
+                    for final_stmt in node.finalbody:
+                        for sub in ast.walk(final_stmt):
+                            finally_ids.add(id(sub))
+
+        creations: list[tuple[str, str, int]] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                resolved = self.scope.resolve_callable(
+                    node.value.func, self.local_types, self.cls
+                )
+                kind, tracked = self._is_resource_ctor(resolved, node.value)
+                if not tracked or kind is None:
+                    continue
+                target = node.targets[0] if node.targets else None
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id not in self.global_names
+                ):
+                    creations.append((kind, target.id, node.lineno))
+
+        for kind, var, lineno in creations:
+            released, release_safe = self._release_state(
+                body, var, lineno, finally_ids
+            )
+            self.resources.append({
+                "kind": kind,
+                "var": var,
+                "lineno": lineno,
+                "released": released,
+                "release_safe": release_safe,
+                "escapes": self._escapes(body, var, lineno),
+            })
+
+    def _release_state(
+        self, body, var: str, after: int, finally_ids: set[int]
+    ) -> tuple[bool, bool]:
+        released = False
+        release_safe = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in RELEASE_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == var
+                    and node.lineno >= after
+                ):
+                    released = True
+                    if id(node) in finally_ids:
+                        release_safe = True
+        return released, release_safe
+
+    def _escapes(self, body, var: str, after: int) -> bool:
+        """True when ownership of ``var`` transfers out of this function.
+
+        Only a *bare name* transfers ownership — ``return block``,
+        ``register(block)``, ``self.blocks.append(block)``, ``[block]``.
+        A derived value (``return pool.map(...)``, ``bytes(block.buf)``)
+        borrows the resource without taking over its release, so it does
+        not absolve the creator.
+        """
+        def is_bare(node: Optional[ast.AST]) -> bool:
+            return isinstance(node, ast.Name) and node.id == var
+
+        for stmt in body:
+            for node in ast.walk(stmt):
+                lineno = getattr(node, "lineno", 0)
+                if lineno and lineno < after:
+                    continue
+                if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                    if is_bare(getattr(node, "value", None)):
+                        return True
+                if isinstance(node, ast.Call):
+                    operands = [
+                        *node.args,
+                        *[k.value for k in node.keywords],
+                    ]
+                    if any(is_bare(a) for a in operands):
+                        return True
+                if isinstance(node, ast.Assign):
+                    stores_out = any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in node.targets
+                    ) or any(
+                        isinstance(t, ast.Name) and t.id in self.global_names
+                        for t in node.targets
+                    )
+                    if stores_out and self._mentions(node.value, var):
+                        return True
+                if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+                    if any(
+                        isinstance(e, ast.Name) and e.id == var
+                        for e in node.elts
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _mentions(node: ast.AST, var: str) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id == var
+            for sub in ast.walk(node)
+        )
+
+
+def _param_names(args: ast.arguments) -> list[str]:
+    names = [a.arg for a in [*args.posonlyargs, *args.args]]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def summarize_module(tree: ast.Module, path: str) -> dict[str, Any]:
+    """Build the whole-module effect summary the project index stores."""
+    module = module_name_for(path)
+    scope = _ModuleScope(tree, module)
+    functions: dict[str, dict[str, Any]] = {}
+
+    def add_function(node, cls: Optional[str]) -> None:
+        qualname = f"{cls}.{node.name}" if cls else node.name
+        summarizer = _FunctionSummarizer(
+            scope, qualname, cls, _param_names(node.args)
+        )
+        functions[qualname] = summarizer.summarize(node.body, node.lineno)
+
+    top_level: list[ast.stmt] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add_function(item, node.name)
+        else:
+            top_level.append(node)
+    module_summarizer = _FunctionSummarizer(scope, "<module>", None, [])
+    functions["<module>"] = module_summarizer.summarize(top_level, 1)
+
+    return {
+        "module": module,
+        "path": path,
+        "imports": dict(scope.imports),
+        "classes": {name: list(m) for name, m in scope.classes.items()},
+        "module_assigns": dict(scope.module_assigns),
+        "functions": functions,
+    }

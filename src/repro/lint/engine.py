@@ -1,15 +1,26 @@
 """Core of the project linter: findings, suppressions, baselines, reports.
 
-The engine walks Python files, parses each one once with :mod:`ast`, and
-hands the tree to every active :class:`~repro.lint.rules.Rule`. Three
-layers filter what a rule reports before it becomes a *new* finding:
+The engine runs in two phases (DESIGN.md §12). Phase 1 walks Python
+files, parses each one once with :mod:`ast`, hands the tree to every
+per-file :class:`~repro.lint.rules.Rule`, and builds the module effect
+summary (:mod:`repro.lint.effects`); all phase-1 outputs are cached in
+``.lint_cache.json`` keyed on content hashes (:mod:`repro.lint.index`).
+Phase 2 assembles the summaries into a
+:class:`~repro.lint.callgraph.CallGraph` and runs the whole-program
+:class:`~repro.lint.rules.ProjectRule` pack over it.
+
+Four layers filter what a rule reports before it becomes a *new*
+finding:
 
 * per-rule path exemptions (``Rule.exempt``) — e.g. the print rule skips
   the CLI entry point and the console implementation;
+* tree profiles — ``tests/`` and ``benchmarks/`` run a relaxed rule
+  subset (``Rule.skip_profiles``, ``ForbiddenImport.PROFILE_EXTRA``);
 * inline suppressions — a ``# lint: disable=<rule>[,<rule>...]`` comment
   on the flagged line (or ``# lint: disable`` for every rule);
-* a committed baseline file of grandfathered findings, matched by
-  ``path:rule:line`` fingerprint (see :func:`load_baseline`).
+* a committed baseline of grandfathered findings, matched by
+  ``path:rule:<content-hash of the flagged line>`` fingerprint so edits
+  elsewhere in a file never invalidate it (see :class:`Baseline`).
 
 Everything here is stdlib-only so the linter can never drag the library
 into a dependency it would itself have to flag.
@@ -23,8 +34,11 @@ import json
 import os
 import re
 import tokenize
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional, Sequence
+
+from .index import LintCache, content_hash, line_hash, line_hashes, rules_key
 
 #: Marker used in the suppression map for "every rule on this line".
 ALL_RULES = "*"
@@ -47,11 +61,18 @@ class Finding:
     col: int
     message: str
     severity: str = "error"
+    #: Content hash of the flagged source line (baseline fingerprint).
+    line_hash: str = ""
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity used for baseline matching."""
-        return f"{self.path}:{self.rule}:{self.line}"
+        """Stable identity used for baseline matching.
+
+        Keyed on the *content* of the flagged line, not its number, so
+        unrelated edits above a grandfathered finding don't churn the
+        baseline.
+        """
+        return f"{self.path}:{self.rule}:{self.line_hash}"
 
     def format(self) -> str:
         return (
@@ -67,15 +88,29 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "severity": self.severity,
+            "line_hash": self.line_hash,
         }
+
+
+def profile_for(path: str) -> str:
+    """Tree profile of a display path: library, tests, or benchmarks."""
+    parts = path.replace("\\", "/").split("/")[:-1]
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "library"
 
 
 class FileContext:
     """A parsed source file plus its inline-suppression map."""
 
-    def __init__(self, path: str, source: str) -> None:
+    def __init__(
+        self, path: str, source: str, profile: str = "library"
+    ) -> None:
         self.path = path
         self.source = source
+        self.profile = profile
         self.suppressions = _parse_suppressions(source)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
@@ -118,15 +153,55 @@ def _parse_suppressions(source: str) -> dict[int, set[str]]:
 #: Default baseline filename looked up next to the lint invocation.
 DEFAULT_BASELINE = "lint_baseline.json"
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 class BaselineError(ValueError):
     """Raised when a baseline file cannot be read or has a bad shape."""
 
 
-def load_baseline(path: str) -> set[str]:
-    """Read a baseline file into a set of finding fingerprints."""
+class Baseline:
+    """Multiset of grandfathered finding fingerprints.
+
+    A :class:`Counter` rather than a set: two identical lines in one file
+    hash identically, and each baseline entry should absolve exactly one
+    finding, not every copy.
+    """
+
+    def __init__(self, counts: Optional[Counter] = None) -> None:
+        self.counts: Counter = counts if counts is not None else Counter()
+
+    @property
+    def empty(self) -> bool:
+        return not +self.counts
+
+    def consume(self, fingerprint: str) -> bool:
+        """True (and decrement) if the fingerprint is grandfathered."""
+        if self.counts[fingerprint] > 0:
+            self.counts[fingerprint] -= 1
+            return True
+        return False
+
+
+def _migrate_v1_entry(entry: dict) -> Optional[str]:
+    """v1 ``{path, rule, line}`` → v2 fingerprint, by hashing the line.
+
+    Reads the *current* file at the recorded path: v1 baselines matched
+    by live line number, so the recorded line in today's checkout is the
+    grandfathered one. An unreadable file or out-of-range line means the
+    finding is gone — the entry is dropped, which is the correct upgrade.
+    """
+    try:
+        with open(entry["path"], encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        flagged = lines[int(entry["line"]) - 1]
+    except (OSError, UnicodeDecodeError, IndexError, ValueError):
+        return None
+    return f"{entry['path']}:{entry['rule']}:{line_hash(flagged)}"
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file (v1 entries are migrated on the fly)."""
     try:
         with open(path) as handle:
             payload = json.load(handle)
@@ -136,23 +211,38 @@ def load_baseline(path: str) -> set[str]:
         raise BaselineError(
             f"baseline {path} must be an object with a 'findings' list"
         )
-    fingerprints = set()
+    counts: Counter = Counter()
     for entry in payload["findings"]:
         try:
-            fingerprints.add(f"{entry['path']}:{entry['rule']}:{entry['line']}")
+            if "line_hash" in entry:
+                fingerprint = (
+                    f"{entry['path']}:{entry['rule']}:{entry['line_hash']}"
+                )
+            else:
+                fingerprint = _migrate_v1_entry(entry)
+                if fingerprint is None:
+                    continue
         except (TypeError, KeyError) as exc:
             raise BaselineError(
                 f"baseline {path}: malformed entry {entry!r}"
             ) from exc
-    return fingerprints
+        counts[fingerprint] += 1
+    return Baseline(counts)
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    """Write ``findings`` as the new grandfathered baseline."""
+    """Write ``findings`` as the new grandfathered baseline (v2)."""
     payload = {
         "version": BASELINE_VERSION,
         "findings": [
-            {"path": f.path, "rule": f.rule, "line": f.line}
+            {
+                "path": f.path,
+                "rule": f.rule,
+                "line_hash": f.line_hash,
+                # advisory only — humans locate the finding by this, the
+                # matcher never reads it
+                "line": f.line,
+            }
             for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
         ],
     }
@@ -172,10 +262,25 @@ class LintReport:
     baselined: int = 0
     files_checked: int = 0
     rules: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity != "error")
 
     @property
     def exit_code(self) -> int:
         return 1 if self.findings else 0
+
+    def exit_code_for(self, strict_severity: bool = False) -> int:
+        """Exit status; under ``--strict-severity`` only errors fail."""
+        if strict_severity:
+            return 1 if self.errors else 0
+        return self.exit_code
 
     def to_json(self) -> dict:
         return {
@@ -183,18 +288,25 @@ class LintReport:
             "rules": self.rules,
             "files_checked": self.files_checked,
             "baselined": self.baselined,
+            "errors": self.errors,
+            "warnings": self.warnings,
             "findings": [f.to_json() for f in self.findings],
         }
 
     def format_human(self) -> str:
         lines = [f.format() for f in self.findings]
-        summary = (
-            f"lint: {len(self.findings)} new finding(s), "
-            f"{self.baselined} baselined, {self.files_checked} file(s) checked"
-            if self.findings or self.baselined
-            else f"lint: OK ({self.files_checked} file(s) checked, "
-            f"{len(self.rules)} rule(s))"
-        )
+        if self.findings or self.baselined:
+            summary = (
+                f"lint: {len(self.findings)} new finding(s) "
+                f"({self.errors} error(s), {self.warnings} warning(s)), "
+                f"{self.baselined} baselined, "
+                f"{self.files_checked} file(s) checked"
+            )
+        else:
+            summary = (
+                f"lint: OK ({self.files_checked} file(s) checked, "
+                f"{len(self.rules)} rule(s))"
+            )
         lines.append(summary)
         return "\n".join(lines)
 
@@ -226,8 +338,66 @@ def _display_path(path: str) -> str:
     return absolute.replace(os.sep, "/")
 
 
+def _attach_line_hash(finding: Finding, hashes: Sequence[str]) -> Finding:
+    if 1 <= finding.line <= len(hashes):
+        return replace(finding, line_hash=hashes[finding.line - 1])
+    return finding
+
+
+def _phase1_entry(
+    display: str,
+    source: str,
+    profile: str,
+    rules: Sequence,
+    sha: str,
+    key: str,
+) -> dict[str, Any]:
+    """Parse + per-file rules + effect summary for one file (cacheable)."""
+    from .effects import summarize_module
+
+    hashes = line_hashes(source)
+    entry: dict[str, Any] = {
+        "sha": sha,
+        "rules_key": key,
+        "profile": profile,
+        "line_hashes": hashes,
+        "summary": None,
+        "suppressions": {},
+        "findings": [],
+    }
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        finding = Finding(
+            PARSE_ERROR_RULE,
+            display,
+            exc.lineno or 1,
+            exc.offset or 1,
+            f"syntax error: {exc.msg}",
+        )
+        entry["findings"] = [_attach_line_hash(finding, hashes).to_json()]
+        return entry
+
+    context = FileContext(display, source, profile)
+    entry["suppressions"] = {
+        str(line): sorted(names)
+        for line, names in context.suppressions.items()
+    }
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.skip(display, profile):
+            continue
+        for finding in rule.check(context, tree):
+            if not context.is_suppressed(finding.rule, finding.line):
+                findings.append(_attach_line_hash(finding, hashes))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    entry["findings"] = [f.to_json() for f in findings]
+    entry["summary"] = summarize_module(tree, display)
+    return entry
+
+
 def lint_file(path: str, rules: Sequence) -> list[Finding]:
-    """Lint one file with the given rule instances (no baseline applied)."""
+    """Lint one file with the given rule instances (no baseline/cache)."""
     display = _display_path(path)
     try:
         with open(path, encoding="utf-8") as handle:
@@ -236,51 +406,94 @@ def lint_file(path: str, rules: Sequence) -> list[Finding]:
         return [
             Finding(PARSE_ERROR_RULE, display, 1, 1, f"cannot read file: {exc}")
         ]
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                PARSE_ERROR_RULE,
-                display,
-                exc.lineno or 1,
-                (exc.offset or 1),
-                f"syntax error: {exc.msg}",
-            )
-        ]
-    context = FileContext(display, source)
-    findings: list[Finding] = []
-    for rule in rules:
-        if rule.exempt(display):
-            continue
-        for finding in rule.check(context, tree):
-            if not context.is_suppressed(finding.rule, finding.line):
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
+    entry = _phase1_entry(
+        display, source, profile_for(display), rules,
+        content_hash(source), rules_key([r.name for r in rules]),
+    )
+    return [Finding(**f) for f in entry["findings"]]
+
+
+def _entry_suppressed(entry: dict[str, Any], rule: str, line: int) -> bool:
+    names = entry.get("suppressions", {}).get(str(line))
+    return names is not None and (ALL_RULES in names or rule in names)
 
 
 def run_lint(
     paths: Sequence[str],
     rule_names: Optional[Sequence[str]] = None,
     baseline_path: Optional[str] = None,
+    cache_path: Optional[str] = None,
 ) -> LintReport:
     """Lint ``paths`` and return the report of *new* findings.
 
     ``rule_names`` restricts the rule pack (default: every registered
     rule); unknown names raise :class:`~repro.lint.rules.UnknownRuleError`.
     ``baseline_path`` filters out grandfathered fingerprints.
+    ``cache_path`` enables the phase-1 cache (``None``, the library
+    default, never touches disk; the CLI defaults to ``.lint_cache.json``).
     """
-    from .rules import get_rules
+    from .callgraph import CallGraph
+    from .rules import ProjectRule, get_rules
 
     rules = get_rules(rule_names)
-    baseline = load_baseline(baseline_path) if baseline_path else set()
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    key = rules_key([r.name for r in file_rules])
+    cache = LintCache(cache_path)
+    baseline = load_baseline(baseline_path) if baseline_path else Baseline()
     report = LintReport(rules=[rule.name for rule in rules])
+
+    entries: dict[str, dict[str, Any]] = {}
+    summaries: dict[str, dict[str, Any]] = {}
+    raw_findings: list[Finding] = []
+
+    # ---- phase 1: per-file rules + effect summaries (cached) ---- #
     for path in discover_files(paths):
         report.files_checked += 1
-        for finding in lint_file(path, rules):
-            if finding.fingerprint in baseline:
-                report.baselined += 1
-            else:
-                report.findings.append(finding)
+        display = _display_path(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raw_findings.append(Finding(
+                PARSE_ERROR_RULE, display, 1, 1, f"cannot read file: {exc}"
+            ))
+            continue
+        sha = content_hash(source)
+        entry = cache.lookup(display, sha, key)
+        if entry is None:
+            entry = _phase1_entry(
+                display, source, profile_for(display), file_rules, sha, key
+            )
+            cache.store(display, key, entry)
+        entries[display] = entry
+        if entry.get("summary") is not None:
+            summaries[display] = entry["summary"]
+        raw_findings.extend(Finding(**f) for f in entry["findings"])
+
+    # ---- phase 2: whole-program rules over the call graph ---- #
+    if project_rules and summaries:
+        graph = CallGraph(summaries)
+        for rule in project_rules:
+            for finding in rule.check_project(graph):
+                entry = entries.get(finding.path)
+                if entry is None:
+                    continue  # anchored outside the linted file set
+                if rule.skip(finding.path, entry["profile"]):
+                    continue
+                if _entry_suppressed(entry, finding.rule, finding.line):
+                    continue
+                raw_findings.append(
+                    _attach_line_hash(finding, entry["line_hashes"])
+                )
+
+    raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    for finding in raw_findings:
+        if baseline.consume(finding.fingerprint):
+            report.baselined += 1
+        else:
+            report.findings.append(finding)
+
+    cache.save()
+    report.cache_hits = cache.hits
     return report

@@ -1,0 +1,163 @@
+"""Alternate lint output formats: SARIF for CI annotations, HTML reports.
+
+``repro lint --format sarif`` emits SARIF 2.1.0 so findings render as
+inline annotations in CI; ``--format html`` writes a self-contained
+report (inline CSS, no external assets) matching the ``repro report``
+idiom. Both formats carry the same data as ``--format json`` — rule
+identity, location, severity, message — so any of the three can drive
+tooling.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any
+
+from .engine import PARSE_ERROR_RULE, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warn": "warning"}
+
+
+def _rule_descriptors(report: LintReport) -> list[dict[str, Any]]:
+    from .rules import RULES
+
+    descriptors = []
+    for name in report.rules:
+        rule = RULES.get(name)
+        descriptor: dict[str, Any] = {"id": name}
+        if rule is not None:
+            descriptor["shortDescription"] = {"text": rule.rationale}
+            doc = (rule.__doc__ or "").strip()
+            if doc:
+                descriptor["fullDescription"] = {
+                    "text": doc.splitlines()[0].strip()
+                }
+            descriptor["defaultConfiguration"] = {
+                "level": _LEVELS.get(rule.severity, "error")
+            }
+        descriptors.append(descriptor)
+    if any(f.rule == PARSE_ERROR_RULE for f in report.findings):
+        descriptors.append({
+            "id": PARSE_ERROR_RULE,
+            "shortDescription": {"text": "file could not be parsed"},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def to_sarif(report: LintReport) -> dict[str, Any]:
+    """SARIF 2.1.0 log object for the report's new findings."""
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v2": finding.fingerprint,
+            },
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": _rule_descriptors(report),
+                },
+            },
+            "results": results,
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+        }],
+    }
+
+
+_HTML_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3rem; }
+table { border-collapse: collapse; width: 100%; margin: 1rem 0; }
+th, td { border: 1px solid #c9cbd8; padding: .35rem .6rem;
+         text-align: left; font-size: .9rem; vertical-align: top; }
+th { background: #4a4e69; color: #fff; }
+tr:nth-child(even) { background: #f4f4f8; }
+code { background: #eceef3; padding: .1rem .3rem; border-radius: 3px;
+       font-size: .85rem; }
+.sev-error { color: #b00020; font-weight: 600; }
+.sev-warn { color: #9a6700; font-weight: 600; }
+.summary { background: #f4f4f8; border-left: 4px solid #4a4e69;
+           padding: .6rem 1rem; margin: 1rem 0; }
+.ok { border-left-color: #2e7d32; }
+""".strip()
+
+
+def to_html(report: LintReport, title: str = "repro lint report") -> str:
+    """Self-contained HTML report (inline CSS, no external assets)."""
+    ok = not report.findings
+    out = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title>",
+        f"<style>{_HTML_CSS}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+        "<div class='summary{}'>".format(" ok" if ok else ""),
+        "<strong>{}</strong> — {} file(s) checked, {} rule(s), "
+        "{} error(s), {} warning(s), {} baselined".format(
+            "clean" if ok else f"{len(report.findings)} new finding(s)",
+            report.files_checked,
+            len(report.rules),
+            report.errors,
+            report.warnings,
+            report.baselined,
+        ),
+        "</div>",
+    ]
+    if report.findings:
+        out.append("<table>")
+        out.append(
+            "<tr><th>Location</th><th>Rule</th>"
+            "<th>Severity</th><th>Message</th></tr>"
+        )
+        for finding in report.findings:
+            severity_class = (
+                "sev-error" if finding.severity == "error" else "sev-warn"
+            )
+            out.append(
+                "<tr>"
+                f"<td><code>{escape(finding.path)}:{finding.line}:"
+                f"{finding.col}</code></td>"
+                f"<td><code>{escape(finding.rule)}</code></td>"
+                f"<td class='{severity_class}'>"
+                f"{escape(finding.severity)}</td>"
+                f"<td>{escape(finding.message)}</td>"
+                "</tr>"
+            )
+        out.append("</table>")
+    out.append(
+        "<p>Rules: "
+        + ", ".join(f"<code>{escape(name)}</code>" for name in report.rules)
+        + "</p>"
+    )
+    out.append("</body></html>")
+    return "\n".join(out)

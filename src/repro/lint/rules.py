@@ -80,8 +80,16 @@ class Rule:
     severity: str = "error"
     rationale: str = ""
 
+    #: Tree profiles ("tests", "benchmarks") where the rule is not run at
+    #: all — the relaxed rule subset for non-library trees.
+    skip_profiles: frozenset = frozenset()
+
     def exempt(self, path: str) -> bool:
         return False
+
+    def skip(self, path: str, profile: str) -> bool:
+        """Whole-file/tree gate combining path exemptions and profiles."""
+        return profile in self.skip_profiles or self.exempt(path)
 
     def check(self, context: FileContext, tree: ast.AST) -> list[Finding]:
         raise NotImplementedError
@@ -94,6 +102,38 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
             severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: runs once over the project call graph.
+
+    Project rules never see a single file's AST — they consume the
+    :class:`~repro.lint.callgraph.CallGraph` assembled from every module
+    summary (phase 2). Path exemptions, tree profiles, and inline
+    suppressions still apply per finding, handled by the engine.
+    """
+
+    def check(self, context: FileContext, tree: ast.AST) -> list[Finding]:
+        return []
+
+    def check_project(self, graph) -> list[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=path,
+            line=line,
+            col=1,
+            message=message,
+            severity=severity or self.severity,
         )
 
 
@@ -160,7 +200,19 @@ class ForbiddenImport(Rule):
         "numpy", "scipy", "networkx", "repro",
     }
 
+    #: Non-library trees may additionally use the test toolchain and
+    #: import their own sibling modules.
+    PROFILE_EXTRA = {
+        "tests": frozenset({
+            "pytest", "hypothesis", "tests", "benchmarks", "conftest",
+        }),
+        "benchmarks": frozenset({"pytest", "tests", "benchmarks"}),
+    }
+
     def check(self, context: FileContext, tree: ast.AST) -> list[Finding]:
+        allowed = self.ALLOWED_TOP | self.PROFILE_EXTRA.get(
+            context.profile, frozenset()
+        )
         findings = []
         for node in ast.walk(tree):
             modules: list[str] = []
@@ -172,7 +224,7 @@ class ForbiddenImport(Rule):
                 modules = [node.module]
             for module in modules:
                 top = module.split(".")[0]
-                if top not in self.ALLOWED_TOP:
+                if top not in allowed:
                     findings.append(self.finding(
                         context, node,
                         f"import of '{module}' outside the allowed dependency "
@@ -195,6 +247,9 @@ class NoBarePrint(Rule):
         "library code must use repro.obs.log.console or telemetry, "
         "not print()"
     )
+
+    #: Benchmarks print their result tables to stdout by design.
+    skip_profiles = frozenset({"benchmarks"})
 
     EXEMPT_SUFFIXES = ("__main__.py", "obs/log.py")
 
@@ -365,6 +420,205 @@ class NoMutableDefaultArg(Rule):
 
 
 # ------------------------------------------------------------------ #
+# whole-program rules (phase 2, over the project call graph)
+# ------------------------------------------------------------------ #
+class ForkUnsafeWorkerReachable(ProjectRule):
+    """Invariant: code reachable from fork-pool workers touches no parent
+    state.
+
+    ``db/parallel.py`` forks workers that share the parent's memory
+    image; a transitive callee that writes a module global, mutates
+    imported-module state, acquires a parent-created lock, spawns a
+    thread, opens an fd, or draws from the global numpy RNG corrupts the
+    parent silently (fork) or diverges from it (spawn). The walk is
+    seeded from every function handed to a pool fan-out call
+    (``map_async``/``apply_async``/…, ``Pool(initializer=...)``,
+    ``Process(target=...)``), including ones passed through dispatcher
+    parameters, and follows resolved call edges across modules.
+    """
+
+    name = "fork-unsafe-worker-reachable"
+    rationale = (
+        "functions reachable from fork-pool workers must not mutate "
+        "parent-process state (globals, locks, threads, fds, global RNG)"
+    )
+
+    #: Tests/benchmarks monkeypatch globals and fake pools on purpose.
+    skip_profiles = frozenset({"tests", "benchmarks"})
+
+    HAZARD_TEXT = {
+        "global_write": "writes module global '{0}'",
+        "attr_write": "mutates imported/module-level state '{0}'",
+        "lock_acquire": "acquires a lock ({0})",
+        "thread_create": "starts a thread ({0})",
+        "fd_open": "opens an OS handle via {0}",
+        "global_rng": "calls the global numpy RNG '{0}'",
+    }
+
+    def check_project(self, graph) -> list[Finding]:
+        findings = []
+        for gid in graph.worker_reachable():
+            record = graph.get(gid)
+            path = graph.path_of(gid)
+            if record is None or not path:
+                continue
+            for category, sites in record["hazards"].items():
+                template = self.HAZARD_TEXT[category]
+                for description, lineno in sites:
+                    findings.append(self.project_finding(
+                        path, int(lineno),
+                        f"'{graph.display_name(gid)}' runs inside fork-pool "
+                        f"workers (reached via {graph.chain_text(gid)}) and "
+                        f"{template.format(description)}; worker-reachable "
+                        "code must not touch parent-process state",
+                    ))
+        return findings
+
+
+class ShmLifecycle(ProjectRule):
+    """Invariant: every shared-memory/pool resource is released on all
+    paths.
+
+    A ``SharedMemory`` block that is created but not unlinked leaks a
+    ``/dev/shm`` segment past process exit; a worker pool that is never
+    terminated leaks processes. A creation must be released on every
+    exit — including exception paths — unless ownership escapes (the
+    resource is returned, stored on an object, or handed to another
+    call). Classes whose ``__init__`` creates a raw resource (e.g.
+    ``_ShmArrays``) are tracked at their construction sites too.
+    """
+
+    name = "shm-lifecycle"
+    rationale = (
+        "shared-memory/pool creations must be released on every exit "
+        "path (finally/with), or ownership must escape"
+    )
+
+    #: Test fixtures create deliberately-leaky resources.
+    skip_profiles = frozenset({"tests", "benchmarks"})
+
+    KIND_TEXT = {"shm": "shared-memory block", "pool": "worker pool"}
+
+    def check_project(self, graph) -> list[Finding]:
+        findings = []
+        resource_inits = graph.resource_class_inits()
+        for gid, record, summary in graph.functions():
+            for resource in record["resources"]:
+                kind = resource["kind"]
+                if kind.startswith("project:"):
+                    if graph.resolve(kind[len("project:"):]) not in resource_inits:
+                        continue
+                    what = "resource-owning object"
+                elif kind in self.KIND_TEXT:
+                    what = self.KIND_TEXT[kind]
+                else:
+                    continue
+                if resource["escapes"]:
+                    continue
+                owner = f"'{resource['var']}' in " \
+                        f"'{graph.display_name(gid)}'"
+                if not resource["released"]:
+                    findings.append(self.project_finding(
+                        summary["path"], int(resource["lineno"]),
+                        f"{what} {owner} is never released/closed on any "
+                        "path; call close()/unlink()/terminate() in a "
+                        "finally block or transfer ownership",
+                    ))
+                elif not resource["release_safe"]:
+                    findings.append(self.project_finding(
+                        summary["path"], int(resource["lineno"]),
+                        f"{what} {owner} is released only on the normal "
+                        "path; an exception between creation and release "
+                        "leaks it — move the release into a finally block",
+                        severity="warn",
+                    ))
+        return findings
+
+
+class TelemetrySinkOnly(ProjectRule):
+    """Invariant: all append-mode writes flow through the telemetry sink.
+
+    ``obs/telemetry.py`` owns the single ``O_APPEND`` chokepoint whose
+    one-``os.write``-per-record discipline makes concurrent appends
+    atomic (DESIGN.md §11). A direct ``os.write``, append-mode
+    ``open(..., "a")``, or ``os.open(..., O_APPEND)`` anywhere else can
+    interleave partial lines with the sink and corrupt the JSONL streams
+    every replay/report tool parses.
+    """
+
+    name = "telemetry-sink-only"
+    rationale = (
+        "append-mode writes outside obs/telemetry.py bypass the atomic "
+        "O_APPEND sink chokepoint"
+    )
+
+    skip_profiles = frozenset({"tests", "benchmarks"})
+    EXEMPT_SUFFIXES = ("obs/telemetry.py",)
+
+    def exempt(self, path: str) -> bool:
+        return path.replace("\\", "/").endswith(self.EXEMPT_SUFFIXES)
+
+    def check_project(self, graph) -> list[Finding]:
+        findings = []
+        for gid, record, summary in graph.functions():
+            for description, lineno in record["raw_appends"]:
+                findings.append(self.project_finding(
+                    summary["path"], int(lineno),
+                    f"direct append-mode write ({description}) outside the "
+                    "telemetry sink; emit through repro.obs.telemetry so "
+                    "cross-process appends stay atomic",
+                ))
+        return findings
+
+
+class FallbackOnWorkerError(ProjectRule):
+    """Invariant: every parallel dispatch call site handles the serial
+    fallback.
+
+    Parallelism is strictly an optimization (DESIGN.md §10): dispatch
+    wrappers (``maybe_parallel_*`` over ``_dispatch``) signal any pool
+    failure by returning ``None``, and the caller must run the serial
+    path. A call site that uses the result without a ``None`` check (and
+    outside any try/except) turns a recoverable pool failure into a
+    crash or — worse — a silently wrong result.
+    """
+
+    name = "fallback-on-worker-error"
+    rationale = (
+        "dispatch-wrapper call sites must None-check the result (serial "
+        "fallback) or sit under an exception handler"
+    )
+
+    skip_profiles = frozenset({"tests", "benchmarks"})
+
+    def check_project(self, graph) -> list[Finding]:
+        findings = []
+        wrappers = graph.fallback_wrappers()
+        if not wrappers:
+            return findings
+        for gid, record, summary in graph.functions():
+            for call in record["calls"]:
+                callee = graph.resolve(call.get("resolved"))
+                if callee is None or callee not in wrappers:
+                    continue
+                assigned = call.get("assigned")
+                handled = (
+                    call.get("in_try")
+                    or (assigned is not None
+                        and assigned in record["none_checked"])
+                )
+                if not handled:
+                    findings.append(self.project_finding(
+                        summary["path"], int(call["lineno"]),
+                        f"call to dispatch wrapper "
+                        f"'{graph.display_name(callee)}' does not handle "
+                        "the None fallback; check the result against None "
+                        "and run the serial path (or wrap in try/except)",
+                    ))
+        return findings
+
+
+# ------------------------------------------------------------------ #
 _ALL_RULES = (
     NoGlobalNumpyRandom(),
     ForbiddenImport(),
@@ -372,6 +626,10 @@ _ALL_RULES = (
     NoSilentExcept(),
     NoWallclockInLibrary(),
     NoMutableDefaultArg(),
+    ForkUnsafeWorkerReachable(),
+    ShmLifecycle(),
+    TelemetrySinkOnly(),
+    FallbackOnWorkerError(),
 )
 
 RULES: dict[str, Rule] = {rule.name: rule for rule in _ALL_RULES}

@@ -25,7 +25,11 @@ record regardless of how many times the sink rolled.
 Sink appends are one ``os.write`` on an ``O_APPEND`` descriptor —
 atomic under POSIX — so multiple processes appending to the same
 stream (a fork child that inherited the configured sink, a wrapper
-process) can interleave whole records but never partial lines.
+process) can interleave whole records but never partial lines. This
+file is the *only* module allowed to perform raw append-mode writes:
+``repro lint``'s whole-program ``telemetry-sink-only`` rule flags
+``os.write``/``open(..., "a")``/``O_APPEND`` anywhere else, so the
+atomicity argument above stays true for every stream in the repo.
 
 Emission is a no-op while observability is disabled, matching the rest
 of ``repro.obs``.

@@ -23,6 +23,13 @@ The recorder is deliberately tiny and always on inside workers — one
 dict append per span is noise next to a morsel's work — so the
 enabled-vs-disabled overhead gate in ``bench_kernels --obs-check``
 measures only the parent-side stitching cost.
+
+Fork-safety contract: everything in this module is reachable from
+worker tasks, so ``repro lint``'s ``fork-unsafe-worker-reachable`` rule
+walks it on every run (DESIGN.md §12). Keep it free of module-global
+writes, locks, threads, and fd opens — recorder state must live on the
+instance, which is exactly what lets the rule pass without
+suppressions.
 """
 
 from __future__ import annotations

@@ -90,9 +90,10 @@ class TestTimeBudgets:
         import time
 
         train, _ = split
-        start = time.perf_counter()
+        # Measuring a real wall-clock budget is the point of this test.
+        start = time.perf_counter()  # lint: disable=no-wallclock-in-library
         _, result = _run("BRT", tiny_flights, train, time_budget=0.5)
-        assert time.perf_counter() - start < 5.0
+        assert time.perf_counter() - start < 5.0  # lint: disable=no-wallclock-in-library
         assert not result.completed  # BRT always runs out, as in the paper
 
     def test_gre_flags_incomplete_on_tiny_budget(self, tiny_flights, split):

@@ -238,31 +238,35 @@ class TestCliLayer:
     def test_json_output_schema(self, tmp_path):
         path = tmp_path / "bad.py"
         path.write_text("print('x')\n")
-        code, text = lint_cli_run([str(path)], as_json=True)
+        code, text = lint_cli_run([str(path)], as_json=True, no_cache=True)
         assert code == 1
         payload = json.loads(text)
         assert set(payload) == {
-            "version", "rules", "files_checked", "baselined", "findings"
+            "version", "rules", "files_checked", "baselined",
+            "errors", "warnings", "findings",
         }
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
         (finding,) = payload["findings"]
         assert set(finding) == {
-            "rule", "path", "line", "col", "message", "severity"
+            "rule", "path", "line", "col", "message", "severity", "line_hash"
         }
         assert finding["rule"] == "no-bare-print"
         assert finding["line"] == 1
+        assert finding["line_hash"]
         assert finding["path"].endswith("bad.py")
 
     def test_human_output_has_file_line_rule(self, tmp_path):
         path = tmp_path / "bad.py"
         path.write_text("\nprint('x')\n")
-        code, text = lint_cli_run([str(path)])
+        code, text = lint_cli_run([str(path)], no_cache=True)
         assert code == 1
         assert "bad.py:2:1: no-bare-print error:" in text
 
     def test_exit_zero_on_clean_tree(self, tmp_path):
         path = tmp_path / "clean.py"
         path.write_text("import numpy as np\n")
-        code, text = lint_cli_run([str(path)])
+        code, text = lint_cli_run([str(path)], no_cache=True)
         assert code == 0
         assert "OK" in text
 
@@ -276,10 +280,13 @@ class TestCliLayer:
         path.write_text("print('x')\n")
         baseline = tmp_path / "baseline.json"
         code, _ = lint_cli_run(
-            [str(path)], baseline=str(baseline), write_baseline=True
+            [str(path)], baseline=str(baseline), write_baseline=True,
+            no_cache=True,
         )
         assert code == 0
-        code, _ = lint_cli_run([str(path)], baseline=str(baseline))
+        code, _ = lint_cli_run(
+            [str(path)], baseline=str(baseline), no_cache=True
+        )
         assert code == 0
 
     def test_list_rules_mentions_full_pack(self):
@@ -297,10 +304,10 @@ class TestRepoIsClean:
         assert report.files_checked > 70
 
     def test_committed_baseline_is_empty(self):
-        fingerprints = engine.load_baseline(
+        baseline = engine.load_baseline(
             str(REPO_ROOT / "lint_baseline.json")
         )
-        assert fingerprints == set()
+        assert baseline.empty
 
     def test_one_violation_of_each_rule_is_caught(self, tmp_path):
         """Acceptance: a fixture seeding one violation per shipped rule
