@@ -275,6 +275,12 @@ def run_obs_overhead(repeats: int) -> dict:
     overheads = []
     rounds = max(5 * repeats, 10)
     batch = 3
+    # The enabled arm runs the *full* tracing stack: an active request
+    # context (so every histogram observation captures an exemplar) and
+    # the tail sampler hooked on finished roots — the <2% budget covers
+    # exemplar capture and tail sampling, not just bare spans.
+    request = obs.context.new_context(fingerprint="bench_obs_overhead")
+    obs.sampling.configure()
     try:
         for name, fn in cases.items():
             # Warm both paths first (the first enabled call allocates the
@@ -286,7 +292,8 @@ def run_obs_overhead(repeats: int) -> dict:
             obs.disable()
             fn()
             obs.enable()
-            fn()
+            with obs.context.activate(request):
+                fn()
             ratios = []
             disabled_best = enabled_best = np.inf
             for _ in range(rounds):
@@ -296,10 +303,11 @@ def run_obs_overhead(repeats: int) -> dict:
                     fn()
                 disabled_t = time.perf_counter() - start
                 obs.enable()
-                start = time.perf_counter()
-                for _ in range(batch):
-                    fn()
-                enabled_t = time.perf_counter() - start
+                with obs.context.activate(request):
+                    start = time.perf_counter()
+                    for _ in range(batch):
+                        fn()
+                    enabled_t = time.perf_counter() - start
                 ratios.append(enabled_t / disabled_t)
                 disabled_best = min(disabled_best, disabled_t / batch)
                 enabled_best = min(enabled_best, enabled_t / batch)
@@ -312,6 +320,7 @@ def run_obs_overhead(repeats: int) -> dict:
             }
     finally:
         obs.disable()
+        obs.sampling.clear()
         obs.metrics.reset()
     return {
         "kernels": entries,
@@ -338,13 +347,20 @@ def run_parallel_obs_overhead(repeats: int) -> dict:
     db_parallel.set_workers(4)
     rounds = max(5 * repeats, 10)
     batch = 3
+    # Enabled arm = full causal tracing: the executor opens a root span
+    # under an active request context, context rides the task envelopes
+    # into the workers, worker lanes stitch back under the trace id, and
+    # the tail sampler sees every finished root — all inside the gate.
+    request = obs.context.new_context(fingerprint="bench_parallel_obs")
+    obs.sampling.configure()
     try:
         # Warm both paths (pool spawn + first shared-memory round trip
         # on the disabled side, histogram allocation on the enabled one).
         obs.disable()
         execute(db, query)
         obs.enable()
-        execute(db, query)
+        with obs.context.activate(request):
+            execute(db, query)
         ratios = []
         disabled_best = enabled_best = np.inf
         for _ in range(rounds):
@@ -354,16 +370,18 @@ def run_parallel_obs_overhead(repeats: int) -> dict:
                 execute(db, query)
             disabled_t = time.perf_counter() - start
             obs.enable()
-            start = time.perf_counter()
-            for _ in range(batch):
-                execute(db, query)
-            enabled_t = time.perf_counter() - start
+            with obs.context.activate(request):
+                start = time.perf_counter()
+                for _ in range(batch):
+                    execute(db, query)
+                enabled_t = time.perf_counter() - start
             ratios.append(enabled_t / disabled_t)
             disabled_best = min(disabled_best, disabled_t / batch)
             enabled_best = min(enabled_best, enabled_t / batch)
         overhead = float(np.median(ratios)) - 1.0
     finally:
         obs.disable()
+        obs.sampling.clear()
         obs.metrics.reset()
         obs.trace.reset()
         db_parallel.set_workers(0)

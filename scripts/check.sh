@@ -32,7 +32,13 @@
 #                              the recorded artifacts.
 # 7. repro watch --once        — one frame of the ops console over the
 #                              same profiled run dir (DESIGN.md §11).
-# 8. watchdog smoke            — REPRO_TEST_HANG_MORSEL wedges a morsel;
+# 8. analyze/diff smoke        — records an EXPLAIN ANALYZE run with
+#                              telemetry, asserts the trace id printed
+#                              in the plan footer resolves through
+#                              `repro analyze --slowest 1`, and diffs
+#                              the run against itself (must report no
+#                              regressions).
+# 9. watchdog smoke            — REPRO_TEST_HANG_MORSEL wedges a morsel;
 #                              the pool watchdog must cancel it and the
 #                              serial fallback must return the identical
 #                              result (tests/test_worker_obs.py).
@@ -103,6 +109,22 @@ python -m repro top --dir "$profile_dir" --once
 echo "== repro watch --once (ops console over the profiled run)"
 python -m repro watch --dir "$profile_dir" --once
 rm -rf "$profile_dir"
+
+echo "== repro analyze / diff smoke (trace id round trip)"
+analyze_dir="$(mktemp -d)"
+python -m repro explain \
+  "SELECT title.title FROM title WHERE title.production_year > 1990" \
+  --dataset imdb --scale 0.3 --analyze --telemetry "$analyze_dir" \
+  > "$analyze_dir/explain.out"
+trace_id="$(sed -n 's/^trace: \([0-9a-f]\{32\}\)$/\1/p' \
+  "$analyze_dir/explain.out")"
+test -n "$trace_id"
+python -m repro analyze --dir "$analyze_dir" --slowest 1 \
+  | grep -q "$trace_id"
+python -m repro analyze --dir "$analyze_dir" --trace "$trace_id" > /dev/null
+python -m repro diff "$analyze_dir" "$analyze_dir" \
+  | grep -q "no regressions"
+rm -rf "$analyze_dir"
 
 echo "== pool watchdog smoke (forced-hang morsel, serial fallback)"
 python -m pytest tests/test_worker_obs.py -q -k "watchdog or hung"

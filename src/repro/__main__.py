@@ -190,6 +190,13 @@ def cmd_report(args) -> int:
     run_dir = args.dir
     if args.smoke:
         run_dir = run_smoke(args.dir)
+    elif not any(
+        os.path.exists(os.path.join(run_dir, name))
+        for name in (obs.TELEMETRY_FILE, obs.METRICS_FILE, obs.TRACE_FILE)
+    ):
+        # Without at least one run artifact the report would render a
+        # misleading all-empty document; fail like stats/trace/top do.
+        return _missing_run(run_dir)
     path = build_report(
         run_dir,
         out_path=args.out,
@@ -323,6 +330,78 @@ def cmd_trace(args) -> int:
     chrome_path = os.path.join(args.dir, obs.CHROME_TRACE_FILE)
     if os.path.exists(chrome_path):
         print(f"\nchrome://tracing / perfetto file: {chrome_path}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Reconstruct and analyze retained traces of a recorded run."""
+    from .obs import analyze as obs_analyze
+
+    traces_path = os.path.join(args.dir, obs.TRACES_FILE)
+    trace_path = os.path.join(args.dir, obs.TRACE_FILE)
+    if not os.path.exists(traces_path) and not os.path.exists(trace_path):
+        return _missing_run(args.dir)
+    entries = obs_analyze.load_traces(args.dir)
+    if not entries:
+        print(f"no retained traces under {args.dir}/ — traces need ids; "
+              "record the run with observability enabled")
+        return 1
+
+    if args.trace:
+        entry = obs_analyze.find_trace(entries, args.trace)
+        if entry is None:
+            print(f"trace {args.trace!r} not found in {args.dir}/ "
+                  f"({len(entries)} retained traces; try --slowest)")
+            return 1
+        print(obs_analyze.format_trace_entry(entry))
+        return 0
+
+    summary = obs_analyze.sampler_summary(args.dir)
+    counts = (summary or {}).get("counts") or {}
+    if counts:
+        kept = sum(v for k, v in counts.items() if k.startswith("kept_"))
+        print(f"tail sampler: {counts.get('offered', 0)} offered, "
+              f"{kept} kept, {counts.get('dropped_head', 0)} head-dropped, "
+              f"{counts.get('evicted', 0)} evicted")
+        print()
+    shown = obs_analyze.slowest(entries, args.slowest)
+    print(f"slowest {len(shown)} of {len(entries)} retained traces:")
+    print()
+    for entry in shown:
+        print(obs_analyze.format_trace_entry(entry))
+        print()
+    rollup = obs_analyze.aggregate_spans(shown)
+    ranked = sorted(rollup.items(), key=lambda kv: -kv[1]["self_s"])[:10]
+    if ranked:
+        print("per-span self time across shown traces:")
+        for name, row in ranked:
+            print(f"  {name:<44} ×{row['count']:<4.0f}"
+                  f" total {row['total_s'] * 1e3:9.3f} ms"
+                  f"  self {row['self_s'] * 1e3:9.3f} ms")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Compare span latencies between two recorded runs."""
+    from .obs import analyze as obs_analyze
+
+    for run_dir in (args.run_a, args.run_b):
+        if not os.path.exists(os.path.join(run_dir, obs.TRACE_FILE)):
+            return _missing_run(run_dir)
+    diff = obs_analyze.diff_runs(args.run_a, args.run_b)
+    print(f"span latency diff: {args.run_a} -> {args.run_b}")
+    header = (f"  {'span':<44} {'n(a)':>5} {'n(b)':>5} "
+              f"{'p50 a→b ms':>21} {'p95 a→b ms':>21}  verdict")
+    print(header)
+    for row in diff["spans"]:
+        if "p95_a" in row:
+            p50 = (f"{row['p50_a'] * 1e3:9.3f}→{row['p50_b'] * 1e3:9.3f}")
+            p95 = (f"{row['p95_a'] * 1e3:9.3f}→{row['p95_b'] * 1e3:9.3f}")
+        else:
+            p50 = p95 = "-"
+        print(f"  {row['name']:<44} {row['count_a']:>5} {row['count_b']:>5} "
+              f"{p50:>21} {p95:>21}  {row['verdict']}")
+    print(f"verdict: {diff['verdict']}")
     return 0
 
 
@@ -494,6 +573,25 @@ def main(argv=None) -> int:
     trace.add_argument("--depth", type=int, default=6,
                        help="maximum span nesting depth to print")
     trace.set_defaults(func=cmd_trace)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="reconstruct retained traces: span trees + critical paths",
+    )
+    analyze.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                         help="run directory written by --telemetry")
+    analyze.add_argument("--trace", default=None, metavar="ID",
+                         help="trace id (or unique prefix) to reconstruct")
+    analyze.add_argument("--slowest", type=int, default=5, metavar="N",
+                         help="show the N slowest retained traces")
+    analyze.set_defaults(func=cmd_analyze)
+
+    diff = commands.add_parser(
+        "diff", help="compare span latencies between two recorded runs"
+    )
+    diff.add_argument("run_a", help="baseline run directory")
+    diff.add_argument("run_b", help="candidate run directory")
+    diff.set_defaults(func=cmd_diff)
 
     profile = commands.add_parser(
         "profile",

@@ -12,6 +12,7 @@ sub-databases, which is what Eq. 1 of the paper compares.
 from __future__ import annotations
 
 import hashlib
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence, Tuple
 
@@ -20,6 +21,7 @@ import numpy as np
 from ..obs.clock import perf_counter, process_time
 from . import kernels
 from . import parallel as _parallel
+from ..obs import context as _context
 from ..obs import memory as _memory
 from ..obs import metrics as _metrics
 from ..obs import telemetry as _telemetry
@@ -78,9 +80,13 @@ class QueryStats:
     worker_busy_seconds: float = 0.0
     skew_ratio: float = 1.0
     stragglers: int = 0
+    #: 128-bit request trace id (repro.obs.context) — the handle that
+    #: resolves this query in `repro analyze --trace`.
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> dict[str, object]:
         return {
+            "trace_id": self.trace_id,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
             "rows_scanned": self.rows_scanned,
@@ -700,12 +706,19 @@ def _finish_query_stats(
 
 
 def _execute_observed(db: Database, query: SPJQuery) -> ResultSet:
-    """Execution plus observability, returning the encoded result."""
+    """Execution plus observability, returning the encoded result.
+
+    Opens (or joins) a request context for the query, so every span,
+    telemetry record, and histogram exemplar recorded underneath shares
+    one trace id — the causal handle ``repro analyze`` resolves later.
+    """
     if not _OBS.enabled:
         return _execute_impl(db, query)
-    with _trace.span("execute") as sp:
-        sp.set(tables=list(query.tables))
-        _parallel.begin_query_accounting(_query_fingerprint(query))
+    fingerprint = _query_fingerprint(query)
+    with _context.ensure(fingerprint=fingerprint) as request, \
+            _trace.span("execute") as sp:
+        sp.set(tables=list(query.tables), fingerprint=fingerprint)
+        _parallel.begin_query_accounting(fingerprint)
         start = perf_counter()
         cpu_start = process_time()
         try:
@@ -716,6 +729,14 @@ def _execute_observed(db: Database, query: SPJQuery) -> ResultSet:
         wall = perf_counter() - start
         result.stats = _finish_query_stats(
             db, query, wall, process_time() - cpu_start, result.n_rows
+        )
+        result.stats.trace_id = request.trace_id
+        # Stamp dispatch/fallback tallies onto the root span: the tail
+        # sampler's keep decision (repro.obs.sampling) reads them.
+        sp.set(
+            fallbacks=result.stats.fallbacks,
+            watchdog_timeouts=result.stats.watchdog_timeouts,
+            dispatches=result.stats.dispatches,
         )
         sp.count("rows_out", result.n_rows)
         registry = _metrics.registry()
@@ -1039,23 +1060,38 @@ def explain(
     if not analyze:
         return QueryPlan(query.to_sql(), _estimate_only_plan(db, query))
     capture = _PlanCapture()
-    if _OBS.enabled:
-        _parallel.begin_query_accounting(_query_fingerprint(query))
-    start = perf_counter()
-    cpu_start = process_time()
-    with _trace.span("execute.explain_analyze") as sp:
-        try:
-            result = _execute_impl(db, query, capture)
-        except BaseException:
-            _parallel.end_query_accounting()
-            raise
-        if sp:
-            sp.count("rows_out", result.n_rows)
-    wall = perf_counter() - start
-    if _OBS.enabled:
-        result.stats = _finish_query_stats(
-            db, query, wall, process_time() - cpu_start, result.n_rows
-        )
+    fingerprint = _query_fingerprint(query)
+    with ExitStack() as stack:
+        request = None
+        if _OBS.enabled:
+            # Same identity layer as _execute_observed: one request
+            # context per ANALYZE run, trace id into stats and footer.
+            request = stack.enter_context(
+                _context.ensure(fingerprint=fingerprint)
+            )
+            _parallel.begin_query_accounting(fingerprint)
+        start = perf_counter()
+        cpu_start = process_time()
+        with _trace.span("execute.explain_analyze") as sp:
+            try:
+                result = _execute_impl(db, query, capture)
+            except BaseException:
+                _parallel.end_query_accounting()
+                raise
+            wall = perf_counter() - start
+            if _OBS.enabled:
+                result.stats = _finish_query_stats(
+                    db, query, wall, process_time() - cpu_start, result.n_rows
+                )
+                result.stats.trace_id = request.trace_id
+                sp.set(
+                    fingerprint=fingerprint,
+                    fallbacks=result.stats.fallbacks,
+                    watchdog_timeouts=result.stats.watchdog_timeouts,
+                    dispatches=result.stats.dispatches,
+                )
+            if sp:
+                sp.count("rows_out", result.n_rows)
     plan = QueryPlan(
         query.to_sql(),
         capture.root,

@@ -57,6 +57,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from ..obs import context as _context
 from ..obs import health as _health
 from ..obs import metrics as _metrics
 from ..obs import telemetry as _telemetry
@@ -379,7 +380,14 @@ def _record_dispatch(
                 )
                 spans = record.get("spans") or []
                 if spans:
-                    _trace.record_worker_spans(int(record.get("pid", 0)), spans)
+                    # The trace id relayed through the task envelope wins;
+                    # record_worker_spans falls back to the context active
+                    # at stitch time (same dispatch, same request).
+                    _trace.record_worker_spans(
+                        int(record.get("pid", 0)),
+                        spans,
+                        trace_id=record.get("trace_id"),
+                    )
 
 
 def _morsel_ranges(n_rows: int, workers: int) -> list[tuple[int, int]]:
@@ -490,10 +498,10 @@ def _maybe_test_hang() -> None:
 
 
 def _filter_task(payload):
-    descriptors, predicate, start, stop = payload
+    descriptors, predicate, start, stop, wire = payload
     _beat("filter", "start")
     _maybe_test_hang()
-    recorder = _worker.TaskRecorder()
+    recorder = _worker.TaskRecorder(wire)
     with recorder.span("parallel.filter_morsel", start=start, stop=stop) as sp:
         handles = []
         context = {}
@@ -518,10 +526,10 @@ def _filter_task(payload):
 def _probe_task(payload):
     from . import kernels
 
-    descriptors, start, stop = payload
+    descriptors, start, stop, wire = payload
     _beat("probe", "start")
     _maybe_test_hang()
-    recorder = _worker.TaskRecorder()
+    recorder = _worker.TaskRecorder(wire)
     with recorder.span("parallel.probe_morsel", start=start, stop=stop) as sp:
         handles = []
         views = {}
@@ -549,10 +557,10 @@ def _probe_task(payload):
 
 
 def _group_task(payload):
-    descriptors, n_codes, start, stop = payload
+    descriptors, n_codes, start, stop, wire = payload
     _beat("group", "start")
     _maybe_test_hang()
-    recorder = _worker.TaskRecorder()
+    recorder = _worker.TaskRecorder(wire)
     with recorder.span("parallel.group_morsel", start=start, stop=stop) as sp:
         handles = []
         view, block = _attach(descriptors["codes"])
@@ -661,8 +669,12 @@ def maybe_parallel_filter(
         return None
     shm = _ShmArrays(context)
     try:
+        # The active request context travels with every task envelope so
+        # worker spans stitch under the originating query's trace id.
+        wire = _context.current_wire()
         payloads = [
-            (shm.descriptors, predicate, start, stop) for start, stop in ranges
+            (shm.descriptors, predicate, start, stop, wire)
+            for start, stop in ranges
         ]
         results = _dispatch(_filter_task, payloads, n_rows)
     finally:
@@ -699,7 +711,10 @@ def maybe_parallel_probe(
         }
     )
     try:
-        payloads = [(shm.descriptors, start, stop) for start, stop in ranges]
+        wire = _context.current_wire()
+        payloads = [
+            (shm.descriptors, start, stop, wire) for start, stop in ranges
+        ]
         results = _dispatch(_probe_task, payloads, n_rows)
     finally:
         shm.release()
@@ -734,8 +749,10 @@ def maybe_parallel_group_by(
         return None
     shm = _ShmArrays({"codes": np.ascontiguousarray(codes)})
     try:
+        wire = _context.current_wire()
         payloads = [
-            (shm.descriptors, n_codes, start, stop) for start, stop in ranges
+            (shm.descriptors, n_codes, start, stop, wire)
+            for start, stop in ranges
         ]
         results = _dispatch(_group_task, payloads, n_rows)
     finally:

@@ -167,6 +167,8 @@ class QueryPlan:
             lines.append(f"total: {self.total_seconds * 1e3:.2f} ms")
         stats = self.query_stats
         if stats:
+            if stats.get("trace_id"):
+                lines.append(f"trace: {stats['trace_id']}")
             lines.append(
                 "timing:"
                 f" wall={stats.get('wall_seconds', 0.0) * 1e3:.2f} ms"

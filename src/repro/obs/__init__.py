@@ -3,8 +3,15 @@
 Dependency-free instrumentation substrate for the whole system
 (DESIGN.md §Observability):
 
+* :mod:`repro.obs.context`   — request-scoped causal context: 128-bit
+  trace ids + baggage in a context-local, propagated into fork workers;
 * :mod:`repro.obs.trace`     — nestable spans with a thread-local stack,
   exported as a JSON tree or a Chrome-trace file;
+* :mod:`repro.obs.sampling`  — tail-based trace retention: keep slow /
+  errored / fallback / watchdog traces, head-sample the rest;
+* :mod:`repro.obs.analyze`   — offline span-tree reconstruction,
+  critical-path analysis, and run-vs-run latency diffs (import it
+  directly — kept out of this package's eager imports);
 * :mod:`repro.obs.metrics`   — process-global counters / gauges /
   fixed-bucket histograms (p50/p95/p99) with snapshot/reset and JSONL
   export;
@@ -46,7 +53,18 @@ import os
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional
 
-from . import health, log, memory, metrics, profiler, slo, telemetry, trace
+from . import (
+    context,
+    health,
+    log,
+    memory,
+    metrics,
+    profiler,
+    sampling,
+    slo,
+    telemetry,
+    trace,
+)
 from .runtime import STATE, disable, enable, is_enabled, observed
 
 #: File names written into a run directory by :func:`finish_run`.
@@ -58,6 +76,7 @@ PROFILE_COLLAPSED_FILE = profiler.COLLAPSED_FILE
 FLAMEGRAPH_FILE = profiler.FLAMEGRAPH_FILE
 MEMORY_FILE = memory.MEMORY_FILE
 SLO_FILE = slo.SLO_FILE
+TRACES_FILE = sampling.TRACES_FILE
 
 __all__ = [
     "STATE",
@@ -65,11 +84,13 @@ __all__ = [
     "enable",
     "is_enabled",
     "observed",
+    "context",
     "health",
     "log",
     "memory",
     "metrics",
     "profiler",
+    "sampling",
     "slo",
     "telemetry",
     "trace",
@@ -85,6 +106,7 @@ __all__ = [
     "FLAMEGRAPH_FILE",
     "MEMORY_FILE",
     "SLO_FILE",
+    "TRACES_FILE",
 ]
 
 #: Re-export of the most-used entry point.
@@ -109,6 +131,18 @@ def start_run(
     metrics.reset()
     telemetry.reset()
     health.reset()
+    # Tail-based trace retention: every finished root span is offered to
+    # the sampler, which keeps the interesting tail (slow / errored /
+    # fallback / watchdog traces) and head-samples the rest.
+    # REPRO_TRACE_HEAD_RATE overrides the baseline keep rate.
+    head_rate = sampling.DEFAULT_HEAD_RATE
+    raw_rate = os.environ.get("REPRO_TRACE_HEAD_RATE")
+    if raw_rate:
+        try:
+            head_rate = min(1.0, max(0.0, float(raw_rate)))
+        except ValueError:
+            pass
+    sampling.configure(head_rate=head_rate)
     telemetry.configure(
         os.path.join(directory, TELEMETRY_FILE),
         max_bytes=max_telemetry_bytes,
@@ -173,6 +207,9 @@ def finish_run(directory: str) -> dict[str, str]:
             paths["memory"] = os.path.join(directory, MEMORY_FILE)
             memory.write_json(paths["memory"])
             memory.stop()
+        if sampling.is_active():
+            paths["traces"] = os.path.join(directory, TRACES_FILE)
+            sampling.write_json(paths["traces"])
         trace.write_trace(paths["trace"])
         trace.write_chrome_trace(paths["chrome_trace"])
         metrics.write_json(paths["metrics"])
@@ -180,6 +217,7 @@ def finish_run(directory: str) -> dict[str, str]:
         profiler.stop()
         memory.stop()
         slo.clear()
+        sampling.clear()
         disable()
         telemetry.configure(None)
     return paths

@@ -21,17 +21,37 @@ import threading
 from bisect import bisect_left
 from typing import Any, Optional
 
+from . import context as _context
+from .clock import perf_counter
 from .runtime import STATE
 
 #: Default histogram bucket upper bounds: 1µs … ~100s, ×~3.16 per step.
 #: Suits both kernel timings (sub-ms) and whole-training spans (minutes).
 DEFAULT_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-12, 5))
 
+#: Exemplars retained per bucket. Replacement keeps the largest values
+#: (deterministic "worst-value reservoir"): an SLO burn alert wants the
+#: trace ids of the *slowest* requests in the offending buckets, and a
+#: value-ordered policy makes merge_dump commutative/associative.
+EXEMPLARS_PER_BUCKET = 2
+
 
 class Histogram:
-    """Fixed-bucket histogram with approximate percentiles."""
+    """Fixed-bucket histogram with approximate percentiles.
 
-    __slots__ = ("bounds", "counts", "overflow", "total", "sum", "min", "max")
+    Samples observed while a :mod:`repro.obs.context` request context is
+    active may carry the request's trace id; those become per-bucket
+    *exemplars* — ``(value, trace_id, ts)`` triples linking the bucket
+    back to concrete requests. Exemplar storage is bounded
+    (``EXEMPLARS_PER_BUCKET`` per bucket, largest values win) and rides
+    along in :meth:`dump`/:meth:`merge_dump`, so worker-side histograms
+    keep their request attribution across the process boundary.
+    """
+
+    __slots__ = (
+        "bounds", "counts", "overflow", "total", "sum", "min", "max",
+        "exemplars",
+    )
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.bounds = bounds
@@ -41,8 +61,16 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: bucket index -> [(value, trace_id, ts)], None until first use
+        #: (exemplar-free histograms stay one pointer bigger, nothing more).
+        self.exemplars: Optional[dict[int, list[tuple[float, str, float]]]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self,
+        value: float,
+        trace_id: Optional[str] = None,
+        ts: float = 0.0,
+    ) -> None:
         index = bisect_left(self.bounds, value)
         if index < len(self.counts):
             self.counts[index] += 1
@@ -54,6 +82,32 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if trace_id is not None:
+            self._note_exemplar(index, float(value), trace_id, float(ts))
+
+    def _note_exemplar(
+        self, index: int, value: float, trace_id: str, ts: float
+    ) -> None:
+        if self.exemplars is None:
+            self.exemplars = {}
+        bucket = self.exemplars.setdefault(index, [])
+        bucket.append((value, trace_id, ts))
+        if len(bucket) > EXEMPLARS_PER_BUCKET:
+            # Keep the largest; ties break on (trace_id, ts) so the
+            # surviving set is a pure function of the observed multiset.
+            bucket.sort(reverse=True)
+            del bucket[EXEMPLARS_PER_BUCKET:]
+
+    def worst_exemplars(self, n: int = 3) -> list[dict[str, Any]]:
+        """The ``n`` largest-value exemplars across all buckets."""
+        if not self.exemplars:
+            return []
+        flat = [triple for bucket in self.exemplars.values() for triple in bucket]
+        flat.sort(reverse=True)
+        return [
+            {"value": value, "trace_id": trace_id, "ts": ts}
+            for value, trace_id, ts in flat[:n]
+        ]
 
     def percentile(self, q: float) -> float:
         """Approximate q-th percentile (q in [0, 100]) from the buckets.
@@ -97,7 +151,7 @@ class Histogram:
         raw bucket counts so histograms recorded in worker processes can
         be merged into the parent registry without losing resolution.
         """
-        return {
+        record = {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "overflow": self.overflow,
@@ -106,6 +160,12 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+        if self.exemplars:
+            record["exemplars"] = {
+                str(index): [list(triple) for triple in bucket]
+                for index, bucket in self.exemplars.items()
+            }
+        return record
 
     def merge_dump(self, dump: dict[str, Any]) -> None:
         """Fold another histogram's :meth:`dump` into this one.
@@ -117,7 +177,8 @@ class Histogram:
         total = int(dump.get("total", 0))
         if total == 0:
             return
-        if tuple(dump.get("bounds", ())) == self.bounds:
+        same_ladder = tuple(dump.get("bounds", ())) == self.bounds
+        if same_ladder:
             for index, count in enumerate(dump["counts"]):
                 self.counts[index] += int(count)
             self.overflow += int(dump.get("overflow", 0))
@@ -131,6 +192,17 @@ class Histogram:
                 self.observe(mean)
             self.min = min(self.min, float(dump.get("min", self.min)))
             self.max = max(self.max, float(dump.get("max", self.max)))
+        for key, bucket in (dump.get("exemplars") or {}).items():
+            for triple in bucket:
+                value, trace_id, ts = triple
+                # Same ladder: keep the recorded bucket. Foreign ladder:
+                # re-bucket the exemplar value on this ladder, so request
+                # attribution survives even a degraded merge.
+                index = (
+                    int(key) if same_ladder
+                    else bisect_left(self.bounds, float(value))
+                )
+                self._note_exemplar(index, float(value), str(trace_id), float(ts))
 
 
 class MetricsRegistry:
@@ -151,12 +223,18 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = float(value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        trace_id: Optional[str] = None,
+        ts: float = 0.0,
+    ) -> None:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = Histogram()
-            histogram.observe(value)
+            histogram.observe(value, trace_id=trace_id, ts=ts)
 
     def merge(self, dump: dict[str, Any]) -> None:
         """Fold a worker-side metrics dump into this registry.
@@ -244,9 +322,18 @@ def set_gauge(name: str, value: float) -> None:
 
 
 def observe(name: str, value: float) -> None:
-    """Record a histogram sample iff observability is enabled."""
+    """Record a histogram sample iff observability is enabled.
+
+    When a request context is active the sample carries its trace id as
+    a bucket exemplar (one ContextVar read on the enabled path; nothing
+    when observability is off or no request is in flight).
+    """
     if STATE.enabled:
-        _REGISTRY.observe(name, value)
+        trace_id = _context.current_trace_id()
+        if trace_id is not None:
+            _REGISTRY.observe(name, value, trace_id=trace_id, ts=perf_counter())
+        else:
+            _REGISTRY.observe(name, value)
         hook = _SAMPLE_HOOK
         if hook is not None:
             hook(name, value)

@@ -403,6 +403,54 @@ def _section_trace(nodes: Optional[list]) -> list[str]:
     return lines
 
 
+def _section_slowest_traces(run_dir: str) -> list[str]:
+    """Top retained traces with their critical paths (tail sampler)."""
+    # Imported lazily: analyze pulls artifact-name constants from this
+    # package, so an eager import would cycle.
+    from . import analyze as analyze_mod
+
+    lines = ["## Slowest traces", ""]
+    entries = analyze_mod.load_traces(run_dir)
+    if not entries:
+        lines.append(
+            "No retained traces in this run — record one with "
+            "observability enabled (`repro explain --analyze "
+            "--telemetry DIR`)."
+        )
+        return lines
+    rows = []
+    for entry in analyze_mod.slowest(entries, 5):
+        path = analyze_mod.critical_path(
+            entry.get("root") or {}, entry.get("worker_spans") or []
+        )
+        hottest = max(path, key=lambda row: row.get("self_s", 0.0)) if path else {}
+        pids = analyze_mod.worker_pids(entry)
+        rows.append([
+            f"`{str(entry.get('trace_id', '?'))[:16]}`",
+            1e3 * float(entry.get("duration_s", 0.0)),
+            entry.get("reason", "?"),
+            len(pids),
+            hottest.get("name", "-"),
+            1e3 * float(hottest.get("self_s", 0.0)),
+        ])
+    lines.append(_md_table(
+        ["trace", "total ms", "kept", "workers", "critical span", "self ms"],
+        rows,
+    ))
+    summary = analyze_mod.sampler_summary(run_dir)
+    counts = (summary or {}).get("counts") or {}
+    if counts:
+        kept = sum(v for k, v in counts.items() if k.startswith("kept_"))
+        lines += [
+            "",
+            f"Tail sampler: {counts.get('offered', 0)} traces offered, "
+            f"{kept} kept, {counts.get('dropped_head', 0)} head-dropped, "
+            f"{counts.get('evicted', 0)} evicted. Inspect one with "
+            "`repro analyze --trace <id>`.",
+        ]
+    return lines
+
+
 def _section_slo(slo_doc: Optional[dict]) -> list[str]:
     lines = ["## Service-level objectives", ""]
     if not slo_doc or not slo_doc.get("objectives"):
@@ -631,6 +679,7 @@ def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
         _section_storage(snapshot, records),
         _section_metrics(snapshot),
         _section_trace(nodes),
+        _section_slowest_traces(run_dir),
         _section_profile(run_dir, profile_counts, memory_doc),
         _section_bench(bench_dir),
     ]

@@ -185,9 +185,19 @@ class SLOTracker:
             "burn_rate": 0.0,
             "fast_burn_rate": 0.0,
             "severity": None,
+            "exemplar_trace_ids": [],
         }
         if not samples:
             return status
+        # Worst-value exemplars of the watched histogram link the
+        # objective to concrete requests: an alert names the trace ids
+        # an operator feeds to `repro analyze --trace`.
+        histogram = _metrics.registry().histogram(objective.metric)
+        if histogram is not None:
+            status["exemplar_trace_ids"] = [
+                exemplar["trace_id"]
+                for exemplar in histogram.worst_exemplars(3)
+            ]
         value = _aggregate(samples, objective.agg)
         bad = sum(1 for s in samples if not objective.complies(s))
         fast = samples[-self.fast_window:]
@@ -272,6 +282,12 @@ class SLOTracker:
                     f"{name} = {status['value']:.4g} "
                     f"vs {status['threshold']:.4g})"
                 )
+                exemplars = status.get("exemplar_trace_ids") or []
+                if exemplars:
+                    message += (
+                        "; worst traces: " + ", ".join(exemplars)
+                        + " (repro analyze --trace <id>)"
+                    )
                 rule = "slo_burn"
             else:
                 message = (

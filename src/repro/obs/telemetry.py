@@ -45,6 +45,7 @@ import time
 from collections import deque
 from typing import Any, Optional
 
+from . import context as _context
 from .runtime import STATE
 
 #: Cap on in-memory records (ring: oldest dropped first).
@@ -120,13 +121,21 @@ def _rotate_locked() -> None:
 
 
 def emit(stream: str, **fields: Any) -> None:
-    """Record one event iff observability is enabled."""
+    """Record one event iff observability is enabled.
+
+    Records written while a request context is active are stamped with
+    its ``trace_id`` (explicit ``trace_id=...`` fields win), so every
+    stream joins back to the originating query's trace.
+    """
     if not STATE.enabled:
         return
+    trace_id = _context.current_trace_id()
     global _SEQUENCE, _SINK_BYTES, _SINK_LINES
     with _LOCK:
         _SEQUENCE += 1
         record = {"stream": stream, "seq": _SEQUENCE, "ts": time.time(), **fields}
+        if trace_id is not None and "trace_id" not in fields:
+            record["trace_id"] = trace_id
         _RECORDS.append(record)
         if _SINK_PATH is not None:
             data = json.dumps(record, default=str) + "\n"
@@ -216,8 +225,19 @@ def rotated_paths(path: str) -> list[str]:
 
 
 def load_run(path: str) -> list[dict[str, Any]]:
-    """Records across the whole rotated set of ``path``, oldest first."""
-    out: list[dict[str, Any]] = []
-    for part in rotated_paths(path):
-        out.extend(load_jsonl(part))
-    return out
+    """Records across the whole rotated set of ``path``, oldest first.
+
+    Readback order is deterministic even when records share a timestamp
+    across a rotation boundary (multi-process writers interleaving at
+    the cap): records sort stably by ``(ts, file_index, line_index)``,
+    so every replayer — ``repro analyze``/``report``/``watch --once`` —
+    sees the identical sequence on every read.
+    """
+    indexed: list[tuple[float, int, int, dict[str, Any]]] = []
+    for file_index, part in enumerate(rotated_paths(path)):
+        for line_index, record in enumerate(load_jsonl(part)):
+            ts = record.get("ts")
+            key_ts = float(ts) if isinstance(ts, (int, float)) else 0.0
+            indexed.append((key_ts, file_index, line_index, record))
+    indexed.sort(key=lambda item: item[:3])
+    return [record for _, _, _, record in indexed]

@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from . import context as _context
 from .runtime import STATE
 
 #: Cap on retained finished root spans (oldest dropped first).
@@ -73,6 +74,8 @@ class Span:
         "children",
         "error",
         "thread_name",
+        "trace_id",
+        "span_id",
     )
 
     def __init__(self, name: str) -> None:
@@ -84,6 +87,8 @@ class Span:
         self.children: list[Span] = []
         self.error: Optional[str] = None
         self.thread_name = ""
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
 
     def __bool__(self) -> bool:
         return True
@@ -101,6 +106,10 @@ class Span:
         stack = _stack()
         stack.append(self)
         self.thread_name = threading.current_thread().name
+        request = _context.current()
+        if request is not None:
+            self.trace_id = request.trace_id
+            self.span_id = request.next_span_id()
         self.start_s = time.perf_counter()
         return self
 
@@ -128,6 +137,10 @@ class Span:
             "start_s": self.start_s,
             "seconds": self.duration_s,
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        if self.span_id:
+            record["span_id"] = self.span_id
         if self.attrs:
             record["attrs"] = dict(self.attrs)
         if self.counters:
@@ -193,11 +206,28 @@ def active_span_name(tid: int) -> Optional[str]:
         return None
 
 
+#: Optional observer of finished root spans (installed by
+#: repro.obs.sampling so the tail sampler sees every completed tree);
+#: at most one, None when no sampler is configured.
+_ROOT_HOOK = None
+
+
+def set_root_hook(hook) -> None:
+    """Install (or clear, with None) the finished-root-span observer."""
+    global _ROOT_HOOK
+    _ROOT_HOOK = hook
+
+
 def _record_root(root: Span) -> None:
     with _ROOTS_LOCK:
         _ROOTS.append(root)
         if len(_ROOTS) > MAX_ROOTS:
             del _ROOTS[: len(_ROOTS) - MAX_ROOTS]
+    # Outside the lock: the tail sampler computes rolling percentiles
+    # and must never serialize against span recording.
+    hook = _ROOT_HOOK
+    if hook is not None:
+        hook(root)
 
 
 def span(name: str, **attrs: Any):
@@ -233,18 +263,29 @@ def roots() -> list[Span]:
         return list(_ROOTS)
 
 
-def record_worker_spans(pid: int, spans: list[dict[str, Any]]) -> None:
+def record_worker_spans(
+    pid: int, spans: list[dict[str, Any]], trace_id: Optional[str] = None
+) -> None:
     """Stitch spans captured inside worker ``pid`` into the trace.
 
     ``spans`` are :meth:`repro.obs.worker.WorkerSpan.to_dict` payloads.
     They share the parent's ``perf_counter`` epoch (fork children keep
     CLOCK_MONOTONIC), so they drop straight into the timeline; the pid
     becomes a distinct process lane in :func:`chrome_trace`.
+
+    ``trace_id`` (the originating request's, relayed through the task
+    envelope — see :mod:`repro.obs.context`) stitches each worker span
+    under that request's trace; when absent, the active context at
+    stitch time is used, so parent-side dispatch always attributes.
     """
+    if trace_id is None:
+        trace_id = _context.current_trace_id()
     with _ROOTS_LOCK:
         for span_dict in spans:
             record = dict(span_dict)
             record["pid"] = int(pid)
+            if trace_id and not record.get("trace_id"):
+                record["trace_id"] = trace_id
             _WORKER_SPANS.append(record)
         if len(_WORKER_SPANS) > MAX_WORKER_SPANS:
             del _WORKER_SPANS[: len(_WORKER_SPANS) - MAX_WORKER_SPANS]

@@ -183,6 +183,13 @@ def render_watch(run_dir: str, width: int = 78) -> str:
                 f"  {status.get('severity')}: {status.get('spec', '?'):<38} "
                 f"{shown:>10}  burn {status.get('burn_rate', 0.0):.1f}x"
             )
+            exemplars = status.get("exemplar_trace_ids") or []
+            if exemplars:
+                shown_ids = ", ".join(tid[:16] for tid in exemplars[:3])
+                lines.append(
+                    f"    worst traces: {shown_ids}"
+                    "  (repro analyze --trace <id>)"
+                )
     elif slo_doc and slo_doc.get("objectives"):
         lines.append("  all objectives within budget")
     else:

@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 from .metrics import Histogram
 
@@ -78,14 +78,22 @@ class TaskRecorder:
 
     Everything it captures is plain picklable data; :meth:`export`
     returns the envelope the parent-side stitcher understands.
+
+    ``wire`` is the originating request's context snapshot
+    (:func:`repro.obs.context.current_wire`), relayed through the task
+    payload by ``db/parallel.py``. The recorder never *activates* it —
+    workers have no context-local state to mutate — it only rides back
+    in the export so the parent stitches these spans under the right
+    trace id.
     """
 
-    __slots__ = ("spans", "counters", "histograms")
+    __slots__ = ("spans", "counters", "histograms", "wire")
 
-    def __init__(self) -> None:
+    def __init__(self, wire: Optional[dict[str, Any]] = None) -> None:
         self.spans: list[WorkerSpan] = []
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.wire: dict[str, Any] = wire or {}
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[WorkerSpan]:
@@ -110,7 +118,7 @@ class TaskRecorder:
         """The shipped envelope: ``{"pid", "busy_s", "spans", "counters",
         "histograms"}`` — all plain data, safe to pickle back with the
         task result."""
-        return {
+        record = {
             "pid": os.getpid(),
             "busy_s": sum(span.seconds for span in self.spans),
             "spans": [span.to_dict() for span in self.spans],
@@ -120,6 +128,10 @@ class TaskRecorder:
                 for name, histogram in self.histograms.items()
             },
         }
+        trace_id = self.wire.get("trace_id")
+        if trace_id:
+            record["trace_id"] = trace_id
+        return record
 
 
 def combine_metrics(records: list[dict[str, Any]]) -> dict[str, Any]:

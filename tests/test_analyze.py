@@ -1,0 +1,239 @@
+"""Trace analysis: critical paths, aggregation, and run-vs-run diffs.
+
+Exercises :mod:`repro.obs.analyze` on synthetic span trees where the
+right answers are computable by hand — in particular the interval-union
+self-time attribution that collapses parallel worker lanes to their max
+instead of summing them — plus the ``traces.json``/``trace.json``
+loading paths and the ``diff_runs`` regression verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import analyze
+
+
+def node(name, start, seconds, children=(), **extra):
+    record = {
+        "name": name,
+        "start_s": float(start),
+        "seconds": float(seconds),
+    }
+    if children:
+        record["children"] = list(children)
+    record.update(extra)
+    return record
+
+
+def worker(name, start, seconds, pid):
+    return {
+        "name": name,
+        "start_s": float(start),
+        "seconds": float(seconds),
+        "pid": pid,
+    }
+
+
+# ------------------------------------------------------------------ #
+# critical path
+# ------------------------------------------------------------------ #
+class TestCriticalPath:
+    def test_descends_longest_child_chain(self):
+        root = node("root", 0.0, 10.0, [
+            node("fast", 0.0, 2.0),
+            node("slow", 2.0, 7.0, [node("leaf", 2.5, 4.0)]),
+        ])
+        path = analyze.critical_path(root)
+        assert [row["name"] for row in path] == ["root", "slow", "leaf"]
+        # root self = 10 - (2 + 7) covered = 1; slow self = 7 - 4 = 3
+        assert path[0]["self_s"] == pytest.approx(1.0)
+        assert path[1]["self_s"] == pytest.approx(3.0)
+        assert path[2]["self_s"] == pytest.approx(4.0)
+
+    def test_parallel_lanes_collapse_to_max_not_sum(self):
+        # Four workers covering the same window charge the parent once:
+        # self time is 10 - union([2,8]) = 4, not 10 - 4*6 (negative).
+        root = node("dispatch", 0.0, 10.0)
+        lanes = [worker("morsel", 2.0, 6.0, pid=100 + i) for i in range(4)]
+        path = analyze.critical_path(root, lanes)
+        assert [row["name"] for row in path] == ["dispatch", "morsel"]
+        assert path[0]["self_s"] == pytest.approx(4.0)
+        assert path[1]["pid"] in (100, 101, 102, 103)
+
+    def test_staggered_lanes_union_not_sum(self):
+        root = node("dispatch", 0.0, 10.0)
+        lanes = [
+            worker("morsel", 1.0, 4.0, pid=1),   # [1, 5]
+            worker("morsel", 3.0, 4.0, pid=2),   # [3, 7] → union [1, 7]
+        ]
+        path = analyze.critical_path(root, lanes)
+        assert path[0]["self_s"] == pytest.approx(10.0 - 6.0)
+
+    def test_worker_spans_attach_to_deepest_containing_node(self):
+        inner = node("scan", 2.0, 6.0)
+        root = node("execute", 0.0, 10.0, [inner])
+        lanes = [worker("morsel", 3.0, 2.0, pid=9)]
+        path = analyze.critical_path(root, lanes)
+        # morsel lives inside scan, so the path goes through scan.
+        assert [row["name"] for row in path] == ["execute", "scan", "morsel"]
+        assert path[1]["self_s"] == pytest.approx(4.0)
+
+    def test_single_node_path(self):
+        path = analyze.critical_path(node("only", 0.0, 1.5))
+        assert path == [
+            {"name": "only", "seconds": 1.5, "self_s": 1.5}
+        ]
+
+
+# ------------------------------------------------------------------ #
+# aggregation
+# ------------------------------------------------------------------ #
+class TestAggregate:
+    def test_rollup_counts_totals_and_self(self):
+        entries = [{
+            "trace_id": "a" * 32,
+            "root": node("execute", 0.0, 10.0, [node("scan", 1.0, 4.0)]),
+            "worker_spans": [worker("morsel", 2.0, 1.0, pid=5)],
+        }]
+        rollup = analyze.aggregate_spans(entries)
+        assert rollup["execute"]["count"] == 1
+        assert rollup["execute"]["self_s"] == pytest.approx(6.0)
+        assert rollup["scan"]["total_s"] == pytest.approx(4.0)
+        assert rollup["morsel"]["count"] == 1
+
+
+# ------------------------------------------------------------------ #
+# loading + lookup
+# ------------------------------------------------------------------ #
+class TestLoading:
+    def test_load_prefers_traces_json(self, tmp_path):
+        document = {
+            "counts": {"offered": 2},
+            "traces": [{
+                "trace_id": "b" * 32, "reason": "slow",
+                "duration_s": 0.5, "root": node("execute", 0.0, 0.5),
+                "worker_spans": [],
+            }],
+        }
+        (tmp_path / "traces.json").write_text(json.dumps(document))
+        entries = analyze.load_traces(str(tmp_path))
+        assert len(entries) == 1 and entries[0]["reason"] == "slow"
+        summary = analyze.sampler_summary(str(tmp_path))
+        assert summary["counts"]["offered"] == 2
+
+    def test_load_falls_back_to_trace_json(self, tmp_path):
+        roots = [
+            node("execute", 0.0, 0.2, trace_id="c" * 32),
+            node("anon", 0.0, 0.1),  # no id → not a trace entry
+        ]
+        (tmp_path / "trace.json").write_text(json.dumps(roots))
+        entries = analyze.load_traces(str(tmp_path))
+        assert len(entries) == 1
+        assert entries[0]["trace_id"] == "c" * 32
+        assert entries[0]["reason"] == "retained"
+
+    def test_empty_dir_loads_nothing(self, tmp_path):
+        assert analyze.load_traces(str(tmp_path)) == []
+        assert analyze.sampler_summary(str(tmp_path)) is None
+
+    def test_find_trace_exact_prefix_and_ambiguous(self):
+        entries = [
+            {"trace_id": "abcd" + "0" * 28},
+            {"trace_id": "abce" + "0" * 28},
+        ]
+        assert analyze.find_trace(entries, "abcd" + "0" * 28) is entries[0]
+        assert analyze.find_trace(entries, "abce") is entries[1]
+        assert analyze.find_trace(entries, "abc") is None  # ambiguous
+        assert analyze.find_trace(entries, "zzzz") is None
+
+    def test_slowest_orders_by_duration(self):
+        entries = [
+            {"trace_id": "1", "duration_s": 0.1},
+            {"trace_id": "2", "duration_s": 0.9},
+            {"trace_id": "3", "duration_s": 0.5},
+        ]
+        assert [e["trace_id"] for e in analyze.slowest(entries, 2)] == ["2", "3"]
+
+
+# ------------------------------------------------------------------ #
+# run diffs
+# ------------------------------------------------------------------ #
+def write_run(run_dir, durations_by_name):
+    os.makedirs(run_dir, exist_ok=True)
+    roots = [
+        node(name, 0.0, seconds)
+        for name, values in durations_by_name.items()
+        for seconds in values
+    ]
+    with open(os.path.join(run_dir, "trace.json"), "w") as handle:
+        json.dump(roots, handle)
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_no_regressions(self, tmp_path):
+        a = str(tmp_path / "a")
+        write_run(a, {"execute": [0.01, 0.02, 0.03]})
+        diff = analyze.diff_runs(a, a)
+        assert diff["verdict"] == "no regressions"
+        assert all(row["verdict"] == "ok" for row in diff["spans"])
+
+    def test_regression_requires_factor_and_floor(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        write_run(a, {
+            "big": [0.010] * 10,      # regresses: ×2 and +10ms
+            "tiny": [0.0001] * 10,    # ×2 but below the 0.5ms floor
+        })
+        write_run(b, {
+            "big": [0.020] * 10,
+            "tiny": [0.0002] * 10,
+        })
+        diff = analyze.diff_runs(a, b)
+        by_name = {row["name"]: row for row in diff["spans"]}
+        assert by_name["big"]["verdict"] == "REGRESSED"
+        assert by_name["tiny"]["verdict"] == "ok"
+        assert diff["regressions"] == 1
+        assert diff["verdict"] == "1 span name(s) regressed"
+
+    def test_improvement_and_only_one_side(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        write_run(a, {"hot": [0.1] * 5, "gone": [0.01]})
+        write_run(b, {"hot": [0.01] * 5, "new": [0.01]})
+        diff = analyze.diff_runs(a, b)
+        by_name = {row["name"]: row for row in diff["spans"]}
+        assert by_name["hot"]["verdict"] == "improved"
+        assert by_name["gone"]["verdict"] == "only_a"
+        assert by_name["new"]["verdict"] == "only_b"
+        assert diff["verdict"] == "no regressions"  # only_* never regress
+
+
+# ------------------------------------------------------------------ #
+# rendering
+# ------------------------------------------------------------------ #
+class TestRendering:
+    def test_format_trace_entry_mentions_lanes_and_path(self):
+        entry = {
+            "trace_id": "d" * 32,
+            "reason": "slow",
+            "duration_s": 0.25,
+            "root": node("execute", 0.0, 0.25, trace_id="d" * 32),
+            "worker_spans": [
+                worker("morsel", 0.05, 0.1, pid=11),
+                worker("morsel", 0.05, 0.1, pid=12),
+            ],
+        }
+        text = analyze.format_trace_entry(entry)
+        assert "d" * 32 in text
+        assert "kept: slow" in text
+        assert "worker lanes: 2 pids" in text
+        assert "critical path:" in text
+
+    def test_worker_pids_distinct_in_order(self):
+        entry = {"worker_spans": [
+            worker("m", 0, 1, pid=3), worker("m", 0, 1, pid=1),
+            worker("m", 0, 1, pid=3),
+        ]}
+        assert analyze.worker_pids(entry) == [3, 1]

@@ -4,6 +4,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.__main__ import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -138,17 +139,31 @@ class TestCLI:
         assert payload["plan"]["op"] == "limit"
         assert payload["max_q_error"] >= 1.0
 
-    def test_report_on_empty_run_dir(self, tmp_path, capsys, monkeypatch):
+    def test_report_on_empty_run_dir_exits_1(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # An empty dir used to render a misleading all-empty report;
+        # it now fails exactly like stats/trace/top on a missing run.
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
         run_dir = tmp_path / "run"
         run_dir.mkdir()
+        code = main(["report", "--dir", str(run_dir)])
+        assert code == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def test_report_on_recorded_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
+        run_dir = tmp_path / "run"
+        with obs.run(str(run_dir)):
+            with obs.span("cli_test_phase"):
+                pass
         code = main(["report", "--dir", str(run_dir)])
         assert code == 0
         out = capsys.readouterr().out
         assert "report written to" in out
         report = (run_dir / "report.md").read_text()
         assert "# repro diagnostic report" in report
-        assert "HEALTHY" in report
+        assert "Slowest traces" in report
 
     def test_profile_then_top(self, tmp_path, capsys):
         run_dir = tmp_path / "prof"
@@ -193,6 +208,53 @@ class TestCLI:
         assert main(["top", "--dir", str(tmp_path / "nope"), "--once"]) == 1
         assert "no observability run" in capsys.readouterr().out
 
+    def test_analyze_missing_run_dir_exits_1(self, tmp_path, capsys):
+        assert main(["analyze", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def test_diff_missing_run_dir_exits_1(self, tmp_path, capsys):
+        assert main([
+            "diff", str(tmp_path / "nope_a"), str(tmp_path / "nope_b"),
+        ]) == 1
+        assert "no observability run" in capsys.readouterr().out
+
+    def _record_traced_run(self, run_dir):
+        with obs.run(str(run_dir)):
+            with obs.context.ensure(fingerprint="cli"):
+                with obs.span("cli_analyze_probe"):
+                    pass
+                trace_id = obs.context.current_trace_id()
+        return trace_id
+
+    def test_analyze_round_trip(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        trace_id = self._record_traced_run(run_dir)
+        assert main(["analyze", "--dir", str(run_dir), "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out
+        assert "critical path:" in out
+        assert "tail sampler:" in out
+
+        # prefix lookup resolves the same trace; unknown ids exit 1
+        assert main([
+            "analyze", "--dir", str(run_dir), "--trace", trace_id[:12],
+        ]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert main([
+            "analyze", "--dir", str(run_dir), "--trace", "ffffffff",
+        ]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_diff_run_against_itself_reports_no_regressions(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "run"
+        self._record_traced_run(run_dir)
+        assert main(["diff", str(run_dir), str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "cli_analyze_probe" in out
+
     def test_trace_corrupt_artifact_exits_1_with_message(
         self, tmp_path, capsys
     ):
@@ -222,7 +284,8 @@ class TestCLI:
     def test_report_html_out_path(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nobench"))
         run_dir = tmp_path / "run"
-        run_dir.mkdir()
+        with obs.run(str(run_dir)):
+            pass  # minimal artifacts so the report has a run to read
         out_path = tmp_path / "diag.html"
         code = main([
             "report", "--dir", str(run_dir),

@@ -1,0 +1,525 @@
+"""Request-scoped causal tracing: context, exemplars, tail sampling.
+
+Covers the identity pipeline end to end (DESIGN.md §13):
+
+* :mod:`repro.obs.context` — trace ids, activation, wire round trip;
+* trace-id stamping into spans, telemetry records, ``QueryStats`` and
+  the EXPLAIN ANALYZE footer, including across the fork-pool boundary
+  (worker spans from ≥2 pids stitched under the originating trace);
+* metric exemplars — capture under an active context, bounded per
+  bucket, and a merge algebra (``Histogram.merge_dump``) that is
+  commutative and associative so cross-process merges are order-free;
+* the tail sampler — watchdog/fallback traces are never head-dropped
+  and outlive eviction pressure, accounting is exact;
+* deterministic ``telemetry.load_run`` ordering across rotated parts
+  with colliding timestamps;
+* ``Histogram.percentile`` interpolating inside the winning bucket
+  rather than returning the bucket edge.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import obs
+from repro.db import Database, execute, explain, parallel, sql
+from repro.obs import context, metrics, sampling, slo, telemetry, trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    EXEMPLARS_PER_BUCKET,
+    Histogram,
+)
+from repro.obs.sampling import TailSampler
+
+from tests.test_columnstore import _comparable, make_table
+
+N_ROWS = 6_000
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_HANG_MORSEL", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+
+    def scrub():
+        obs.disable()
+        trace.reset()
+        metrics.reset()
+        telemetry.reset()
+        telemetry.configure(None)
+        sampling.clear()
+        slo.clear()
+        parallel.set_workers(0)
+        parallel.shutdown()
+
+    scrub()
+    yield
+    scrub()
+
+
+def run_scan(seed=41, where="score > 10 AND city != 'drab'"):
+    table = make_table(seed=seed, n=N_ROWS)
+    db = Database([table])
+    return execute(db, sql(f"SELECT city, score, temp FROM t WHERE {where}"))
+
+
+def normalize(rows):
+    return [
+        {key: _comparable(value) for key, value in row.items()}
+        for row in rows
+    ]
+
+
+# ------------------------------------------------------------------ #
+# context basics
+# ------------------------------------------------------------------ #
+class TestRequestContext:
+    def test_trace_ids_are_128_bit_hex_and_unique(self):
+        ids = {context.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 32 and int(i, 16) >= 0 for i in ids)
+
+    def test_activation_is_scoped(self):
+        assert context.current() is None
+        request = context.new_context(fingerprint="abc", tenant="t0")
+        with context.activate(request):
+            assert context.current() is request
+            assert context.current_trace_id() == request.trace_id
+        assert context.current() is None
+        assert context.current_trace_id() is None
+
+    def test_wire_round_trip(self):
+        request = context.new_context(fingerprint="fp", extra=1)
+        with context.activate(request):
+            wire = context.current_wire()
+        revived = context.RequestContext.from_wire(wire)
+        assert revived.trace_id == request.trace_id
+        assert revived.baggage == {"fingerprint": "fp", "extra": 1}
+
+    def test_ensure_reuses_active_context_without_clobbering(self):
+        outer = context.new_context(fingerprint="outer")
+        with context.activate(outer):
+            with context.ensure(fingerprint="inner", hop=2) as inner:
+                assert inner is outer
+                assert inner.baggage["fingerprint"] == "outer"
+                assert inner.baggage["hop"] == 2
+        with context.ensure(fingerprint="fresh") as fresh:
+            assert fresh is not outer
+            assert fresh.baggage["fingerprint"] == "fresh"
+
+    def test_span_ids_increment_within_trace(self):
+        request = context.new_context()
+        first, second = request.next_span_id(), request.next_span_id()
+        assert first != second
+        assert int(second, 16) == int(first, 16) + 1
+
+
+# ------------------------------------------------------------------ #
+# trace-id stamping: spans and telemetry
+# ------------------------------------------------------------------ #
+class TestStamping:
+    def test_spans_carry_trace_and_span_ids_under_context(self):
+        obs.enable()
+        request = context.new_context()
+        with context.activate(request):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        roots = trace.tree()
+        root = roots[-1]
+        assert root["trace_id"] == request.trace_id
+        assert root["children"][0]["trace_id"] == request.trace_id
+        assert root["span_id"] != root["children"][0]["span_id"]
+
+    def test_spans_outside_context_have_no_trace_id(self):
+        obs.enable()
+        with trace.span("anon"):
+            pass
+        assert "trace_id" not in trace.tree()[-1]
+
+    def test_telemetry_records_stamped_with_trace_id(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        telemetry.configure(path)
+        obs.enable()
+        request = context.new_context()
+        with context.activate(request):
+            telemetry.emit("probe", value=1)
+        telemetry.emit("probe", value=2)
+        records = telemetry.load_run(path)
+        assert records[0]["trace_id"] == request.trace_id
+        assert "trace_id" not in records[1]
+
+    def test_query_stats_and_explain_footer_carry_trace_id(self):
+        obs.enable()
+        table = make_table(seed=7, n=512)
+        db = Database([table])
+        plan = explain(db, sql("SELECT city FROM t WHERE score > 10"),
+                       analyze=True)
+        trace_id = plan.query_stats.get("trace_id")
+        assert trace_id and len(trace_id) == 32
+        assert f"trace: {trace_id}" in plan.format()
+
+    def test_stats_trace_id_absent_when_disabled(self):
+        table = make_table(seed=7, n=512)
+        db = Database([table])
+        result = execute(db, sql("SELECT city FROM t WHERE score > 10"))
+        assert result.stats is None or result.stats.trace_id is None
+
+
+# ------------------------------------------------------------------ #
+# metric exemplars
+# ------------------------------------------------------------------ #
+class TestExemplars:
+    def test_observe_captures_exemplar_only_under_context(self):
+        obs.enable()
+        metrics.observe("lat", 0.5)
+        hist = metrics.registry().histogram("lat")
+        assert hist.worst_exemplars() == []
+        request = context.new_context()
+        with context.activate(request):
+            metrics.observe("lat", 0.7)
+        worst = hist.worst_exemplars()
+        assert [e["trace_id"] for e in worst] == [request.trace_id]
+        assert worst[0]["value"] == 0.7
+
+    def test_bucket_reservoir_keeps_largest_values(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for i in range(10):
+            # all land in the same bucket; ids encode the value
+            hist.observe(2.0 + i * 0.1, trace_id=f"{i:032x}", ts=float(i))
+        bucket = hist.exemplars[1]
+        assert len(bucket) == EXEMPLARS_PER_BUCKET
+        kept = sorted(value for value, _, _ in bucket)
+        assert kept == [pytest.approx(2.8), pytest.approx(2.9)]
+
+    def test_snapshot_shape_unchanged_by_exemplars(self):
+        hist = Histogram()
+        hist.observe(0.5, trace_id="ab" * 16, ts=1.0)
+        assert set(hist.snapshot()) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+    def _random_histogram(self, rng, bounds=DEFAULT_BUCKETS):
+        hist = Histogram(bounds)
+        for _ in range(rng.randrange(0, 30)):
+            value = 10.0 ** rng.uniform(-6, 2)
+            if rng.random() < 0.7:
+                hist.observe(value, trace_id=f"{rng.getrandbits(128):032x}",
+                             ts=rng.random())
+            else:
+                hist.observe(value)
+        return hist
+
+    @staticmethod
+    def _canon(hist):
+        dump = hist.dump()
+        dump["exemplars"] = {
+            key: sorted(map(tuple, bucket))
+            for key, bucket in (dump.get("exemplars") or {}).items()
+        }
+        dump["sum"] = pytest.approx(dump["sum"])
+        return dump
+
+    def test_merge_dump_with_exemplars_is_commutative(self):
+        rng = random.Random(1234)
+        for _ in range(25):
+            a, b = self._random_histogram(rng), self._random_histogram(rng)
+            ab, ba = Histogram(), Histogram()
+            ab.merge_dump(a.dump()); ab.merge_dump(b.dump())
+            ba.merge_dump(b.dump()); ba.merge_dump(a.dump())
+            assert self._canon(ab) == self._canon(ba)
+
+    def test_merge_dump_with_exemplars_is_associative(self):
+        rng = random.Random(99)
+        for _ in range(25):
+            parts = [self._random_histogram(rng) for _ in range(3)]
+            left, right = Histogram(), Histogram()
+            # (a + b) + c
+            inner = Histogram()
+            inner.merge_dump(parts[0].dump())
+            inner.merge_dump(parts[1].dump())
+            left.merge_dump(inner.dump())
+            left.merge_dump(parts[2].dump())
+            # a + (b + c)
+            inner = Histogram()
+            inner.merge_dump(parts[1].dump())
+            inner.merge_dump(parts[2].dump())
+            right.merge_dump(parts[0].dump())
+            right.merge_dump(inner.dump())
+            assert self._canon(left) == self._canon(right)
+
+    def test_foreign_ladder_merge_rebuckets_exemplars(self):
+        foreign = Histogram(bounds=(0.5, 5.0))
+        foreign.observe(2.0, trace_id="cd" * 16, ts=3.0)
+        ours = Histogram()
+        ours.merge_dump(foreign.dump())
+        worst = ours.worst_exemplars()
+        assert worst and worst[0]["trace_id"] == "cd" * 16
+
+
+# ------------------------------------------------------------------ #
+# satellite pins: percentile interpolation, load_run ordering
+# ------------------------------------------------------------------ #
+class TestPercentileInterpolation:
+    def test_single_sample_returns_the_sample_not_the_bucket_edge(self):
+        hist = Histogram()
+        hist.observe(0.012)  # 12ms; bucket upper bound is ~0.0316
+        for q in (50.0, 95.0, 99.0):
+            assert hist.percentile(q) == pytest.approx(0.012)
+            assert hist.percentile(q) not in DEFAULT_BUCKETS
+
+    def test_interpolates_inside_winning_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (1.2, 1.4, 1.6, 1.8):  # all in the (1, 2] bucket
+            hist.observe(value)
+        p50 = hist.percentile(50.0)
+        assert 1.0 < p50 < 2.0
+        assert p50 == pytest.approx(1.5)
+        assert hist.percentile(100.0) == pytest.approx(1.8)
+
+    def test_clamped_into_observed_min_max(self):
+        hist = Histogram(bounds=(10.0,))
+        hist.observe(3.0)
+        hist.observe(4.0)
+        assert 3.0 <= hist.percentile(50.0) <= 4.0
+
+
+class TestLoadRunOrdering:
+    def test_colliding_timestamps_across_rotation_stay_stable(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        # Tiny byte cap: every record rotates into its own part file.
+        telemetry.configure(path, max_bytes=1, max_files=8)
+        obs.enable()
+        for seq in range(4):
+            telemetry.emit("probe", ts=100.0, seq=seq)  # colliding ts
+        telemetry.configure(None)
+        first = telemetry.load_run(path)
+        assert [r["seq"] for r in first] == [0, 1, 2, 3]
+        # Deterministic: a second load yields byte-identical order.
+        assert telemetry.load_run(path) == first
+
+    def test_sort_is_stable_within_one_file(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        with open(path, "w") as handle:
+            for seq, ts in enumerate([5.0, 1.0, 5.0, 1.0]):
+                handle.write(json.dumps({"ts": ts, "seq": seq}) + "\n")
+        ordered = telemetry.load_run(path)
+        assert [r["seq"] for r in ordered] == [1, 3, 0, 2]
+
+
+# ------------------------------------------------------------------ #
+# tail sampler
+# ------------------------------------------------------------------ #
+def _root(trace_id, duration=0.01, **attrs):
+    span = trace.Span("execute")
+    span.trace_id = trace_id
+    span.duration_s = duration
+    span.attrs.update(attrs)
+    return span
+
+
+class TestTailSampler:
+    def test_anonymous_roots_are_ignored(self):
+        sampler = TailSampler()
+        assert sampler.offer(trace.Span("anon")) is None
+        assert sampler.counts["offered"] == 0
+
+    def test_watchdog_and_fallback_never_dropped(self):
+        # Zero head rate, saturated window: the only survivors must be
+        # the watchdog/fallback traces.
+        sampler = TailSampler(head_rate=0.0, min_window=5)
+        for i in range(50):
+            sampler.offer(_root(f"{i:032x}", duration=0.01))
+        for i in range(50, 60):
+            reason = sampler.offer(
+                _root(f"{i:032x}", duration=0.0,
+                      watchdog_timeouts=1 if i % 2 else 0,
+                      fallbacks=1)
+            )
+            assert reason in ("watchdog", "fallback")
+        counts = sampler.counts
+        assert counts["kept_watchdog"] == 5
+        assert counts["kept_fallback"] == 5
+
+    def test_watchdog_survives_eviction_pressure(self):
+        sampler = TailSampler(max_traces=4, head_rate=1.0, min_window=1)
+        watchdog_id = "f" * 32
+        sampler.offer(_root(watchdog_id, watchdog_timeouts=1))
+        for i in range(40):
+            sampler.offer(_root(f"{i:032x}", duration=0.01 + i * 1e-4))
+        kept_ids = {entry["trace_id"] for entry in sampler.entries()}
+        assert watchdog_id in kept_ids
+        assert len(kept_ids) == 4
+        assert sampler.counts["evicted"] == 37
+
+    def test_error_spans_kept(self):
+        sampler = TailSampler(head_rate=0.0, min_window=1)
+        sampler.offer(_root("0" * 32))  # consume warmup
+        failed = _root("1" * 32)
+        child = trace.Span("inner")
+        child.error = "ValueError: boom"
+        failed.children.append(child)
+        assert sampler.offer(failed) == "error"
+
+    def test_warmup_keeps_everything_then_slow_beats_p95(self):
+        sampler = TailSampler(head_rate=0.0, min_window=3)
+        for i in range(3):
+            assert sampler.offer(_root(f"{i:032x}", 0.010)) == "warmup"
+        assert sampler.offer(_root("a" * 32, 0.5)) == "slow"
+        assert sampler.offer(_root("b" * 32, 0.001)) is None
+
+    def test_accounting_is_exact(self):
+        sampler = TailSampler(head_rate=0.3, min_window=4)
+        rng = random.Random(5)
+        for i in range(200):
+            sampler.offer(_root(f"{rng.getrandbits(128):032x}",
+                                duration=rng.random() * 0.02,
+                                fallbacks=1 if i % 31 == 0 else 0))
+        counts = sampler.counts
+        kept = sum(v for k, v in counts.items() if k.startswith("kept_"))
+        assert counts["offered"] == 200
+        assert kept + counts["dropped_head"] == counts["offered"]
+        assert len(sampler.entries()) == kept - counts["evicted"]
+
+    def test_head_decision_is_deterministic(self):
+        ids = [f"{i:032x}" for i in range(100)]
+        first = [sampling._head_keep(i, 0.3) for i in ids]
+        assert first == [sampling._head_keep(i, 0.3) for i in ids]
+        assert all(sampling._head_keep(i, 1.0) for i in ids)
+        assert not any(sampling._head_keep(i, 0.0) for i in ids)
+
+    def test_run_writes_traces_json_with_accounting(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with obs.run(run_dir):
+            with context.ensure(fingerprint="t"):
+                with trace.span("execute"):
+                    pass
+        document = json.load(open(tmp_path / "run" / "traces.json"))
+        assert document["counts"]["offered"] == 1
+        assert document["counts"]["kept_warmup"] == 1
+        assert len(document["traces"]) == 1
+        assert document["traces"][0]["root"]["name"] == "execute"
+
+    def test_head_rate_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_HEAD_RATE", "0.25")
+        run_dir = str(tmp_path / "run")
+        obs.start_run(run_dir)
+        try:
+            assert sampling.active().head_rate == 0.25
+        finally:
+            obs.finish_run(run_dir)
+
+
+# ------------------------------------------------------------------ #
+# propagation across the pool + serial fallback
+# ------------------------------------------------------------------ #
+class TestPropagation:
+    def test_parallel_trace_stitches_worker_spans_from_two_pids(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "256")
+        run_dir = str(tmp_path / "run")
+        obs.start_run(run_dir)
+        parallel.set_workers(4)
+        try:
+            result = run_scan(seed=61)
+            trace_id = result.stats.trace_id
+            assert trace_id and result.stats.dispatches >= 1
+            lanes = [
+                record for record in trace.worker_spans()
+                if record.get("trace_id") == trace_id
+            ]
+            pids = {record["pid"] for record in lanes}
+            assert len(pids) >= 2
+        finally:
+            parallel.set_workers(0)
+            obs.finish_run(run_dir)
+
+        # The run artifact resolves the same trace with its worker lanes.
+        from repro.obs import analyze
+
+        entries = analyze.load_traces(run_dir)
+        entry = analyze.find_trace(entries, trace_id)
+        assert entry is not None
+        assert len(analyze.worker_pids(entry)) >= 2
+
+    def test_watchdog_fallback_preserves_trace_and_results(
+        self, monkeypatch
+    ):
+        obs.enable()
+        sampler = sampling.configure(head_rate=0.0, min_window=1)
+        reference = run_scan(seed=45)
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "256")
+        parallel.set_workers(4)
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.0")
+        monkeypatch.setenv("REPRO_TEST_HANG_MORSEL", "1")
+        hung = run_scan(seed=45)
+        monkeypatch.delenv("REPRO_TEST_HANG_MORSEL")
+
+        # Byte-identical results through the serial fallback...
+        assert normalize(reference.to_rows()) == normalize(hung.to_rows())
+        # ...still stamped with a trace id, with no worker lanes under it
+        trace_id = hung.stats.trace_id
+        assert trace_id and hung.stats.fallbacks >= 1
+        assert not [
+            record for record in trace.worker_spans()
+            if record.get("trace_id") == trace_id
+        ]
+        # ...and the tail sampler kept it despite head_rate=0.
+        kept = {entry["trace_id"]: entry for entry in sampler.entries()}
+        assert kept[trace_id]["reason"] == "watchdog"
+
+    def test_serial_execution_ignores_context_free_path(self):
+        # Context-free + disabled obs: parallel payloads carry wire=None
+        # without perturbing results.
+        reference = run_scan(seed=52)
+        obs.enable()
+        with context.ensure(fingerprint="serial"):
+            traced = run_scan(seed=52)
+        assert normalize(reference.to_rows()) == normalize(traced.to_rows())
+
+
+# ------------------------------------------------------------------ #
+# SLO exemplar attachment
+# ------------------------------------------------------------------ #
+class TestSLOExemplars:
+    def test_burn_alert_carries_worst_exemplar_trace_ids(self):
+        obs.enable()
+        slo.configure(["custom.lat.p95 < 10ms"])
+        request = context.new_context()
+        with context.activate(request):
+            for _ in range(12):
+                metrics.observe("custom.lat", 0.5)  # 500ms, violating
+        alerts = slo.publish()
+        burn = [a for a in alerts if a.rule == "slo_burn"]
+        assert burn and request.trace_id in burn[0].message
+
+        statuses = slo.active().evaluate()
+        status = next(s for s in statuses if s["kind"] == "window")
+        assert request.trace_id in status["exemplar_trace_ids"]
+
+    def test_watch_renders_exemplar_ids_under_burn_line(self, tmp_path):
+        from repro.obs.watch import render_watch
+
+        trace_id = "e" * 32
+        (tmp_path / "slo.json").write_text(json.dumps({"objectives": [{
+            "kind": "window", "spec": "query.p95 < 1ms", "severity": "CRIT",
+            "value": 0.5, "burn_rate": 50.0,
+            "exemplar_trace_ids": [trace_id],
+        }]}))
+        frame = render_watch(str(tmp_path))
+        assert f"worst traces: {trace_id[:16]}" in frame
+        assert "repro analyze --trace" in frame
+
+    def test_no_exemplars_without_context(self):
+        obs.enable()
+        slo.configure(["custom.lat.p95 < 10ms"])
+        for _ in range(12):
+            metrics.observe("custom.lat", 0.5)
+        statuses = slo.active().evaluate()
+        status = next(s for s in statuses if s["kind"] == "window")
+        assert status["exemplar_trace_ids"] == []
