@@ -13,7 +13,10 @@
 #    exceeds 2% (--obs-check), if the disabled strict-mode contract
 #    wrappers cost more than 2% over the raw kernels (--strict-check),
 #    or if the running 100hz sampling profiler costs more than 5% on
-#    the kernels (--profile-check). --parallel-check additionally gates
+#    the kernels (--profile-check). --audit-check gates shadow auditing
+#    on end-to-end serving: directly-attributed per-query accounting
+#    plus audit re-execution time must stay under 2% at the default
+#    sample rate. --parallel-check additionally gates
 #    the column store: the serial encoded scan must stay within 1.25x
 #    of the plain scan, and the 4-worker morsel scan must reach 1.5x
 #    over serial — the speedup half auto-skips on runners with fewer
@@ -28,5 +31,6 @@ PYTHONPATH=src python benchmarks/bench_kernels.py \
   --obs-check \
   --strict-check \
   --profile-check \
+  --audit-check \
   --parallel-check \
   --output -

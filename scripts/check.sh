@@ -42,6 +42,12 @@
 #                              the pool watchdog must cancel it and the
 #                              serial fallback must return the identical
 #                              result (tests/test_worker_obs.py).
+# 10. repro audit --smoke      — records a run with shadow auditing at
+#                              rate 1.0 and prints the predicted-vs-
+#                              observed calibration table, so the
+#                              answer-quality pipeline (auditor, quality
+#                              SLOs, drift detector) is exercised end to
+#                              end on every PR (DESIGN.md §14).
 #
 # Benchmark gates (kernel regressions, instrumentation + contract
 # overhead) live in scripts/bench_smoke.sh.
@@ -128,5 +134,12 @@ rm -rf "$analyze_dir"
 
 echo "== pool watchdog smoke (forced-hang morsel, serial fallback)"
 python -m pytest tests/test_worker_obs.py -q -k "watchdog or hung"
+
+echo "== repro audit --smoke (shadow auditing + calibration table)"
+audit_dir="$(mktemp -d)"
+python -m repro audit --smoke --dir "$audit_dir" > "$audit_dir/audit.out"
+grep -q "Calibration" "$audit_dir/audit.out"
+rm -rf "$audit_dir"
+echo "audit smoke: OK"
 
 echo "check: OK"

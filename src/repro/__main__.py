@@ -16,7 +16,10 @@ memory.json, slo.json land in the run directory).
 ``top``    — live-refreshing terminal view of a (possibly still running)
 profiled run: SLO burn, hot functions, span attribution, memory.
 ``watch``  — live ops console over a run directory: rolling QPS/p50/p95,
-worker utilization bars, shed/fallback counts, active SLO burn alerts.
+worker utilization bars, shed/fallback counts, answer quality, active
+SLO burn alerts.
+``audit``  — shadow-audit view of a recorded run: audit accounting and
+the predicted-vs-observed calibration table (see repro.obs.quality).
 ``lint``   — run the AST rule pack over source paths (see repro.lint).
 
 ``demo``/``train`` accept ``--telemetry DIR`` to record a full
@@ -493,6 +496,144 @@ def cmd_watch(args) -> int:
             return 0
 
 
+def cmd_audit(args) -> int:
+    """Answer-quality audit view over a recorded run (repro.obs.quality).
+
+    Reads the ``quality`` telemetry stream plus ``quality.json`` and
+    prints the shadow-audit accounting and a predicted-vs-observed
+    calibration table. ``--smoke`` first records a micro end-to-end run
+    with auditing enabled (rate 1.0 unless ``--sample-rate`` is given).
+    """
+    from .bench.reporting import format_table
+    from .obs import quality as obs_quality
+
+    try:
+        rate = (
+            obs_quality.validate_rate(args.sample_rate)
+            if args.sample_rate is not None
+            else None
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    run_dir = args.dir
+    if args.smoke:
+        from .obs.report import run_smoke
+
+        run_dir = run_smoke(run_dir, audit_rate=1.0 if rate is None else rate)
+        print(f"smoke run with shadow auditing recorded in {run_dir}/\n")
+    telemetry_path = os.path.join(run_dir, obs.TELEMETRY_FILE)
+    if not os.path.exists(telemetry_path):
+        return _missing_run(run_dir)
+
+    records = obs_telemetry.load_run(telemetry_path)
+    quality_records = [r for r in records if r.get("stream") == "quality"]
+    audits = [r for r in quality_records if r.get("kind") == "audit"]
+    drifts = [
+        r for r in quality_records if r.get("kind") == "calibration_drift"
+    ]
+    quality_doc = _load_run_json(os.path.join(run_dir, obs.QUALITY_FILE))
+    if not quality_records and not quality_doc:
+        print(
+            f"no audit data recorded in {run_dir}/ — "
+            "answer quality is unverified; record one with:"
+        )
+        print(f"  python -m repro audit --dir {run_dir} --smoke")
+        print(
+            "or enable auditing on any recorded run with "
+            "REPRO_AUDIT_RATE (default "
+            f"{obs_quality.DEFAULT_AUDIT_RATE})"
+        )
+        return 1
+
+    counts = (quality_doc or {}).get("counts", {})
+    if counts:
+        recall = quality_doc.get("mean_recall")
+        bias = quality_doc.get("calibration_bias")
+        print(
+            f"{counts.get('queries', 0)} queries "
+            f"({counts.get('approx_queries', 0)} approx), "
+            f"{counts.get('audits', 0)} audited "
+            f"[coin-skipped {counts.get('skipped_coin', 0)}, "
+            f"budget-skipped {counts.get('skipped_budget', 0)}] | "
+            f"overhead "
+            f"{float(quality_doc.get('overhead_fraction') or 0.0):.2%}"
+        )
+        print(
+            "mean audited recall "
+            + (f"{float(recall):.3f}" if recall is not None else "-")
+            + " | calibration bias "
+            + (f"{float(bias):+.3f}" if bias is not None else "-")
+            + f" | low-quality {counts.get('low_quality', 0)}"
+            + f" | drift events {counts.get('drift_events', 0)}"
+        )
+    for record in drifts:
+        print(
+            f"calibration drift {record.get('severity', '?')}: "
+            f"bias {float(record.get('bias', 0.0)):+.2f} over "
+            f"{record.get('window', '?')} approximation answers"
+        )
+
+    pairs = [
+        r for r in audits
+        if r.get("predicted") is not None and r.get("observed") is not None
+    ]
+    if pairs:
+        bins = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.01))
+        rows = []
+        for low, high in bins:
+            binned = [
+                r for r in pairs if low <= float(r["predicted"]) < high
+            ]
+            if not binned:
+                continue
+            mean_pred = sum(float(r["predicted"]) for r in binned) / len(binned)
+            mean_obs = sum(float(r["observed"]) for r in binned) / len(binned)
+            rows.append([
+                f"[{low:.2f}, {min(high, 1.0):.2f})",
+                len(binned),
+                f"{mean_pred:.3f}",
+                f"{mean_obs:.3f}",
+                f"{mean_pred - mean_obs:+.3f}",
+            ])
+        print()
+        print(format_table(
+            ["predicted bin", "audits", "mean predicted",
+             "mean observed", "bias"],
+            rows,
+            title="Calibration — predicted confidence vs audited quality",
+        ))
+        worst = sorted(
+            audits, key=lambda r: float(r.get("recall", 1.0))
+        )[:args.last]
+        print()
+        print(format_table(
+            ["trace", "recall", "agg rel err", "predicted", "sql"],
+            [
+                [
+                    str(r.get("trace_id", "?"))[:16],
+                    f"{float(r.get('recall', 0.0)):.3f}",
+                    (
+                        f"{float(r['agg_rel_error']):.3f}"
+                        if r.get("agg_rel_error") is not None
+                        else "-"
+                    ),
+                    f"{float(r.get('predicted', 0.0)):.3f}",
+                    str(r.get("sql", ""))[:48],
+                ]
+                for r in worst
+            ],
+            title=f"Worst {len(worst)} audited answers "
+                  "(repro analyze --trace <id>)",
+        ))
+    else:
+        print(
+            "quality telemetry present but no completed audits — the "
+            "sampling coin or the overhead budget skipped every candidate"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the AST linter (repro.lint); prints the report it returns."""
     code, text = lint_cli.run_args(args)
@@ -644,6 +785,28 @@ def main(argv=None) -> int:
     watch.add_argument("--iterations", type=int, default=None,
                        help="stop after N frames (default: until Ctrl-C)")
     watch.set_defaults(func=cmd_watch)
+
+    audit = commands.add_parser(
+        "audit",
+        help="shadow-audit view: predicted vs audited answer quality",
+        description="Print the answer-quality accounting of a recorded "
+                    "run: shadow-audit counts, audited recall, and a "
+                    "predicted-vs-observed calibration table (see "
+                    "repro.obs.quality). Exits 1 when the run recorded "
+                    "no audit data.",
+    )
+    audit.add_argument("--dir", default=DEFAULT_OBS_DIR,
+                       help="run directory written by --telemetry")
+    audit.add_argument("--sample-rate", default=None, metavar="RATE",
+                       help="shadow-audit sample rate in [0, 1] for --smoke "
+                            "(default: 1.0 with --smoke; recorded runs use "
+                            "REPRO_AUDIT_RATE or 0.1)")
+    audit.add_argument("--smoke", action="store_true",
+                       help="record a micro end-to-end run with auditing "
+                            "enabled first, then print its audit view")
+    audit.add_argument("--last", type=int, default=5,
+                       help="how many worst audited answers to show")
+    audit.set_defaults(func=cmd_audit)
 
     lint = commands.add_parser(
         "lint", help="run the AST lint rule pack over source paths"

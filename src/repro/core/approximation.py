@@ -60,6 +60,22 @@ class ApproximationSet:
     def copy(self) -> "ApproximationSet":
         return ApproximationSet(rows={t: set(ids) for t, ids in self.rows.items()})
 
+    def sampling_fraction(self, db: Database) -> float:
+        """``|S| / |T|`` over the tables this set covers, in (0, 1].
+
+        The shadow auditor uses the inverse as a Horvitz–Thompson scale
+        for COUNT/SUM audits (see
+        :func:`repro.core.metric.aggregate_relative_error`): the set is
+        not a uniform sample, so this is the best single-factor
+        correction available without per-table bookkeeping.
+        """
+        covered = sum(
+            len(db.table(t)) for t in self.rows if db.has_table(t)
+        )
+        if covered <= 0:
+            return 1.0
+        return min(1.0, max(self.total_size(), 1) / covered)
+
     # -------------------------------------------------------------- #
     def to_database(self, db: Database, name: str = "") -> Database:
         """Materialize as a queryable sub-database of ``db``."""

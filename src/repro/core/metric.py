@@ -16,7 +16,7 @@ importance with uniform value 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -119,6 +119,34 @@ def per_query_scores(
         full_size, valid = _valid_result_count(db, subset, query, cached)
         values[i] = query_score(full_size, valid, frame_size)
     return values
+
+
+def audit_query(
+    db: Database,
+    subset: Database,
+    query: Union[SPJQuery, AggregateQuery],
+    frame_size: int = DEFAULT_FRAME_SIZE,
+    scale_counts: Optional[float] = None,
+) -> tuple[float, Optional[float], int]:
+    """Ground truth for one served query: ``(recall, agg_rel_error, |q(T)|)``.
+
+    The shadow auditor (:mod:`repro.obs.quality` via the session) calls
+    this to re-measure an approximation-set answer against the full
+    database: recall is the Eq. 1 frame term over distinct valid result
+    tuples; for aggregate queries the Eq. 2 per-group relative error is
+    measured too (``None`` for pure SPJ queries, whose answers have no
+    aggregate to be wrong about).
+    """
+    if query.is_aggregate:
+        spj = query.strip_aggregates()
+        full_size, valid = _valid_result_count(db, subset, spj)
+        recall = query_score(full_size, valid, frame_size)
+        agg_error = aggregate_relative_error(
+            db, subset, query, scale_counts=scale_counts
+        )
+        return recall, agg_error, full_size
+    full_size, valid = _valid_result_count(db, subset, query)
+    return query_score(full_size, valid, frame_size), None, full_size
 
 
 # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ when the drift trigger fires (§4.4).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -19,10 +20,12 @@ import numpy as np
 from ..obs.clock import perf_counter
 from ..db.database import Database
 from ..db.executor import AggregateResult, ResultSet, execute, execute_aggregate
-from ..obs import health, memory, metrics, telemetry, trace
+from ..obs import health, memory, metrics, quality, telemetry, trace
+from ..obs import context as obs_context
 from ..obs.runtime import STATE as _OBS
 from ..db.query import AggregateQuery, SPJQuery
 from ..datasets.workloads import Workload
+from . import metric
 from .approximation import ApproximationSet
 from .config import ASQPConfig
 from .drift import DriftDetector, DriftEvent
@@ -31,6 +34,16 @@ from .trainer import ASQPTrainer, TrainedModel
 from .workload_gen import WorkloadGenerator
 
 QueryLike = Union[SPJQuery, AggregateQuery]
+
+
+@dataclass
+class AuditOutcome:
+    """Ground-truth measurement of one shadow-audited answer."""
+
+    recall: float                          # Eq. 1 frame term vs full D
+    agg_rel_error: Optional[float] = None  # Eq. 2, aggregates only
+    cost_seconds: float = 0.0
+    low_quality: bool = False
 
 
 @dataclass
@@ -43,6 +56,9 @@ class QueryOutcome:
     elapsed_seconds: float
     drift_event: Optional[DriftEvent] = None
     fine_tuned: bool = False
+    #: Set when the shadow auditor sampled this answer (recorded runs
+    #: with an active repro.obs.quality monitor only).
+    audit: Optional[AuditOutcome] = None
 
     def __len__(self) -> int:
         return len(self.result)
@@ -119,7 +135,12 @@ class ASQPSession:
             variants query the database below predicted score 0.6 / 0.8.
         """
         self.query_log.append(query)
-        with trace.span("session.query") as sp:
+        # On recorded runs the session opens the request context itself,
+        # so the root span, every telemetry record, and the quality
+        # pipeline share one trace id (nested executes reuse it via
+        # context.ensure). Disabled runs skip the context entirely.
+        scope = obs_context.ensure() if _OBS.enabled else nullcontext()
+        with scope, trace.span("session.query") as sp:
             estimate = self.estimator.estimate(query)
             threshold = (
                 confidence_threshold
@@ -168,18 +189,20 @@ class ASQPSession:
             if sp:
                 sp.set(source="approx" if use_approx else "full")
                 sp.count("rows_out", len(result))
-                self._log_outcome(query, outcome, cached is not None)
+                realized = self._log_outcome(query, outcome, cached is not None)
+                self._shadow_audit(query, outcome, realized, sp)
         return outcome
 
     def _log_outcome(
         self, query: QueryLike, outcome: QueryOutcome, cache_hit: bool
-    ) -> None:
+    ) -> float:
         """One ``query`` telemetry row: estimate vs. realized outcome.
 
         ``realized_frame_score`` is the frame term of Eq. 1 the answer
         actually delivered — ``min(1, rows / F)`` — the live counterpart
         of the estimator's predicted answerability, so the two columns of
         the JSONL line quantify estimator calibration over a session.
+        Returns the realized score for the quality pipeline.
         """
         estimate = outcome.estimate
         realized = min(1.0, len(outcome.result) / max(1, self.config.frame_size))
@@ -210,6 +233,11 @@ class ASQPSession:
         # health monitor sees every calibration pair of a recorded run.
         monitor = health.active_monitor()
         monitor.observe_calibration(estimate.confidence, realized)
+        self.estimator.note_outcome(estimate.confidence, realized)
+        metrics.set_gauge(
+            "estimator.online_calibration_error",
+            self.estimator.online_calibration_error(),
+        )
         # Epoch boundary for the leak check: repeated query answering
         # should not accumulate traced bytes between queries.
         memory.mark_epoch("session.query")
@@ -220,6 +248,77 @@ class ASQPSession:
                     np.mean(outcome.drift_event.confidences)
                 ),
             })
+        return realized
+
+    def _shadow_audit(
+        self,
+        query: QueryLike,
+        outcome: QueryOutcome,
+        realized: float,
+        sp: trace.Span,
+    ) -> None:
+        """Quality accounting plus the sampled ground-truth audit.
+
+        Every answered query feeds the quality monitor's calibration
+        accounting; approximation-set answers whose trace id wins the
+        audit coin are re-executed against the full database right here
+        (the obs layer never touches a database — it only receives the
+        measured numbers). Low-quality results are stamped onto the root
+        span so the tail sampler retains the trace as evidence.
+        """
+        auditor = quality.active()
+        if auditor is None:
+            return
+        estimate = outcome.estimate
+        drift = auditor.observe_query(
+            predicted=estimate.confidence,
+            observed=realized,
+            used_approximation=outcome.used_approximation,
+            elapsed_seconds=outcome.elapsed_seconds,
+        )
+        if drift is not None:
+            self.drift_detector.observe_external("calibration", drift.bias)
+        if not outcome.used_approximation:
+            return  # full-database answers are ground truth already
+        trace_id = obs_context.current_trace_id()
+        if not auditor.should_audit(trace_id):
+            return
+        start = perf_counter()
+        with trace.span("session.shadow_audit") as audit_sp:
+            recall, agg_error, full_rows = metric.audit_query(
+                self.model.db,
+                self.approx_db,
+                query,
+                frame_size=self.config.frame_size,
+                scale_counts=1.0
+                / self.approximation_set.sampling_fraction(self.model.db),
+            )
+            if audit_sp:
+                audit_sp.set(recall=round(recall, 4), full_rows=full_rows)
+        cost = perf_counter() - start
+        low_quality = auditor.record_audit(
+            recall=recall,
+            predicted=estimate.confidence,
+            observed=realized,
+            agg_rel_error=agg_error,
+            cost_seconds=cost,
+            sql=query.to_sql(),
+            trace_id=trace_id,
+        )
+        outcome.audit = AuditOutcome(
+            recall=recall,
+            agg_rel_error=agg_error,
+            cost_seconds=cost,
+            low_quality=low_quality,
+        )
+        stats = getattr(outcome.result, "stats", None)
+        if stats is not None:
+            stats.audited = True
+            stats.audit_recall = recall
+            stats.audit_agg_rel_error = agg_error
+        sp.set(audit_recall=round(recall, 4))
+        if low_quality:
+            sp.set(low_quality=1)
 
     # -------------------------------------------------------------- #
     def fine_tune(self, queries: list[QueryLike]) -> None:

@@ -83,10 +83,18 @@ class QueryStats:
     #: 128-bit request trace id (repro.obs.context) — the handle that
     #: resolves this query in `repro analyze --trace`.
     trace_id: Optional[str] = None
+    #: Shadow-audit outcome (repro.obs.quality): stamped by the session
+    #: when this answer was re-measured against the full database.
+    audited: bool = False
+    audit_recall: Optional[float] = None
+    audit_agg_rel_error: Optional[float] = None
 
     def to_dict(self) -> dict[str, object]:
         return {
             "trace_id": self.trace_id,
+            "audited": self.audited,
+            "audit_recall": self.audit_recall,
+            "audit_agg_rel_error": self.audit_agg_rel_error,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
             "rows_scanned": self.rows_scanned,

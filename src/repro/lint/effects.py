@@ -374,6 +374,15 @@ class _FunctionSummarizer(ast.NodeVisitor):
         args = self._arg_refs(node)
         if args:
             entry["args"] = args
+        # First positional argument when it is a literal string — rules
+        # matching stream-keyed sinks (e.g. telemetry.emit("quality", ...))
+        # dispatch on it.
+        if (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            entry["arg0"] = node.args[0].value
         self.calls.append(entry)
 
         if leaf in DISPATCH_METHODS and chain_ref and chain_ref[1]:

@@ -571,6 +571,49 @@ class TelemetrySinkOnly(ProjectRule):
         return findings
 
 
+class QualityTelemetrySinkOnly(ProjectRule):
+    """Invariant: the ``quality`` telemetry stream has one producer.
+
+    Replay (:func:`repro.obs.health.replay`) and ``repro audit`` treat
+    every ``quality`` record as ground truth written by
+    :mod:`repro.obs.quality` — audits with measured recall, drift
+    escalations with deduped severities. A second producer anywhere
+    else could inject unaudited "audit" records or re-fire drift
+    alerts, silently corrupting the calibration tables and the
+    re-derived alert history.
+    """
+
+    name = "quality-telemetry-sink-only"
+    rationale = (
+        "emitting on the 'quality' telemetry stream outside "
+        "obs/quality.py corrupts the replayed audit ground truth"
+    )
+
+    skip_profiles = frozenset({"tests", "benchmarks"})
+    EXEMPT_SUFFIXES = ("obs/quality.py",)
+
+    def exempt(self, path: str) -> bool:
+        return path.replace("\\", "/").endswith(self.EXEMPT_SUFFIXES)
+
+    def check_project(self, graph) -> list[Finding]:
+        findings = []
+        for gid, record, summary in graph.functions():
+            for call in record["calls"]:
+                resolved = call.get("resolved") or ""
+                if (
+                    resolved.endswith(".obs.telemetry.emit")
+                    and call.get("arg0") == "quality"
+                ):
+                    findings.append(self.project_finding(
+                        summary["path"], int(call["lineno"]),
+                        "emit on the 'quality' telemetry stream outside "
+                        "repro.obs.quality; report measurements through "
+                        "the QualityMonitor so replay and `repro audit` "
+                        "stay trustworthy",
+                    ))
+        return findings
+
+
 class FallbackOnWorkerError(ProjectRule):
     """Invariant: every parallel dispatch call site handles the serial
     fallback.
@@ -629,6 +672,7 @@ _ALL_RULES = (
     ForkUnsafeWorkerReachable(),
     ShmLifecycle(),
     TelemetrySinkOnly(),
+    QualityTelemetrySinkOnly(),
     FallbackOnWorkerError(),
 )
 

@@ -23,6 +23,8 @@ Dependency-free instrumentation substrate for the whole system
   and per-phase leak checks surfaced as gauges;
 * :mod:`repro.obs.slo`       — declarative latency/answerability
   objectives with multi-window burn-rate alerts into the health pipeline;
+* :mod:`repro.obs.quality`   — answer-quality accounting: shadow-audit
+  bookkeeping, quality histograms, and calibration-drift alerts;
 * :mod:`repro.obs.health`    — rolling-window WARN/CRIT rules over the
   diagnostic streams;
 * :mod:`repro.obs.log`       — the sanctioned console/structured-log
@@ -60,6 +62,7 @@ from . import (
     memory,
     metrics,
     profiler,
+    quality,
     sampling,
     slo,
     telemetry,
@@ -77,6 +80,7 @@ FLAMEGRAPH_FILE = profiler.FLAMEGRAPH_FILE
 MEMORY_FILE = memory.MEMORY_FILE
 SLO_FILE = slo.SLO_FILE
 TRACES_FILE = sampling.TRACES_FILE
+QUALITY_FILE = quality.QUALITY_FILE
 
 __all__ = [
     "STATE",
@@ -90,6 +94,7 @@ __all__ = [
     "memory",
     "metrics",
     "profiler",
+    "quality",
     "sampling",
     "slo",
     "telemetry",
@@ -107,6 +112,7 @@ __all__ = [
     "MEMORY_FILE",
     "SLO_FILE",
     "TRACES_FILE",
+    "QUALITY_FILE",
 ]
 
 #: Re-export of the most-used entry point.
@@ -117,6 +123,7 @@ def start_run(
     directory: str,
     max_telemetry_bytes: Optional[int] = telemetry.DEFAULT_MAX_BYTES,
     telemetry_rotations: int = telemetry.DEFAULT_MAX_FILES,
+    audit_rate: Optional[float] = None,
 ) -> str:
     """Enable observability with a JSONL telemetry sink under ``directory``.
 
@@ -124,7 +131,10 @@ def start_run(
     exactly one run. The telemetry sink rotates at
     ``max_telemetry_bytes`` per file keeping ``telemetry_rotations``
     rotated files (None disables rotation), so unattended long runs
-    stay bounded on disk. Returns the directory path.
+    stay bounded on disk. ``audit_rate`` sets the shadow-audit sample
+    rate (default: ``REPRO_AUDIT_RATE`` or
+    :data:`repro.obs.quality.DEFAULT_AUDIT_RATE`; values outside
+    [0, 1] are rejected with a ValueError). Returns the directory path.
     """
     os.makedirs(directory, exist_ok=True)
     trace.reset()
@@ -143,6 +153,10 @@ def start_run(
         except ValueError:
             pass
     sampling.configure(head_rate=head_rate)
+    # Answer-quality accounting + shadow auditing. Unlike the head rate
+    # above, a bad audit rate raises (quality.validate_rate): silently
+    # disabling ground-truth audits would be a correctness bug.
+    quality.configure(sample_rate=audit_rate)
     telemetry.configure(
         os.path.join(directory, TELEMETRY_FILE),
         max_bytes=max_telemetry_bytes,
@@ -164,6 +178,8 @@ def _flush_continuous(directory: str) -> None:
     if slo.is_active():
         slo.publish()
         slo.write_json(os.path.join(directory, SLO_FILE))
+    if quality.is_active():
+        quality.write_json(os.path.join(directory, QUALITY_FILE))
     if memory.is_active():
         memory.write_json(os.path.join(directory, MEMORY_FILE))
 
@@ -210,6 +226,9 @@ def finish_run(directory: str) -> dict[str, str]:
         if sampling.is_active():
             paths["traces"] = os.path.join(directory, TRACES_FILE)
             sampling.write_json(paths["traces"])
+        if quality.is_active():
+            paths["quality"] = os.path.join(directory, QUALITY_FILE)
+            quality.write_json(paths["quality"])
         trace.write_trace(paths["trace"])
         trace.write_chrome_trace(paths["chrome_trace"])
         metrics.write_json(paths["metrics"])
@@ -218,6 +237,7 @@ def finish_run(directory: str) -> dict[str, str]:
         memory.stop()
         slo.clear()
         sampling.clear()
+        quality.clear()
         disable()
         telemetry.configure(None)
     return paths
@@ -232,6 +252,7 @@ def run(
     slo_objectives: Optional[Iterable[str]] = None,
     max_telemetry_bytes: Optional[int] = telemetry.DEFAULT_MAX_BYTES,
     telemetry_rotations: int = telemetry.DEFAULT_MAX_FILES,
+    audit_rate: Optional[float] = None,
 ) -> Iterator[str]:
     """One observability run as a context manager.
 
@@ -247,6 +268,7 @@ def run(
         directory,
         max_telemetry_bytes=max_telemetry_bytes,
         telemetry_rotations=telemetry_rotations,
+        audit_rate=audit_rate,
     )
     if slo_objectives:
         slo.configure(slo_objectives)

@@ -274,6 +274,12 @@ class HealthMonitor:
     def observe_drift(self, fields: Optional[dict[str, Any]] = None) -> list[Alert]:
         """Record an interest-drift event (informational WARN)."""
         fields = fields or {}
+        if fields.get("external"):
+            # Externally sourced drift signals (e.g. the quality
+            # pipeline's calibration drift relayed through
+            # core.drift.observe_external) publish their own alerts;
+            # re-deriving an interest-drift WARN here would double-count.
+            return []
         message = "interest drift detected"
         deviation = fields.get("mean_deviation")
         if deviation is not None:
@@ -282,6 +288,29 @@ class HealthMonitor:
                 f"queries (mean deviation {float(deviation):.2f})"
             )
         alert = Alert(WARN, "interest_drift", message, value=deviation)
+        return self._publish([alert])
+
+    def observe_quality(self, fields: dict[str, Any]) -> list[Alert]:
+        """Re-derive alerts from a recorded ``quality`` stream record.
+
+        The live run publishes calibration-drift alerts directly from
+        :mod:`repro.obs.quality`; replay reconstructs the same alert
+        from the recorded escalation so reports over JSONL agree with
+        what the live monitor saw.
+        """
+        if fields.get("kind") != "calibration_drift":
+            return []
+        severity = fields.get("severity")
+        if severity not in (WARN, CRIT):
+            severity = WARN
+        bias = fields.get("bias")
+        message = "recorded calibration drift"
+        if bias is not None:
+            message += (
+                f": predicted-vs-observed bias {float(bias):+.2f} over "
+                f"{fields.get('window', '?')} approximation answers"
+            )
+        alert = Alert(severity, "quality_calibration_drift", message, value=bias)
         return self._publish([alert])
 
     # -- outputs ----------------------------------------------------- #
@@ -345,6 +374,8 @@ def replay(
                 monitor.observe_drift(record)
         elif stream == "drift":
             monitor.observe_drift(record)
+        elif stream == "quality":
+            monitor.observe_quality(record)
     return monitor
 
 

@@ -98,12 +98,23 @@ class Histogram:
             bucket.sort(reverse=True)
             del bucket[EXEMPLARS_PER_BUCKET:]
 
-    def worst_exemplars(self, n: int = 3) -> list[dict[str, Any]]:
-        """The ``n`` largest-value exemplars across all buckets."""
+    def worst_exemplars(
+        self, n: int = 3, largest: bool = True
+    ) -> list[dict[str, Any]]:
+        """The ``n`` worst-value exemplars across all buckets.
+
+        "Worst" is directional: latency-style metrics (upper-bound SLOs)
+        want the largest values, quality-style metrics such as
+        ``quality.recall`` (lower-bound SLOs) want the smallest — pass
+        ``largest=False`` for those. Per-bucket retention always keeps the
+        largest values, but the bucket ladder is fine enough that the
+        survivors of the lowest occupied buckets are representative of
+        the minimum.
+        """
         if not self.exemplars:
             return []
         flat = [triple for bucket in self.exemplars.values() for triple in bucket]
-        flat.sort(reverse=True)
+        flat.sort(reverse=largest)
         return [
             {"value": value, "trace_id": trace_id, "ts": ts}
             for value, trace_id, ts in flat[:n]

@@ -1,0 +1,426 @@
+"""Answer-quality accounting: shadow audits and calibration drift.
+
+The paper's contract is not "fast queries" but *approximate answers
+whose quality is quantified* (Eq. 1 recall against the frame, Eq. 2
+aggregate relative error). This module closes the loop at serving time:
+
+* **Per-query accounting** — every query served on a recorded run
+  reports its predicted answerability (the estimator's confidence)
+  against the realized frame score; the pair lands in the
+  ``quality.calibration`` histogram and feeds a rolling drift detector.
+* **Shadow auditing** — a deterministic fraction of approximation-set
+  answers (chosen by trace-id hash, like tail-sampling's head coin) is
+  re-executed against the full database by the session; the measured
+  recall and aggregate relative error arrive here and become
+  ``quality.recall`` / ``quality.agg_rel_error`` histogram samples
+  (with worst-quality trace-id exemplars), ``quality`` telemetry
+  records, and rows of a bounded in-memory audit table.
+* **Calibration drift** — the signed bias between predicted and
+  observed answerability over a rolling window; sustained bias raises
+  WARN/CRIT health alerts (rule ``quality_calibration_drift``) and is
+  reported back to the session so :mod:`repro.core.drift` records the
+  event on the ``drift`` telemetry stream.
+
+Audit cost is bounded by construction: a budget governor skips audits
+once cumulative audit time exceeds ``max_overhead`` (default 1%) of
+cumulative serving time, so the ``--audit-check`` bench gate holds at
+the default sample rate no matter how expensive ground truth is.
+
+The dependency rule of the obs package holds: this module never imports
+``repro.core`` or ``repro.db`` — the session executes shadow queries
+and reports plain numbers here. The ``quality`` telemetry stream has a
+single producer (this module, through the :mod:`repro.obs.telemetry`
+O_APPEND chokepoint); the ``quality-telemetry-sink-only`` lint rule
+enforces that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from . import context as _context
+from . import health as _health
+from . import metrics as _metrics
+from . import telemetry as _telemetry
+
+#: Artifact name inside a run directory.
+QUALITY_FILE = "quality.json"
+
+#: Fraction of approximation-set answers shadow-audited by default.
+DEFAULT_AUDIT_RATE = 0.1
+
+#: Budget governor: cumulative audit time may not exceed this fraction
+#: of cumulative serving time (the first audit is always allowed).
+DEFAULT_MAX_OVERHEAD = 0.01
+
+#: Audited recall below this marks the trace low-quality (tail-sampler
+#: keep reason, ``low_quality`` root-span attribute).
+LOW_QUALITY_RECALL = 0.8
+
+#: Calibration-drift window and bias thresholds (|mean(predicted) -
+#: mean(observed)| over the last `window` approximation-set answers).
+DRIFT_WINDOW = 32
+DRIFT_MIN_WINDOW = 8
+DRIFT_WARN_BIAS = 0.20
+DRIFT_CRIT_BIAS = 0.35
+
+#: Rows kept in the in-memory audit table (oldest evicted first).
+MAX_AUDIT_ROWS = 256
+
+#: Lower-bound objectives installed when auditing is the point of the
+#: run (`repro audit --smoke`); they ride the standard burn pipeline.
+QUALITY_OBJECTIVES = (
+    "quality.recall.p10 > 0.85 @ 90%",
+    "quality.agg_rel_error.p95 < 0.25 @ 90%",
+)
+
+
+def validate_rate(rate: Any, source: str = "audit sample rate") -> float:
+    """Contract check for the audit sample rate: a number in [0, 1].
+
+    Unlike ``REPRO_TRACE_HEAD_RATE`` (which clamps silently — dropping
+    traces is harmless), a bad audit rate silently disabling ground
+    truth would be a correctness bug, so out-of-range values are
+    rejected loudly.
+    """
+    try:
+        value = float(rate)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a number in [0, 1], got {rate!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:  # also rejects NaN
+        raise ValueError(f"{source} must be within [0, 1], got {rate!r}")
+    return value
+
+
+def rate_from_env(default: float = DEFAULT_AUDIT_RATE) -> float:
+    """Audit rate from ``REPRO_AUDIT_RATE`` (validated) or the default."""
+    raw = os.environ.get("REPRO_AUDIT_RATE")
+    if raw is None or raw == "":
+        return default
+    return validate_rate(raw, source="REPRO_AUDIT_RATE")
+
+
+def _audit_keep(trace_id: str, rate: float) -> bool:
+    """Deterministic audit coin: a hash window of the trace id.
+
+    Mirrors tail-sampling's head coin but reads a *different* 8-hex
+    window (chars 8..16), so whether a trace is audited is independent
+    of whether it is head-kept.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    window = trace_id[8:16] or trace_id[:8]
+    return int(window, 16) % 10_000 < int(rate * 10_000)
+
+
+@dataclass
+class CalibrationDrift:
+    """A fired calibration-drift escalation."""
+
+    bias: float            # signed mean(predicted) - mean(observed)
+    mean_predicted: float
+    mean_observed: float
+    window: int
+    severity: str          # health.WARN or health.CRIT
+
+
+class QualityMonitor:
+    """Per-run quality accounting, shadow-audit bookkeeping, and drift.
+
+    The session is the only writer: it calls :meth:`observe_query` for
+    every answered query, asks :meth:`should_audit` for the coin, runs
+    the shadow execution itself (this module never touches a database),
+    and lands the measurement via :meth:`record_audit`.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = DEFAULT_AUDIT_RATE,
+        max_overhead: Optional[float] = DEFAULT_MAX_OVERHEAD,
+        low_quality_recall: float = LOW_QUALITY_RECALL,
+        drift_window: int = DRIFT_WINDOW,
+        drift_min_window: int = DRIFT_MIN_WINDOW,
+        warn_bias: float = DRIFT_WARN_BIAS,
+        crit_bias: float = DRIFT_CRIT_BIAS,
+        max_audit_rows: int = MAX_AUDIT_ROWS,
+    ) -> None:
+        self.sample_rate = validate_rate(sample_rate)
+        self.max_overhead = max_overhead
+        self.low_quality_recall = low_quality_recall
+        self.drift_min_window = drift_min_window
+        self.warn_bias = warn_bias
+        self.crit_bias = crit_bias
+        self.counts: dict[str, int] = {
+            "queries": 0,
+            "approx_queries": 0,
+            "audits": 0,
+            "low_quality": 0,
+            "skipped_coin": 0,
+            "skipped_budget": 0,
+            "drift_events": 0,
+        }
+        self.serving_seconds = 0.0
+        self.audit_seconds = 0.0
+        self._last_audit_cost = 0.0
+        self._recall_sum = 0.0
+        self._agg_error_sum = 0.0
+        self._agg_error_count = 0
+        #: Rolling predicted/observed pairs for approximation answers.
+        #: Window sums are maintained incrementally: ``_check_drift``
+        #: runs on every approximation answer, and re-summing the
+        #: window there is what the ``--audit-check`` gate would pay.
+        self._predicted: deque[float] = deque(maxlen=drift_window)
+        self._observed: deque[float] = deque(maxlen=drift_window)
+        self._predicted_sum = 0.0
+        self._observed_sum = 0.0
+        #: Escalation dedup, same scheme as the SLO tracker.
+        self._drift_published: Optional[str] = None
+        #: Bounded audit table: newest MAX_AUDIT_ROWS measurements.
+        self.audit_log: deque[dict[str, Any]] = deque(maxlen=max_audit_rows)
+
+    # -- per-query accounting ---------------------------------------- #
+    def observe_query(
+        self,
+        predicted: float,
+        observed: float,
+        used_approximation: bool,
+        elapsed_seconds: float = 0.0,
+    ) -> Optional[CalibrationDrift]:
+        """Record one answered query; returns a drift event on escalation."""
+        self.counts["queries"] += 1
+        self.serving_seconds += max(0.0, elapsed_seconds)
+        _metrics.observe("quality.calibration", abs(predicted - observed))
+        if not used_approximation:
+            return None
+        self.counts["approx_queries"] += 1
+        if len(self._predicted) == self._predicted.maxlen:
+            self._predicted_sum -= self._predicted[0]
+            self._observed_sum -= self._observed[0]
+        self._predicted.append(float(predicted))
+        self._observed.append(float(observed))
+        self._predicted_sum += float(predicted)
+        self._observed_sum += float(observed)
+        return self._check_drift()
+
+    def _check_drift(self) -> Optional[CalibrationDrift]:
+        n = len(self._predicted)
+        if n < self.drift_min_window:
+            return None
+        mean_predicted = self._predicted_sum / n
+        mean_observed = self._observed_sum / n
+        bias = mean_predicted - mean_observed
+        _metrics.set_gauge("quality.calibration_bias", bias)
+        if abs(bias) >= self.crit_bias:
+            severity: Optional[str] = _health.CRIT
+        elif abs(bias) >= self.warn_bias:
+            severity = _health.WARN
+        else:
+            severity = None
+        order = {None: 0, _health.WARN: 1, _health.CRIT: 2}
+        if order[severity] <= order[self._drift_published]:
+            if severity is None:
+                self._drift_published = None  # re-arm after recovery
+            return None
+        self._drift_published = severity
+        drift = CalibrationDrift(
+            bias=bias,
+            mean_predicted=mean_predicted,
+            mean_observed=mean_observed,
+            window=n,
+            severity=severity,
+        )
+        self.counts["drift_events"] += 1
+        _metrics.add("quality.drift_events")
+        direction = "over" if bias > 0 else "under"
+        _health.active_monitor().publish([_health.Alert(
+            severity,
+            "quality_calibration_drift",
+            f"estimator confidence {direction}-predicts realized answer "
+            f"quality: predicted-vs-observed bias {bias:+.2f} over the "
+            f"last {n} approximation answers "
+            f"(mean predicted {mean_predicted:.2f}, "
+            f"mean observed {mean_observed:.2f})",
+            value=bias,
+            threshold=self.crit_bias if severity == _health.CRIT
+            else self.warn_bias,
+        )])
+        _telemetry.emit(
+            "quality",
+            kind="calibration_drift",
+            bias=bias,
+            mean_predicted=mean_predicted,
+            mean_observed=mean_observed,
+            window=n,
+            severity=severity,
+        )
+        return drift
+
+    # -- shadow-audit decision ---------------------------------------- #
+    def should_audit(self, trace_id: Optional[str]) -> bool:
+        """Deterministic coin plus the overhead budget governor.
+
+        The budget is conservative: beyond the always-allowed first
+        audit, an audit is admitted only if the budget covers the spent
+        audit time *plus* one more audit at the last observed cost —
+        admitting on a just-recovered budget would overshoot it by a
+        full audit every time, and the ``--audit-check`` bench gates
+        the realized fraction, not the intent.
+        """
+        if trace_id is None:
+            return False
+        if not _audit_keep(trace_id, self.sample_rate):
+            self.counts["skipped_coin"] += 1
+            return False
+        if (
+            self.max_overhead is not None
+            and self.audit_seconds + self._last_audit_cost
+            > self.max_overhead * self.serving_seconds
+        ):
+            self.counts["skipped_budget"] += 1
+            return False
+        return True
+
+    # -- audit measurement -------------------------------------------- #
+    def record_audit(
+        self,
+        recall: float,
+        predicted: float,
+        observed: float,
+        agg_rel_error: Optional[float] = None,
+        cost_seconds: float = 0.0,
+        sql: str = "",
+        trace_id: Optional[str] = None,
+    ) -> bool:
+        """Land one shadow-audit measurement; True if it was low quality."""
+        trace_id = trace_id or _context.current_trace_id()
+        self.counts["audits"] += 1
+        self.audit_seconds += max(0.0, cost_seconds)
+        self._last_audit_cost = max(0.0, cost_seconds)
+        self._recall_sum += recall
+        _metrics.observe("quality.recall", recall)
+        if agg_rel_error is not None:
+            self._agg_error_sum += agg_rel_error
+            self._agg_error_count += 1
+            _metrics.observe("quality.agg_rel_error", agg_rel_error)
+        low_quality = recall < self.low_quality_recall
+        if low_quality:
+            self.counts["low_quality"] += 1
+            _metrics.add("quality.low_quality_audits")
+        _metrics.set_gauge(
+            "quality.audit_overhead_fraction", self.overhead_fraction()
+        )
+        _telemetry.emit(
+            "quality",
+            kind="audit",
+            sql=sql[:200],
+            predicted=predicted,
+            observed=observed,
+            recall=recall,
+            agg_rel_error=agg_rel_error,
+            cost_seconds=cost_seconds,
+            low_quality=low_quality,
+        )
+        self.audit_log.append({
+            "trace_id": trace_id,
+            "sql": sql[:200],
+            "predicted": predicted,
+            "observed": observed,
+            "recall": recall,
+            "agg_rel_error": agg_rel_error,
+            "cost_seconds": cost_seconds,
+            "low_quality": low_quality,
+        })
+        return low_quality
+
+    # -- read side ----------------------------------------------------- #
+    def overhead_fraction(self) -> float:
+        if self.serving_seconds <= 0.0:
+            return 0.0
+        return self.audit_seconds / self.serving_seconds
+
+    def calibration_bias(self) -> Optional[float]:
+        n = len(self._predicted)
+        if n == 0:
+            return None
+        return (self._predicted_sum - self._observed_sum) / n
+
+    def summary(self) -> dict[str, Any]:
+        audits = self.counts["audits"]
+        return {
+            "sample_rate": self.sample_rate,
+            "max_overhead": self.max_overhead,
+            "low_quality_recall": self.low_quality_recall,
+            "counts": dict(self.counts),
+            "mean_recall": self._recall_sum / audits if audits else None,
+            "mean_agg_rel_error": (
+                self._agg_error_sum / self._agg_error_count
+                if self._agg_error_count else None
+            ),
+            "calibration_bias": self.calibration_bias(),
+            "serving_seconds": self.serving_seconds,
+            "audit_seconds": self.audit_seconds,
+            "overhead_fraction": self.overhead_fraction(),
+            "audit_log": list(self.audit_log),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.summary(), handle, indent=2, default=str)
+
+
+# ------------------------------------------------------------------ #
+# module-level singleton (one monitor per observability run)
+# ------------------------------------------------------------------ #
+#: Bounded: holds at most the one configured monitor (see `clear`).
+_ACTIVE: list[QualityMonitor] = []
+
+
+def configure(
+    sample_rate: Optional[float] = None,
+    **kwargs: Any,
+) -> QualityMonitor:
+    """Install a quality monitor; rate defaults to ``REPRO_AUDIT_RATE``."""
+    clear()
+    if sample_rate is None:
+        sample_rate = rate_from_env()
+    monitor = QualityMonitor(sample_rate=sample_rate, **kwargs)
+    _ACTIVE.append(monitor)
+    return monitor
+
+
+def install(monitor: QualityMonitor) -> QualityMonitor:
+    """Install an existing monitor (vs ``configure``'s fresh one).
+
+    For callers that build the monitor first — tests installing one
+    with tight drift windows, or a harness re-arming the same monitor
+    so the budget governor's cumulative accounting persists across an
+    uninstalled phase.
+    """
+    clear()
+    _ACTIVE.append(monitor)
+    return monitor
+
+
+def active() -> Optional[QualityMonitor]:
+    return _ACTIVE[0] if _ACTIVE else None
+
+
+def is_active() -> bool:
+    return bool(_ACTIVE)
+
+
+def clear() -> None:
+    _ACTIVE.clear()
+
+
+def write_json(path: str) -> None:
+    if _ACTIVE:
+        _ACTIVE[0].write_json(path)

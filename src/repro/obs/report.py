@@ -29,6 +29,7 @@ from . import (
     MEMORY_FILE,
     METRICS_FILE,
     PROFILE_COLLAPSED_FILE,
+    QUALITY_FILE,
     SLO_FILE,
     TELEMETRY_FILE,
     TRACE_FILE,
@@ -102,6 +103,7 @@ def _section_summary(
             FLAMEGRAPH_FILE,
             MEMORY_FILE,
             SLO_FILE,
+            QUALITY_FILE,
         )
         if os.path.exists(os.path.join(run_dir, name))
     ]
@@ -237,6 +239,145 @@ def _section_queries(records: list[dict]) -> list[str]:
         "- no calibration pairs recorded",
         f"- drift events observed: {drifts}",
     ]
+    return lines
+
+
+#: Predicted-confidence bins for the audit calibration table.
+_CALIBRATION_BINS = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.01))
+
+
+def _section_quality(
+    records: list[dict], quality_doc: Optional[dict]
+) -> list[str]:
+    """Answer quality: shadow audits, calibration, and drift.
+
+    Per-audit rows come from the recorded ``quality`` telemetry stream
+    (one record per shadow audit, trace-stamped); the run-level
+    accounting comes from ``quality.json``. When neither exists the
+    section says so explicitly — a run without ground-truth audits
+    should read as "unverified", not render as silently healthy.
+    """
+    quality_records = [r for r in records if r.get("stream") == "quality"]
+    audits = [r for r in quality_records if r.get("kind") == "audit"]
+    drifts = [
+        r for r in quality_records if r.get("kind") == "calibration_drift"
+    ]
+    lines = ["## Answer quality", ""]
+    if not quality_records and not quality_doc:
+        lines.append(
+            "No audit data recorded in this run — answer quality is "
+            "unverified. Enable shadow auditing with `repro audit "
+            "--smoke`, `obs.run(audit_rate=...)`, or `REPRO_AUDIT_RATE`."
+        )
+        return lines
+    counts = (quality_doc or {}).get("counts", {})
+    if counts:
+        lines.append(
+            f"- {counts.get('queries', 0)} queries observed "
+            f"({counts.get('approx_queries', 0)} served from the "
+            f"approximation set), {counts.get('audits', 0)} shadow-audited "
+            f"({counts.get('skipped_coin', 0)} skipped by the sampling "
+            f"coin, {counts.get('skipped_budget', 0)} by the overhead "
+            "budget)"
+        )
+        overhead = quality_doc.get("overhead_fraction")
+        if overhead is not None:
+            budget = quality_doc.get("max_overhead")
+            lines.append(
+                f"- audit overhead: {float(overhead):.2%} of serving time "
+                f"(sample rate {quality_doc.get('sample_rate', '?')}, "
+                f"budget "
+                f"{f'{float(budget):.0%}' if budget is not None else 'unbounded'})"
+            )
+        recall = quality_doc.get("mean_recall")
+        if recall is not None:
+            agg = quality_doc.get("mean_agg_rel_error")
+            agg_note = (
+                f", mean aggregate relative error {float(agg):.3f}"
+                if agg is not None
+                else ""
+            )
+            lines.append(
+                f"- audited recall: mean {float(recall):.3f}{agg_note}; "
+                f"{counts.get('low_quality', 0)} low-quality answers"
+            )
+        bias = quality_doc.get("calibration_bias")
+        if bias is not None:
+            lines.append(
+                f"- calibration bias (predicted − observed): "
+                f"{float(bias):+.3f} over the rolling window; "
+                f"{counts.get('drift_events', 0)} drift escalations"
+            )
+    for record in drifts[-2:]:
+        lines.append(
+            f"- **calibration drift ({record.get('severity', '?')})**: "
+            f"bias {float(record.get('bias', 0.0)):+.2f} over "
+            f"{record.get('window', '?')} approximation answers"
+        )
+    pairs = [
+        (float(r["predicted"]), float(r["observed"]), float(r["recall"]))
+        for r in audits
+        if r.get("predicted") is not None
+        and r.get("observed") is not None
+        and r.get("recall") is not None
+    ]
+    if pairs:
+        lines += ["", "### Calibration (predicted vs audited)", ""]
+        rows = []
+        for low, high in _CALIBRATION_BINS:
+            binned = [p for p in pairs if low <= p[0] < high]
+            if not binned:
+                continue
+            mean_pred = sum(p[0] for p in binned) / len(binned)
+            mean_obs = sum(p[1] for p in binned) / len(binned)
+            mean_recall = sum(p[2] for p in binned) / len(binned)
+            rows.append([
+                f"[{low:.2f}, {min(high, 1.0):.2f})",
+                len(binned),
+                f"{mean_pred:.3f}",
+                f"{mean_obs:.3f}",
+                f"{mean_recall:.3f}",
+                f"{mean_pred - mean_obs:+.3f}",
+            ])
+        lines.append(_md_table(
+            [
+                "predicted bin", "audits", "mean predicted",
+                "mean observed", "mean recall", "bias",
+            ],
+            rows,
+        ))
+    elif not counts:
+        lines.append(
+            "Quality telemetry present but no completed audits — the "
+            "sampling coin or the overhead budget skipped every candidate."
+        )
+    worst = sorted(
+        audits,
+        key=lambda r: float(r.get("recall", 1.0)),
+    )[:5]
+    if worst:
+        lines += ["", "### Worst audited answers", ""]
+        lines.append(_md_table(
+            ["trace", "recall", "agg rel err", "predicted", "sql"],
+            [
+                [
+                    f"`{str(r.get('trace_id', '?'))[:16]}`",
+                    f"{float(r.get('recall', 0.0)):.3f}",
+                    (
+                        f"{float(r['agg_rel_error']):.3f}"
+                        if r.get("agg_rel_error") is not None
+                        else "-"
+                    ),
+                    f"{float(r.get('predicted', 0.0)):.3f}",
+                    f"`{str(r.get('sql', ''))[:60]}`",
+                ]
+                for r in worst
+            ],
+        ))
+        lines += [
+            "",
+            "Resolve a trace with `repro analyze --trace <id>`.",
+        ]
     return lines
 
 
@@ -638,7 +779,10 @@ def _merge_recorded_slo_alerts(
     :func:`health_mod.replay` re-derives the *training/calibration* rules
     from the raw streams, but burn-rate alerts depend on the rolling
     sample windows of the live run — they cannot be re-derived, so the
-    recorded ``health`` stream is authoritative for them.
+    recorded ``health`` stream is authoritative for them. Quality
+    calibration-drift alerts are *not* merged: :func:`health_mod.replay`
+    re-derives them from the recorded ``quality`` stream, so folding the
+    recorded health records in as well would double-count each one.
     """
     recorded = [
         health_mod.Alert(
@@ -666,6 +810,7 @@ def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
     nodes = _load_json(os.path.join(run_dir, TRACE_FILE))
     slo_doc = _load_json(os.path.join(run_dir, SLO_FILE))
     memory_doc = _load_json(os.path.join(run_dir, MEMORY_FILE))
+    quality_doc = _load_json(os.path.join(run_dir, QUALITY_FILE))
     profile_counts = _load_profile_counts(run_dir)
 
     sections = [
@@ -676,6 +821,7 @@ def render_markdown(run_dir: str, bench_dir: Optional[str] = None) -> str:
         _section_training(records),
         _section_plans(records),
         _section_queries(records),
+        _section_quality(records, quality_doc),
         _section_storage(snapshot, records),
         _section_metrics(snapshot),
         _section_trace(nodes),
@@ -903,7 +1049,7 @@ def render_top(run_dir: str, width: int = 78) -> str:
     return "\n".join(lines)
 
 
-def run_smoke(directory: str) -> str:
+def run_smoke(directory: str, audit_rate: Optional[float] = None) -> str:
     """Record a tiny end-to-end run into ``directory`` and return it.
 
     Micro pipeline — flights at scale 0.12, ASQP-Light, two iterations,
@@ -912,17 +1058,24 @@ def run_smoke(directory: str) -> str:
     The whole pipeline runs under :func:`repro.obs.run` with the
     profiler, the memory tracker, and the default SLOs enabled, so the
     report's profile/SLO sections render from real artifacts.
+    ``audit_rate`` sets the shadow-audit sample rate (``repro audit
+    --smoke`` passes 1.0 so every routed query is audited); when set,
+    the quality SLOs join the default objectives.
     """
     from .. import obs
     from ..core import ASQPConfig, ASQPSession, ASQPTrainer
     from ..datasets import load_flights
     from ..db import explain
 
+    objectives = list(obs.slo.DEFAULT_OBJECTIVES)
+    if audit_rate:
+        objectives += list(obs.quality.QUALITY_OBJECTIVES)
     with obs.run(
         directory,
         profile=True,
         memory_tracking=True,
-        slo_objectives=obs.slo.DEFAULT_OBJECTIVES,
+        slo_objectives=objectives,
+        audit_rate=audit_rate,
     ):
         bundle = load_flights(scale=0.12, n_queries=6, n_aggregate_queries=2)
         config = ASQPConfig.light(

@@ -7,8 +7,10 @@ interesting tails. This module implements the standard fix — decide
 
 * **always keep** a query's trace when it was slow (duration above the
   rolling p95 of recent root spans), errored anywhere in its tree, fell
-  back to the serial path, or tripped the pool watchdog (the last two
-  read the stats the executor stamps onto the root span's attrs);
+  back to the serial path, tripped the pool watchdog (the last two read
+  the stats the executor stamps onto the root span's attrs), or was
+  shadow-audited to low answer quality (the ``low_quality`` attr the
+  session stamps from :mod:`repro.obs.quality` audit results);
 * **head-sample** the unremarkable rest at a configurable rate, decided
   deterministically from the trace id (no RNG state, reproducible
   across replays);
@@ -57,10 +59,12 @@ DEFAULT_WINDOW = 256
 #: Keep everything until this many durations have been seen.
 DEFAULT_MIN_WINDOW = 20
 
-#: Eviction priority: lower leaves the store first.
+#: Eviction priority: lower leaves the store first. Low-quality traces
+#: outrank slow ones (the audit evidence is rarer) but yield to hard
+#: failure evidence (errors, fallbacks, watchdog timeouts).
 _EVICTION_ORDER = {
-    "head": 0, "warmup": 1, "slow": 2, "error": 3,
-    "fallback": 4, "watchdog": 5,
+    "head": 0, "warmup": 1, "slow": 2, "low_quality": 3, "error": 4,
+    "fallback": 5, "watchdog": 6,
 }
 
 
@@ -105,6 +109,7 @@ class TailSampler:
             "kept_error": 0,
             "kept_fallback": 0,
             "kept_watchdog": 0,
+            "kept_low_quality": 0,
             "kept_head": 0,
             "kept_warmup": 0,
             "dropped_head": 0,
@@ -136,6 +141,8 @@ class TailSampler:
                 reason = "fallback"
             elif _has_error(root):
                 reason = "error"
+            elif int(attrs.get("low_quality") or 0) > 0:
+                reason = "low_quality"
             elif (
                 len(self._durations) >= self.min_window
                 and duration > self._rolling_p95()

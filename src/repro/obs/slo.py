@@ -9,6 +9,7 @@ text::
     query.p95 < 250ms              # windowed latency objective
     executor.p95 < 200ms @ 99.9%   # explicit compliance target
     estimator.calibration_error < 0.1   # gauge objective
+    quality.recall.p10 > 0.85 @ 90%     # lower-bound quality objective
 
 Windowed objectives are evaluated over a rolling window of samples fed
 straight from the metrics registry (``metrics.observe`` forwards every
@@ -55,9 +56,13 @@ ALIASES = {
     "executor": "executor.query.seconds",
     "train.rollout": "train.rollout.seconds",
     "train.update": "train.update.seconds",
+    "recall": "quality.recall",
+    "agg_rel_error": "quality.agg_rel_error",
 }
 
-_WINDOW_AGGS = ("p50", "p95", "p99", "mean", "max")
+#: p10 exists for lower-bound objectives (quality metrics where *small*
+#: is bad); the upper-tail percentiles serve latency-style metrics.
+_WINDOW_AGGS = ("p10", "p50", "p95", "p99", "mean", "max")
 
 _SPEC_RE = re.compile(
     r"^\s*(?P<metric>[\w.]+)\s*(?P<op><=|>=|<|>)\s*"
@@ -132,7 +137,7 @@ def _aggregate(samples: list[float], agg: str) -> float:
     if agg == "max":
         return max(samples)
     ordered = sorted(samples)
-    q = {"p50": 0.50, "p95": 0.95, "p99": 0.99}[agg]
+    q = {"p10": 0.10, "p50": 0.50, "p95": 0.95, "p99": 0.99}[agg]
     index = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
     return ordered[index]
 
@@ -191,12 +196,17 @@ class SLOTracker:
             return status
         # Worst-value exemplars of the watched histogram link the
         # objective to concrete requests: an alert names the trace ids
-        # an operator feeds to `repro analyze --trace`.
+        # an operator feeds to `repro analyze --trace`. The operator
+        # decides the direction of "worst": upper-bound objectives
+        # (latency) blame the largest samples, lower-bound objectives
+        # (quality.recall) blame the smallest.
         histogram = _metrics.registry().histogram(objective.metric)
         if histogram is not None:
             status["exemplar_trace_ids"] = [
                 exemplar["trace_id"]
-                for exemplar in histogram.worst_exemplars(3)
+                for exemplar in histogram.worst_exemplars(
+                    3, largest=objective.op in ("<", "<=")
+                )
             ]
         value = _aggregate(samples, objective.agg)
         bad = sum(1 for s in samples if not objective.complies(s))

@@ -11,6 +11,10 @@ one operator-facing text frame:
   with the skew ratio and straggler count beside it;
 * shed/fallback counts — serial fallbacks by reason, watchdog
   timeouts, admission sheds (once the serving front end exists);
+* answer quality — shadow-audit accounting from ``quality.json``
+  (audited recall, calibration bias, audit overhead);
+* tail-sampler keep reasons from ``traces.json`` — why retained traces
+  were kept (error / low_quality / slow / …) and how many were shed;
 * active SLO burn alerts from ``slo.json``.
 
 Like ``repro top``, this module only *reads* files, so it can watch a
@@ -26,7 +30,7 @@ import json
 import os
 from typing import Any, Optional
 
-from . import METRICS_FILE, SLO_FILE, TELEMETRY_FILE
+from . import METRICS_FILE, QUALITY_FILE, SLO_FILE, TELEMETRY_FILE, TRACES_FILE
 from . import health as health_mod
 from . import telemetry as telemetry_mod
 
@@ -166,6 +170,56 @@ def render_watch(run_dir: str, width: int = 78) -> str:
         f"{reason_note} | watchdog timeouts {watchdog:.0f} | "
         f"shed {shed:.0f}"
     )
+
+    # -- answer quality ---------------------------------------------- #
+    lines.append(rule("answer quality"))
+    quality_doc = _load_json(os.path.join(run_dir, QUALITY_FILE))
+    if quality_doc:
+        qcounts = quality_doc.get("counts", {})
+        recall = quality_doc.get("mean_recall")
+        bias = quality_doc.get("calibration_bias")
+        overhead = quality_doc.get("overhead_fraction", 0.0)
+        lines.append(
+            f"  audits {qcounts.get('audits', 0)}/"
+            f"{qcounts.get('approx_queries', 0)} approx answers | "
+            f"recall "
+            + (f"{float(recall):.3f}" if recall is not None else "-")
+            + f" | bias "
+            + (f"{float(bias):+.3f}" if bias is not None else "-")
+            + f" | overhead {float(overhead or 0.0):.2%} | "
+            f"low-quality {qcounts.get('low_quality', 0)} | "
+            f"drift events {qcounts.get('drift_events', 0)}"
+        )
+    else:
+        lines.append("  (no quality.json yet — shadow auditing disabled)")
+
+    # -- tail-sampler keep reasons ------------------------------------ #
+    lines.append(rule("trace keep reasons"))
+    traces_doc = _load_json(os.path.join(run_dir, TRACES_FILE))
+    tcounts = (traces_doc or {}).get("counts") or {}
+    kept_by_reason = {
+        name[len("kept_"):]: count
+        for name, count in tcounts.items()
+        if name.startswith("kept_") and count
+    }
+    if tcounts:
+        kept_note = (
+            ", ".join(
+                f"{reason} ×{count}"
+                for reason, count in sorted(
+                    kept_by_reason.items(), key=lambda kv: -kv[1]
+                )
+            )
+            or "none kept"
+        )
+        lines.append(
+            f"  kept {sum(kept_by_reason.values())}"
+            f"/{tcounts.get('offered', 0)} offered ({kept_note}) | "
+            f"head-dropped {tcounts.get('dropped_head', 0)} | "
+            f"evicted {tcounts.get('evicted', 0)}"
+        )
+    else:
+        lines.append("  (no traces.json yet)")
 
     # -- SLO burn ---------------------------------------------------- #
     lines.append(rule("SLO burn"))

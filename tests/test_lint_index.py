@@ -363,6 +363,73 @@ class TestTelemetrySinkRule:
         assert not findings_for(root, "telemetry-sink-only")
 
 
+class TestQualityTelemetrySinkRule:
+    """The ``quality`` telemetry stream has exactly one producer."""
+
+    EMIT = "def emit(stream, **fields):\n    return stream\n"
+
+    def test_rogue_quality_producer_is_flagged(self, tmp_path):
+        root = write_package(tmp_path, {
+            "proj/obs/telemetry.py": self.EMIT,
+            "proj/serving.py": (
+                "from .obs import telemetry\n"
+                "\n"
+                "def report(recall):\n"
+                "    telemetry.emit('quality', kind='audit', recall=recall)\n"
+            ),
+        })
+        findings = findings_for(root, "quality-telemetry-sink-only")
+        assert len(findings) == 1
+        assert "quality" in findings[0].message
+        assert findings[0].path.endswith("serving.py")
+
+    def test_quality_module_itself_is_exempt(self, tmp_path):
+        root = write_package(tmp_path, {
+            "proj/obs/telemetry.py": self.EMIT,
+            "proj/obs/quality.py": (
+                "from . import telemetry\n"
+                "\n"
+                "def record_audit(recall):\n"
+                "    telemetry.emit('quality', kind='audit', recall=recall)\n"
+            ),
+        })
+        assert not findings_for(root, "quality-telemetry-sink-only")
+
+    def test_other_streams_are_clean(self, tmp_path):
+        root = write_package(tmp_path, {
+            "proj/obs/telemetry.py": self.EMIT,
+            "proj/serving.py": (
+                "from .obs import telemetry\n"
+                "\n"
+                "def report(seconds):\n"
+                "    telemetry.emit('query', seconds=seconds)\n"
+                "    telemetry.emit(compute_stream(), x=1)\n"
+                "\n"
+                "def compute_stream():\n"
+                "    return 'query'\n"
+            ),
+        })
+        assert not findings_for(root, "quality-telemetry-sink-only")
+
+    def test_effects_capture_string_arg0(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(emit):\n"
+            "    emit('quality', x=1)\n"
+            "    emit(2, x=1)\n"
+            "    emit()\n"
+        )
+        summary = summarize_module(ast.parse(path.read_text()), str(path))
+        (record,) = [
+            f for name, f in summary["functions"].items()
+            if name.endswith(".f") or name == "f"
+        ]
+        arg0s = [call.get("arg0") for call in record["calls"]]
+        assert "quality" in arg0s
+        # Non-string and argument-less calls carry no arg0 key.
+        assert sum(a is not None for a in arg0s) == 1
+
+
 class TestFallbackRule:
     WRAPPER = (
         "import multiprocessing as mp\n"

@@ -1,0 +1,577 @@
+"""Answer-quality observability: shadow audits, quality SLOs, drift.
+
+Covers the :mod:`repro.obs.quality` pipeline — rate validation, the
+deterministic audit coin, the overhead budget governor, the rolling
+calibration-drift detector — plus its integration surfaces: the tail
+sampler's ``low_quality`` keep reason, lower-bound ``quality.recall``
+SLO burn alerts with trace exemplars, the ``repro audit`` CLI, the
+"Answer quality" report section, and the end-to-end acceptance path (a
+seeded low-recall run whose CRIT burn alert names a trace id that
+``repro analyze --trace`` resolves).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.obs import (
+    health,
+    metrics,
+    quality,
+    sampling,
+    slo,
+    telemetry,
+    trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends disabled with empty state."""
+
+    def scrub():
+        quality.clear()
+        slo.clear()
+        sampling.clear()
+        obs.disable()
+        trace.reset()
+        metrics.reset()
+        telemetry.reset()
+        telemetry.configure(None)
+        health.reset()
+
+    scrub()
+    yield
+    scrub()
+
+
+# ------------------------------------------------------------------ #
+# rate validation
+# ------------------------------------------------------------------ #
+class TestValidateRate:
+    @pytest.mark.parametrize("rate", [0, 1, 0.5, "0.25", True])
+    def test_accepts_in_range(self, rate):
+        value = quality.validate_rate(rate)
+        assert 0.0 <= value <= 1.0
+        assert isinstance(value, float)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0001, 17, float("nan")])
+    def test_rejects_out_of_range(self, rate):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            quality.validate_rate(rate)
+
+    @pytest.mark.parametrize("rate", ["ten percent", None, [0.1]])
+    def test_rejects_non_numbers(self, rate):
+        with pytest.raises(ValueError, match="must be a number"):
+            quality.validate_rate(rate)
+
+    def test_error_names_the_source(self):
+        with pytest.raises(ValueError, match="REPRO_AUDIT_RATE"):
+            quality.validate_rate(2.0, source="REPRO_AUDIT_RATE")
+
+    def test_rate_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT_RATE", raising=False)
+        assert quality.rate_from_env() == quality.DEFAULT_AUDIT_RATE
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "0.42")
+        assert quality.rate_from_env() == pytest.approx(0.42)
+        monkeypatch.setenv("REPRO_AUDIT_RATE", "1.5")
+        with pytest.raises(ValueError, match="REPRO_AUDIT_RATE"):
+            quality.rate_from_env()
+
+    def test_cli_rejects_bad_rate_with_exit_2(self, tmp_path, capsys):
+        code = main([
+            "audit", "--dir", str(tmp_path), "--sample-rate", "1.5",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "error:" in out and "[0, 1]" in out
+
+
+# ------------------------------------------------------------------ #
+# the deterministic audit coin
+# ------------------------------------------------------------------ #
+class TestAuditCoin:
+    def test_deterministic_and_edge_rates(self):
+        tid = "a3f1b2c4d5e6f708a9b0c1d2e3f40516"
+        assert quality._audit_keep(tid, 0.0) is False
+        assert quality._audit_keep(tid, 1.0) is True
+        first = quality._audit_keep(tid, 0.3)
+        assert all(
+            quality._audit_keep(tid, 0.3) == first for _ in range(10)
+        )
+
+    def test_reads_its_own_hash_window(self):
+        # The coin reads hex chars [8:16] — flipping the head window
+        # (what tail-sampling's head coin reads) must not change it.
+        base = "00000000" + "12345678" + "0" * 16
+        flipped = "ffffffff" + "12345678" + "0" * 16
+        for rate in (0.1, 0.5, 0.9):
+            assert quality._audit_keep(base, rate) == quality._audit_keep(
+                flipped, rate
+            )
+
+    def test_realized_fraction_tracks_rate(self):
+        import hashlib
+
+        tids = [
+            hashlib.md5(str(i).encode()).hexdigest() for i in range(2000)
+        ]
+        kept = sum(quality._audit_keep(t, 0.2) for t in tids)
+        assert abs(kept / len(tids) - 0.2) < 0.05
+
+
+# ------------------------------------------------------------------ #
+# budget governor
+# ------------------------------------------------------------------ #
+class TestBudgetGovernor:
+    PASSING_TID = "deadbeef00000000deadbeefdeadbeef"  # coin window = 0
+
+    def _monitor(self, **kwargs):
+        kwargs.setdefault("sample_rate", 1.0)
+        kwargs.setdefault("max_overhead", 0.01)
+        return quality.install(quality.QualityMonitor(**kwargs))
+
+    def test_first_audit_always_allowed(self):
+        monitor = self._monitor()
+        assert monitor.should_audit(self.PASSING_TID) is True
+
+    def test_none_trace_id_never_audits(self):
+        monitor = self._monitor()
+        assert monitor.should_audit(None) is False
+
+    def test_budget_blocks_after_expensive_audit(self):
+        obs.enable()
+        monitor = self._monitor()
+        monitor.observe_query(0.9, 0.9, True, elapsed_seconds=1.0)
+        monitor.record_audit(
+            recall=0.9, predicted=0.9, observed=0.9, cost_seconds=0.5
+        )
+        # 0.5s of audit over 1s of serving is 50x the 1% budget.
+        assert monitor.should_audit(self.PASSING_TID) is False
+        assert monitor.counts["skipped_budget"] == 1
+
+    def test_budget_reserves_the_last_audit_cost(self):
+        # Conservative admission: even when spent audit time fits the
+        # budget, the governor must also reserve one more audit at the
+        # last observed cost — otherwise each admission overshoots the
+        # budget by a full audit.
+        obs.enable()
+        monitor = self._monitor()
+        monitor.observe_query(0.9, 0.9, True, elapsed_seconds=100.0)
+        monitor.record_audit(
+            recall=0.9, predicted=0.9, observed=0.9, cost_seconds=0.9
+        )
+        # spent 0.9 <= 1.0 budget, but 0.9 + 0.9 reserved > 1.0: skip.
+        assert monitor.should_audit(self.PASSING_TID) is False
+        # More serving grows the budget; 0.9 + 0.9 <= 2.0: admit.
+        monitor.observe_query(0.9, 0.9, True, elapsed_seconds=100.0)
+        assert monitor.should_audit(self.PASSING_TID) is True
+
+    def test_unlimited_budget_when_disabled(self):
+        obs.enable()
+        monitor = self._monitor(max_overhead=None)
+        monitor.record_audit(
+            recall=0.9, predicted=0.9, observed=0.9, cost_seconds=99.0
+        )
+        assert monitor.should_audit(self.PASSING_TID) is True
+
+    def test_coin_skip_counted(self):
+        monitor = self._monitor(sample_rate=0.0001)
+        losing = "00000000ffffffff0000000000000000"
+        assert monitor.should_audit(losing) is False
+        assert monitor.counts["skipped_coin"] == 1
+
+
+# ------------------------------------------------------------------ #
+# audit accounting
+# ------------------------------------------------------------------ #
+class TestRecordAudit:
+    def test_low_quality_flag_and_counters(self):
+        obs.enable()
+        monitor = quality.install(quality.QualityMonitor(sample_rate=1.0))
+        assert monitor.record_audit(
+            recall=0.2, predicted=0.9, observed=0.1, agg_rel_error=0.5,
+            cost_seconds=0.01, sql="SELECT 1", trace_id="ab" * 16,
+        ) is True
+        assert monitor.record_audit(
+            recall=0.95, predicted=0.9, observed=0.92,
+        ) is False
+        assert monitor.counts["audits"] == 2
+        assert monitor.counts["low_quality"] == 1
+        summary = monitor.summary()
+        assert summary["mean_recall"] == pytest.approx((0.2 + 0.95) / 2)
+        assert summary["mean_agg_rel_error"] == pytest.approx(0.5)
+        assert summary["audit_log"][0]["trace_id"] == "ab" * 16
+        assert summary["audit_log"][0]["low_quality"] is True
+
+    def test_audit_log_is_bounded(self):
+        monitor = quality.QualityMonitor(sample_rate=1.0, max_audit_rows=4)
+        for i in range(10):
+            monitor.record_audit(
+                recall=0.9, predicted=0.9, observed=0.9, sql=f"q{i}"
+            )
+        assert len(monitor.audit_log) == 4
+        assert [row["sql"] for row in monitor.audit_log] == [
+            "q6", "q7", "q8", "q9",
+        ]
+
+    def test_overhead_fraction(self):
+        monitor = quality.QualityMonitor(sample_rate=1.0, max_overhead=None)
+        assert monitor.overhead_fraction() == 0.0
+        monitor.observe_query(0.9, 0.9, True, elapsed_seconds=10.0)
+        monitor.record_audit(
+            recall=0.9, predicted=0.9, observed=0.9, cost_seconds=0.5
+        )
+        assert monitor.overhead_fraction() == pytest.approx(0.05)
+
+
+# ------------------------------------------------------------------ #
+# calibration drift
+# ------------------------------------------------------------------ #
+class TestCalibrationDrift:
+    def _monitor(self):
+        return quality.install(quality.QualityMonitor(
+            sample_rate=0.0, drift_window=8, drift_min_window=4,
+        ))
+
+    def _feed(self, monitor, predicted, observed, n):
+        drift = None
+        for _ in range(n):
+            event = monitor.observe_query(predicted, observed, True)
+            drift = event or drift
+        return drift
+
+    def test_calibrated_answers_raise_nothing(self):
+        obs.enable()
+        monitor = self._monitor()
+        assert self._feed(monitor, 0.9, 0.85, 10) is None
+        assert monitor.counts["drift_events"] == 0
+
+    def test_warn_then_crit_escalation_with_dedup(self):
+        obs.enable()
+        monitor = self._monitor()
+        warn = self._feed(monitor, 0.9, 0.65, 8)  # bias 0.25
+        assert warn is not None and warn.severity == health.WARN
+        assert warn.bias == pytest.approx(0.25)
+        # Same severity again: deduplicated, no second event.
+        assert self._feed(monitor, 0.9, 0.65, 4) is None
+        crit = self._feed(monitor, 0.9, 0.40, 8)  # bias 0.50
+        assert crit is not None and crit.severity == health.CRIT
+        assert monitor.counts["drift_events"] == 2
+
+    def test_recovery_rearms_the_detector(self):
+        obs.enable()
+        monitor = self._monitor()
+        assert self._feed(monitor, 0.9, 0.65, 8) is not None
+        # Window refills with calibrated pairs: published level resets.
+        assert self._feed(monitor, 0.9, 0.9, 8) is None
+        again = self._feed(monitor, 0.9, 0.65, 8)
+        assert again is not None and again.severity == health.WARN
+
+    def test_drift_publishes_health_alert(self):
+        obs.enable()
+        monitor = self._monitor()
+        self._feed(monitor, 0.9, 0.40, 8)
+        rules = [a.rule for a in health.active_monitor().alerts]
+        assert "quality_calibration_drift" in rules
+
+    def test_under_prediction_is_signed(self):
+        obs.enable()
+        monitor = self._monitor()
+        drift = self._feed(monitor, 0.5, 0.8, 8)  # bias -0.30
+        assert drift is not None
+        assert drift.bias == pytest.approx(-0.30)
+
+
+# ------------------------------------------------------------------ #
+# tail-sampler keep reason
+# ------------------------------------------------------------------ #
+class TestLowQualityKeepReason:
+    def _root(self, trace_id, **attrs):
+        span = trace.Span("session.query")
+        span.trace_id = trace_id
+        span.duration_s = 0.01
+        span.attrs.update(attrs)
+        return span
+
+    def test_low_quality_trace_is_kept(self):
+        sampler = sampling.TailSampler(head_rate=0.0, min_window=0)
+        reason = sampler.offer(self._root("ab" * 16, low_quality=1))
+        assert reason == "low_quality"
+        assert sampler.counts["kept_low_quality"] == 1
+
+    def test_error_outranks_low_quality(self):
+        sampler = sampling.TailSampler(head_rate=0.0, min_window=0)
+        root = self._root("cd" * 16, low_quality=1)
+        root.error = "boom"
+        assert sampler.offer(root) == "error"
+
+
+# ------------------------------------------------------------------ #
+# lower-bound quality SLOs
+# ------------------------------------------------------------------ #
+class TestQualitySLO:
+    def test_lower_bound_spec_parses(self):
+        objective = slo.parse_objective("quality.recall.p10 > 0.85 @ 90%")
+        assert objective.metric == "quality.recall"
+        assert objective.agg == "p10"
+        assert objective.op == ">"
+        assert objective.threshold == pytest.approx(0.85)
+        assert objective.target == pytest.approx(0.90)
+        assert objective.complies(0.9) and not objective.complies(0.5)
+
+    def test_recall_alias_resolves(self):
+        objective = slo.parse_objective("recall.p10 > 0.85")
+        assert objective.metric == "quality.recall"
+
+    def test_low_recall_burns_with_smallest_sample_exemplars(self):
+        obs.enable()
+        tracker = slo.configure(["quality.recall.p10 > 0.85 @ 90%"])
+        registry = metrics.registry()
+        # 11 audited answers, all violating; the worst (smallest) two
+        # carry distinct trace ids that must surface as exemplars.
+        worst = "11" * 16
+        second = "22" * 16
+        registry.observe("quality.recall", 0.05, trace_id=worst)
+        registry.observe("quality.recall", 0.10, trace_id=second)
+        for i in range(9):
+            registry.observe("quality.recall", 0.3 + i * 0.01)
+        for value in (0.05, 0.10) + tuple(0.3 + i * 0.01 for i in range(9)):
+            tracker.record("quality.recall", value)
+        alerts = tracker.publish()
+        burn = [a for a in alerts if a.rule == "slo_burn"]
+        assert burn and burn[0].severity == health.CRIT
+        assert "quality.recall.p10" in burn[0].message
+        assert worst in burn[0].message
+        assert second in burn[0].message
+        assert "repro analyze --trace" in burn[0].message
+
+    def test_quality_objectives_constants_parse(self):
+        for spec in quality.QUALITY_OBJECTIVES:
+            slo.parse_objective(spec)
+
+
+# ------------------------------------------------------------------ #
+# report section
+# ------------------------------------------------------------------ #
+class TestReportSection:
+    def test_placeholder_when_no_audit_data(self):
+        from repro.obs.report import _section_quality
+
+        lines = _section_quality([], None)
+        text = "\n".join(lines)
+        assert "## Answer quality" in text
+        assert "No audit data recorded" in text
+        assert "unverified" in text
+
+    def test_calibration_table_renders(self):
+        from repro.obs.report import _section_quality
+
+        records = [
+            {
+                "stream": "quality", "kind": "audit", "trace_id": "ab" * 16,
+                "predicted": 0.9, "observed": 0.3, "recall": 0.3,
+                "agg_rel_error": 0.4, "low_quality": True, "sql": "SELECT 1",
+            },
+            {
+                "stream": "quality", "kind": "audit", "trace_id": "cd" * 16,
+                "predicted": 0.2, "observed": 0.25, "recall": 0.95,
+                "agg_rel_error": None, "low_quality": False, "sql": "SELECT 2",
+            },
+        ]
+        doc = {
+            "counts": {
+                "queries": 4, "approx_queries": 2, "audits": 2,
+                "skipped_coin": 0, "skipped_budget": 0,
+                "low_quality": 1, "drift_events": 0,
+            },
+            "sample_rate": 1.0, "max_overhead": 0.01,
+            "overhead_fraction": 0.003,
+            "mean_recall": 0.625, "calibration_bias": 0.275,
+        }
+        text = "\n".join(_section_quality(records, doc))
+        assert "Calibration (predicted vs audited)" in text
+        assert "[0.75, 1.00)" in text and "[0.00, 0.25)" in text
+        assert "Worst audited answers" in text
+        assert ("ab" * 16)[:16] in text
+        assert "repro analyze --trace" in text
+
+
+# ------------------------------------------------------------------ #
+# end-to-end: seeded low recall trips the quality pipeline
+# ------------------------------------------------------------------ #
+@pytest.fixture(scope="module")
+def low_recall_run(tmp_path_factory):
+    """A recorded run whose approximation set was gutted to one row.
+
+    Every answer is served from (and audited against) a one-row-per-
+    table approximation set, so measured recall collapses while the
+    estimator's confidence stays put: audits land low-quality, the
+    ``quality.recall`` SLO burns, and calibration drifts.
+    """
+    from repro.core import ASQPConfig, ASQPSession, ASQPTrainer
+    from repro.datasets import load_flights
+    from repro.db import Database
+
+    bundle = load_flights(scale=0.1, n_queries=12, n_aggregate_queries=4)
+    config = ASQPConfig.light(
+        memory_budget=120, frame_size=20, n_iterations=2,
+        learning_rate=1e-3, seed=0,
+    )
+    obs.disable()
+    model = ASQPTrainer(bundle.db, bundle.workload, config).train()
+    session = ASQPSession(model, auto_fine_tune=False)
+    session.approx_db = Database(
+        [table.head(1) for table in session.approx_db], name="gutted"
+    )
+    run_dir = str(tmp_path_factory.mktemp("low_recall"))
+    outcomes = []
+    with obs.run(
+        run_dir,
+        slo_objectives=quality.QUALITY_OBJECTIVES,
+        audit_rate=1.0,
+    ):
+        # The budget governor would throttle a rate-1.0 audit storm;
+        # this scenario wants every answer audited.
+        quality.configure(sample_rate=1.0, max_overhead=None)
+        for query in bundle.workload:
+            outcomes.append(session.query(query, confidence_threshold=0.0))
+    return run_dir, outcomes
+
+
+class TestLowRecallAcceptance:
+    def test_every_answer_audited_and_low_quality(self, low_recall_run):
+        _, outcomes = low_recall_run
+        # >= MIN_SAMPLES so the SLO burn window can fire at all.
+        assert len(outcomes) >= slo.MIN_SAMPLES
+        audited = [o for o in outcomes if o.audit is not None]
+        assert len(audited) == len(outcomes)
+        assert all(o.audit.recall < 0.8 for o in audited)
+        assert all(o.audit.low_quality for o in audited)
+
+    def test_query_stats_stamped(self, low_recall_run):
+        _, outcomes = low_recall_run
+        stamped = [
+            o for o in outcomes
+            if getattr(o.result, "stats", None) is not None
+        ]
+        assert stamped
+        for outcome in stamped:
+            assert outcome.result.stats.audited is True
+            assert outcome.result.stats.audit_recall == pytest.approx(
+                outcome.audit.recall
+            )
+
+    def test_quality_json_written(self, low_recall_run):
+        run_dir, outcomes = low_recall_run
+        with open(os.path.join(run_dir, quality.QUALITY_FILE)) as handle:
+            doc = json.load(handle)
+        assert doc["counts"]["audits"] == len(outcomes)
+        assert doc["counts"]["low_quality"] == len(outcomes)
+        assert doc["mean_recall"] < 0.5
+        assert doc["audit_log"]
+        assert all(row["trace_id"] for row in doc["audit_log"])
+
+    def _health_records(self, run_dir):
+        records = []
+        with open(os.path.join(run_dir, obs.TELEMETRY_FILE)) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("stream") == "health":
+                    records.append(record)
+        return records
+
+    def test_recall_slo_burns_crit_with_resolvable_exemplar(
+        self, low_recall_run
+    ):
+        run_dir, _ = low_recall_run
+        burns = [
+            r for r in self._health_records(run_dir)
+            if r.get("rule") == "slo_burn"
+            and "quality.recall" in r.get("message", "")
+        ]
+        assert burns, "expected a quality.recall SLO burn alert"
+        assert burns[0]["severity"] == health.CRIT
+        match = re.search(
+            r"worst traces: ([0-9a-f]{32})", burns[0]["message"]
+        )
+        assert match, burns[0]["message"]
+        trace_id = match.group(1)
+        assert main(["analyze", "--dir", run_dir, "--trace", trace_id]) == 0
+
+    def test_calibration_drift_alert_fired(self, low_recall_run):
+        run_dir, _ = low_recall_run
+        drift = [
+            r for r in self._health_records(run_dir)
+            if r.get("rule") == "quality_calibration_drift"
+        ]
+        assert drift, "expected a calibration-drift health alert"
+
+    def test_traces_kept_for_low_quality(self, low_recall_run):
+        run_dir, _ = low_recall_run
+        with open(os.path.join(run_dir, "traces.json")) as handle:
+            doc = json.load(handle)
+        assert doc["counts"]["kept_low_quality"] > 0
+
+    def test_audit_cli_prints_calibration_table(
+        self, low_recall_run, capsys
+    ):
+        run_dir, _ = low_recall_run
+        assert main(["audit", "--dir", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration" in out
+        assert "predicted bin" in out
+        assert "Worst" in out
+        assert "repro analyze --trace" in out
+
+    def test_watch_shows_quality_and_keep_reasons(
+        self, low_recall_run, capsys
+    ):
+        run_dir, _ = low_recall_run
+        assert main(["watch", "--dir", run_dir, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "answer quality" in out
+        assert "audits" in out
+        assert "low_quality" in out
+
+    def test_report_renders_answer_quality_section(self, low_recall_run):
+        from repro.obs.report import render_markdown
+
+        run_dir, _ = low_recall_run
+        text = render_markdown(run_dir)
+        assert "## Answer quality" in text
+        assert "Calibration (predicted vs audited)" in text
+        assert "Worst audited answers" in text
+
+
+# ------------------------------------------------------------------ #
+# repro audit CLI on empty / missing runs
+# ------------------------------------------------------------------ #
+class TestAuditCLI:
+    def test_missing_run_dir(self, tmp_path, capsys):
+        code = main(["audit", "--dir", str(tmp_path / "nope")])
+        assert code != 0
+
+    def test_no_audit_data_is_explicit(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        with obs.run(run_dir, audit_rate=0.0):
+            pass
+        os.remove(os.path.join(run_dir, quality.QUALITY_FILE))
+        code = main(["audit", "--dir", run_dir])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no audit data recorded" in out
+        assert "unverified" in out
+
+    def test_help_documents_default_rate(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["audit", "--help"])
+        out = capsys.readouterr().out
+        assert "REPRO_AUDIT_RATE" in out
+        assert "0.1" in out
